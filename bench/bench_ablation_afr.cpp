@@ -1,0 +1,30 @@
+// Ablation: annual failure rate sensitivity.
+//
+// The paper fixes AFR at 1% (§3); real fleets drift between ~0.5% and ~4%
+// with drive vintage. This sweep shows how each scheme's durability (R_MIN)
+// degrades with AFR, and that the scheme ranking is stable across the range.
+#include <iostream>
+
+#include "analysis/durability.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const auto code = MlecCode::paper_default();
+
+  std::cout << "# ablation: durability in nines vs AFR (repair R_MIN)\n\n";
+  Table t({"AFR_%", "C/C", "C/D", "D/C", "D/D"});
+  for (double afr : {0.005, 0.01, 0.02, 0.04, 0.08}) {
+    DurabilityEnv env;
+    env.afr = afr;
+    std::vector<std::string> row{Table::num(100 * afr, 1)};
+    for (auto scheme : kAllMlecSchemes)
+      row.push_back(Table::num(
+          mlec_durability(env, code, scheme, RepairMethod::kRepairMinimum).nines, 1));
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "# expectation: nines fall roughly linearly in log10(AFR) — each level\n"
+            << "# contributes (p+1) powers of lambda — and C/D,D/D stay on top.\n";
+  return 0;
+}

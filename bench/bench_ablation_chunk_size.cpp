@@ -1,0 +1,29 @@
+// Ablation: chunk size vs single-core encoding throughput.
+//
+// Figure 11's cache argument ("with wider stripes, the encoding process
+// might not fit the input into CPU cache") predicts a throughput cliff as
+// k * chunk grows past the cache. This sweep varies the chunk size for the
+// paper's three key codes to locate that cliff on the host CPU.
+#include <iostream>
+
+#include "analysis/encoding.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const double seconds = fast_mode() ? 0.01 : 0.08;
+
+  std::cout << "# ablation: encoding throughput (MB/s) vs chunk size\n\n";
+  Table t({"chunk_KB", "(10+2)", "(17+3)", "(28+12)", "working_set_(17+3)_KB"});
+  for (double chunk_kb : {16.0, 64.0, 128.0, 512.0, 2048.0, 8192.0}) {
+    t.add_row({Table::num(chunk_kb, 0),
+               Table::num(measure_encoding_throughput(10, 2, chunk_kb, seconds).data_mbps, 0),
+               Table::num(measure_encoding_throughput(17, 3, chunk_kb, seconds).data_mbps, 0),
+               Table::num(measure_encoding_throughput(28, 12, chunk_kb, seconds).data_mbps, 0),
+               Table::num(20 * chunk_kb, 0)});
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "# expectation: flat while the stripe working set fits cache, then a\n"
+            << "# decline — the effect that motivates keeping k moderate (Figure 11).\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Ablation: declustered-layout design (the substrate behind local-Dp).
+//
+// The paper's Table 2 assumes an ideally balanced declustered pool. This
+// harness generates concrete layouts with three strategies, reports the
+// balance metrics that assumption rests on, and shows how the single-disk
+// rebuild bandwidth grows from the clustered 40 MB/s toward the ideal
+// (n-1)*40/(k+1) as the pool widens — the paper's 6x Figure 6a effect.
+#include <iostream>
+
+#include "placement/declustered.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const std::size_t width = 20, k = 17;  // the paper's (17+3)
+  const double disk_mbps = 40.0;         // 20% of 200 MB/s
+
+  std::cout << "# ablation: declustered layout strategy and pool size, (17+3) stripes\n\n";
+
+  auto strategy_name = [](DeclusterStrategy s) {
+    switch (s) {
+      case DeclusterStrategy::kRoundRobin: return "round-robin";
+      case DeclusterStrategy::kPseudorandom: return "pseudorandom";
+      case DeclusterStrategy::kLowOverlap: return "low-overlap";
+    }
+    return "?";
+  };
+
+  Table t({"pool_disks", "strategy", "rebuild_MBps", "ideal_MBps", "fanout", "read_imbalance",
+           "max_pair_overlap"});
+  for (std::size_t pool : {20u, 40u, 60u, 120u}) {
+    const double ideal =
+        pool == width ? disk_mbps
+                      : static_cast<double>(pool - 1) * disk_mbps / static_cast<double>(k + 1);
+    for (auto strategy : {DeclusterStrategy::kRoundRobin, DeclusterStrategy::kPseudorandom,
+                          DeclusterStrategy::kLowOverlap}) {
+      const std::size_t stripes = fast_mode() ? pool * 10 : pool * 40;
+      const auto layout = make_declustered_layout(pool, width, stripes, strategy, 7);
+      const auto q = analyze_layout(layout);
+      t.add_row({std::to_string(pool), strategy_name(strategy),
+                 Table::num(layout_rebuild_mbps(layout, k, disk_mbps), 0), Table::num(ideal, 0),
+                 Table::num(q.mean_rebuild_fanout, 1), Table::num(q.read_imbalance, 2),
+                 std::to_string(q.max_pair_overlap)});
+    }
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "# paper tie-in: at pool=120 the rebuild rate approaches Table 2's 264\n"
+            << "# MB/s; at pool=20 (clustered) it collapses to the 40 MB/s spare-write\n"
+            << "# bound. Low-overlap layouts trade a little rebuild balance for a\n"
+            << "# smaller double-failure blast radius.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation: the repair-bandwidth budget (the paper's §3 "capped at 20% of
+// raw bandwidth" policy, made a knob).
+//
+// Operators trade repair speed against foreground I/O interference. This
+// sweep shows how the reserved fraction moves Table 2's bandwidths and the
+// end-to-end durability of the four schemes (R_MIN).
+#include <iostream>
+
+#include "analysis/durability.hpp"
+#include "analysis/repair_time.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const auto code = MlecCode::paper_default();
+
+  std::cout << "# ablation: repair-bandwidth reservation (paper default 20%)\n\n";
+  Table t({"repair_%", "disk_MBps", "pool_Dp_MBps", "C/C", "C/D", "D/C", "D/D"});
+  for (double fraction : {0.05, 0.1, 0.2, 0.4, 0.8}) {
+    DurabilityEnv env;
+    env.bw.repair_fraction = fraction;
+    const RepairTimeModel model(env.dc, env.bw, code);
+    std::vector<std::string> row{
+        Table::num(100 * fraction, 0),
+        Table::num(env.bw.effective_disk_mbps(), 0),
+        Table::num(model.table2_row(MlecScheme::kDD).pool_mbps, 0)};
+    for (auto scheme : kAllMlecSchemes)
+      row.push_back(Table::num(
+          mlec_durability(env, code, scheme, RepairMethod::kRepairMinimum).nines, 1));
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "# expectation: nines rise with the budget but with diminishing returns —\n"
+            << "# the 30-minute detection floor caps what faster repair can buy\n"
+            << "# (the same effect that limits R_MIN's gain in Figure 10 F#3).\n";
+  return 0;
+}

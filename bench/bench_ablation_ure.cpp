@@ -1,0 +1,34 @@
+// Ablation: latent sector errors (unrecoverable read errors) during
+// rebuilds — an extension beyond the paper's disk-failure-only model.
+//
+// A URE while rebuilding a stripe already at p_l failed chunks loses the
+// stripe, so rebuild reads themselves become a catastrophe source. The
+// sweep runs typical spec-sheet BERs and shows which schemes absorb the
+// extra risk (clustered pools, which re-read everything at p_l failures,
+// suffer first).
+#include <iostream>
+
+#include "analysis/durability.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const auto code = MlecCode::paper_default();
+
+  std::cout << "# ablation (model extension): durability vs rebuild URE rate, R_MIN\n\n";
+  Table t({"ure_per_bit", "C/C", "C/D", "D/C", "D/D"});
+  for (double ure : {0.0, 1e-17, 1e-16, 1e-15, 1e-14}) {
+    DurabilityEnv env;
+    env.ure_per_bit = ure;
+    std::vector<std::string> row{ure == 0.0 ? "0 (paper)" : Table::num(ure, 1)};
+    for (auto scheme : kAllMlecSchemes)
+      row.push_back(Table::num(
+          mlec_durability(env, code, scheme, RepairMethod::kRepairMinimum).nines, 1));
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "# expectation: nines erode as UREs climb toward consumer-class 1e-14;\n"
+            << "# MLEC's network level still absorbs URE-induced catastrophic pools,\n"
+            << "# which is exactly why two-level protection matters at 20 TB disks.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 1: storage scaling over the years (motivation).
+//
+// The paper plots fleet sizes (Backblaze, US DOE) and per-disk capacities.
+// These are external observations, not simulator output; the series below
+// are digitized from the paper's Figure 1 so downstream tooling has the
+// same reference data.
+#include <iostream>
+
+#include "util/table.hpp"
+
+int main() {
+  std::cout << "# paper: Figure 1 — storage scaling over the years\n\n";
+
+  mlec::Table disks({"year", "backblaze_kdisks", "us_doe_kdisks"});
+  const struct {
+    int year;
+    double backblaze, doe;
+  } fleet[] = {{2010, 10, 5},  {2013, 25, 20},  {2016, 65, 40},
+               {2019, 110, 44}, {2022, 202, 47}};
+  for (const auto& row : fleet)
+    disks.add_row({std::to_string(row.year), mlec::Table::num(row.backblaze),
+                   mlec::Table::num(row.doe)});
+  std::cout << disks.to_ascii("(a) Disks per system (thousands)") << '\n';
+
+  mlec::Table capacity({"year", "max_available_tb", "average_sold_tb"});
+  const struct {
+    int year;
+    double max_tb, avg_tb;
+  } caps[] = {{2010, 3, 1}, {2013, 6, 2}, {2016, 10, 4.5}, {2019, 16, 9}, {2022, 20, 12.3}};
+  for (const auto& row : caps)
+    capacity.add_row({std::to_string(row.year), mlec::Table::num(row.max_tb),
+                      mlec::Table::num(row.avg_tb)});
+  std::cout << capacity.to_ascii("(b) Capacity per disk (TB)");
+  return 0;
+}

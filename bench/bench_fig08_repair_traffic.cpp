@@ -1,0 +1,43 @@
+// Figure 8: cross-rack network traffic of the four repair methods on the
+// four MLEC schemes when one local pool fails catastrophically (p_l+1
+// simultaneous disk failures).
+#include <iostream>
+
+#include "analysis/traffic.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const auto dc = DataCenterConfig::paper_default();
+  const auto code = MlecCode::paper_default();
+
+  std::cout << "# paper: Figure 8 — cross-rack repair traffic (TB)\n\n";
+  Table t({"scheme", "R_ALL", "R_FCO", "R_HYB", "R_MIN"});
+  for (auto scheme : kAllMlecSchemes) {
+    std::vector<std::string> row{to_string(scheme)};
+    for (auto method : kAllRepairMethods)
+      row.push_back(Table::num(
+          catastrophic_injection_traffic(dc, code, scheme, method).cross_rack_tb(), 2));
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "# paper values: R_ALL 4400 (*/C) / 26400 (*/D); R_FCO 880;\n"
+            << "# R_HYB 880 (*/C) / 3.1 (*/D); R_MIN >= 4x below R_HYB (F#4).\n\n";
+
+  std::cout << "# local (intra-rack) traffic of the hybrid/minimum methods (TB)\n";
+  Table local({"scheme", "R_HYB_local", "R_MIN_local"});
+  for (auto scheme : kAllMlecSchemes) {
+    local.add_row(
+        {to_string(scheme),
+         Table::num(catastrophic_injection_traffic(dc, code, scheme,
+                                                   RepairMethod::kRepairHybrid)
+                        .local_tb(),
+                    2),
+         Table::num(catastrophic_injection_traffic(dc, code, scheme,
+                                                   RepairMethod::kRepairMinimum)
+                        .local_tb(),
+                    2)});
+  }
+  std::cout << local.to_ascii();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 15: durability vs encoding throughput, MLEC C/D vs declustered
+// LRC, all points at ~30% parity-space overhead.
+#include <iostream>
+
+#include "analysis/tradeoff.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+  const DurabilityEnv env;
+  const OverheadBand band{};
+  const bool measure = !fast_mode();
+
+  std::cout << "# paper: Figure 15 — MLEC C/D vs LRC-Dp tradeoff (~30% overhead)\n\n";
+
+  auto print_points = [](const std::string& title, const std::vector<TradeoffPoint>& points) {
+    Table t({"config", "overhead_%", "nines", "encode_GBps"});
+    for (const auto& pt : points)
+      t.add_row({pt.label, Table::num(100 * pt.overhead, 1), Table::num(pt.nines, 1),
+                 Table::num(pt.encode_gbps, 2)});
+    std::cout << t.to_ascii(title) << '\n';
+  };
+
+  print_points("MLEC C/D (repair R_MIN)",
+               mlec_tradeoff(env, MlecScheme::kCD, RepairMethod::kRepairMinimum, band, measure));
+  print_points("LRC-Dp", lrc_tradeoff(env, band, measure));
+
+  std::cout << "# paper findings: F#1 MLEC reaches high durability at higher encoding\n"
+            << "# throughput (LRC needs many global parities for the same nines);\n"
+            << "# F#2 the 30-minute detection time caps declustered durability — MLEC's\n"
+            << "# two-level parities suffer less than LRC-Dp's one-level placement.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Fleet-scale simulation cross-validation (paper §3: the strategies verify
+// each other, here at the full 57,600-disk deployment).
+//
+//   1. Independent failures at elevated AFR: the count-level fleet
+//      simulator's catastrophic-pool rate and PDL vs the splitting/Markov
+//      pipeline under identical assumptions.
+//   2. A paper-style failure burst (60 failures over 3 racks) injected into
+//      the full-scale fleet vs the conditional-MC burst engine's cell.
+#include <iostream>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/durability.hpp"
+#include "analysis/fleet_sim.hpp"
+#include "placement/pools.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace mlec;
+  const std::uint64_t missions = fast_mode() ? 30 : 200;
+
+  std::cout << "# fleet-scale cross-validation, " << DataCenterConfig{}.total_disks()
+            << " disks\n\n";
+
+  {
+    FleetSimConfig cfg;
+    cfg.scheme = MlecScheme::kCD;
+    cfg.method = RepairMethod::kRepairFailedOnly;
+    cfg.failures.afr = 0.35;  // hot enough to observe catastrophes directly
+    const auto sim = simulate_fleet(cfg, missions, 11, &global_pool());
+
+    DurabilityEnv env;
+    env.afr = cfg.failures.afr;
+    const auto pipeline = mlec_durability(env, cfg.code, cfg.scheme, cfg.method);
+
+    Table t({"quantity", "fleet_sim", "pipeline"});
+    t.add_row({"catastrophic pools / system-year",
+               Table::num(sim.catastrophes_per_system_year(cfg.mission_hours), 3),
+               Table::num(pipeline.system_cat_rate_per_year, 3)});
+    t.add_row({"PDL over one year", Table::num(sim.pdl(), 3), Table::num(pipeline.pdl, 3)});
+    t.add_row({"mean exposure (h)", Table::num(sim.catastrophe_exposure_hours.mean(), 2),
+               Table::num(pipeline.exposure_hours, 2)});
+    std::cout << t.to_ascii("(1) C/D, R_FCO, AFR 35%: " + std::to_string(missions) +
+                            " simulated mission-years")
+              << '\n';
+  }
+
+  {
+    FleetSimConfig cfg;
+    cfg.scheme = MlecScheme::kDD;
+    cfg.method = RepairMethod::kRepairMinimum;
+    cfg.failures.afr = 1e-9;  // burst only
+    cfg.mission_hours = 48.0;
+
+    BurstPdlConfig engine_cfg;
+    engine_cfg.trials_per_cell = fast_mode() ? 300 : 3000;
+    const BurstPdlEngine engine(engine_cfg);
+    const std::size_t racks = 3, failures = 60;
+    const double expected = engine.mlec_cell(cfg.code, cfg.scheme, racks, failures);
+
+    const Topology topo(cfg.dc);
+    Rng rng(13);
+    std::uint64_t losses = 0;
+    const std::uint64_t burst_missions = fast_mode() ? 200 : 2000;
+    for (std::uint64_t m = 0; m < burst_missions; ++m) {
+      cfg.injected_events = generate_burst(topo, racks, failures, 1.0, rng);
+      losses += simulate_fleet(cfg, 1, m).data_loss_missions;
+    }
+    Table t({"quantity", "fleet_sim", "burst_engine"});
+    t.add_row({"PDL of a 60-failure/3-rack burst (D/D)",
+               Table::num(static_cast<double>(losses) / static_cast<double>(burst_missions), 4),
+               Table::num(expected, 4)});
+    std::cout << t.to_ascii("(2) injected burst at full scale") << '\n';
+  }
+
+  std::cout << "# expectation: burst PDL matches tightly; the independent-failure rate\n"
+            << "# agrees within an order of magnitude — the closed forms are calibrated\n"
+            << "# for the rare regime (AFR ~1%), so at this 35x-hotter stress point the\n"
+            << "# simulator sits above them (higher-order failure paths the fastest-path\n"
+            << "# window model ignores).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// google-benchmark microbenchmarks for the GF(2^8)/Reed-Solomon kernels that
+// power the Figure 11 study.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "gf/gf256.hpp"
+#include "gf/rs.hpp"
+
+namespace {
+
+using mlec::gf::byte_t;
+
+void BM_MulAcc(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<byte_t> src(len), dst(len);
+  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<byte_t>(i * 31 + 7);
+  const auto table = mlec::gf::make_mul_table(0x57);
+  for (auto _ : state) {
+    mlec::gf::mul_acc(table, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_MulAcc)->Arg(4 << 10)->Arg(128 << 10)->Arg(1 << 20);
+
+void BM_MulAccFullTable(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<byte_t> src(len), dst(len);
+  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<byte_t>(i * 31 + 7);
+  const auto table = mlec::gf::make_full_table(0x57);
+  for (auto _ : state) {
+    mlec::gf::mul_acc(table, src, dst);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_MulAccFullTable)->Arg(4 << 10)->Arg(128 << 10)->Arg(1 << 20);
+
+void BM_RsEncode(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const std::size_t p = static_cast<std::size_t>(state.range(1));
+  const std::size_t chunk = 128 << 10;
+  const mlec::gf::RsCode code(k, p);
+  std::vector<std::vector<byte_t>> data(k, std::vector<byte_t>(chunk));
+  std::vector<std::vector<byte_t>> parity(p, std::vector<byte_t>(chunk));
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t b = 0; b < chunk; ++b) data[i][b] = static_cast<byte_t>(i + b * 13);
+  for (auto _ : state) {
+    code.encode(data, parity);
+    benchmark::DoNotOptimize(parity.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * chunk));
+}
+BENCHMARK(BM_RsEncode)
+    ->Args({10, 2})   // the paper's network code
+    ->Args({17, 3})   // the paper's local code
+    ->Args({28, 12})  // the paper's wide SLEC comparison point
+    ->Args({50, 10});
+
+void BM_RsDecode(benchmark::State& state) {
+  const std::size_t k = 17, p = 3;
+  const std::size_t chunk = 128 << 10;
+  const mlec::gf::RsCode code(k, p);
+  std::vector<std::vector<byte_t>> shards(k + p, std::vector<byte_t>(chunk));
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t b = 0; b < chunk; ++b) shards[i][b] = static_cast<byte_t>(i + b * 13);
+  {
+    std::vector<std::vector<byte_t>> data(shards.begin(), shards.begin() + k);
+    std::vector<std::vector<byte_t>> parity(shards.begin() + k, shards.end());
+    code.encode(data, parity);
+    for (std::size_t i = 0; i < p; ++i) shards[k + i] = parity[i];
+  }
+  const std::vector<std::size_t> lost{0, 5, 11};
+  for (auto _ : state) {
+    code.decode(shards, lost);
+    benchmark::DoNotOptimize(shards.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(lost.size() * chunk));
+}
+BENCHMARK(BM_RsDecode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Layout explorer: prints the physical chunk placement of the paper's
+// Figures 2/3 (the four MLEC schemes on a toy 3-rack data center) and the
+// Figure 14 (4,2,2) LRC layout.
+//
+//   $ ./layout_explorer
+#include <iostream>
+#include <map>
+
+#include "placement/lrc.hpp"
+#include "placement/stripe_map.hpp"
+
+namespace {
+
+using namespace mlec;
+
+// Figure 3's toy: 3 racks x 2 enclosures x 6 disks, (2+1)/(2+1).
+DataCenterConfig figure3_dc() {
+  DataCenterConfig dc;
+  dc.racks = 3;
+  dc.enclosures_per_rack = 2;
+  dc.disks_per_enclosure = 6;
+  dc.disk_capacity_tb = 1.28e-6;
+  return dc;
+}
+
+void print_scheme(MlecScheme scheme) {
+  const Topology topo(figure3_dc());
+  const MlecCode code{{2, 1}, {2, 1}};
+  const StripeMap map(topo, code, scheme, 1, /*seed=*/7);
+
+  std::cout << "--- " << to_string(scheme) << " scheme (paper Figure 3"
+            << static_cast<char>('a' + static_cast<int>(scheme)) << ") ---\n";
+  // Label network stripes a, b, c...; chunk j of local stripe i of stripe s
+  // prints as "<stripe><i><j>" on its disk.
+  std::map<DiskId, std::string> labels;
+  char name = 'a';
+  for (const auto& stripe : map.stripes()) {
+    for (std::size_t i = 0; i < stripe.locals.size(); ++i) {
+      for (std::size_t j = 0; j < stripe.locals[i].disks.size(); ++j) {
+        std::string label{name};
+        label += std::to_string(i + 1);
+        label += std::to_string(j + 1);
+        labels.emplace(stripe.locals[i].disks[j], label);
+      }
+    }
+    if (++name > 'd') break;
+  }
+
+  const auto& dc = topo.config();
+  for (RackId rack = 0; rack < dc.racks; ++rack) {
+    std::cout << "Rack" << rack + 1 << ":";
+    for (std::size_t e = 0; e < dc.enclosures_per_rack; ++e) {
+      std::cout << "  E" << e + 1 << " [";
+      for (std::size_t d = 0; d < dc.disks_per_enclosure; ++d) {
+        const DiskId disk = topo.disk_at(rack, e, d);
+        auto it = labels.find(disk);
+        std::cout << (d ? " " : "") << (it == labels.end() ? "..." : it->second);
+      }
+      std::cout << "]";
+    }
+    std::cout << '\n';
+  }
+  std::cout << "(labels: stripe / local-stripe index / chunk index; '...' = unused)\n\n";
+}
+
+void print_lrc() {
+  const LrcCode code{4, 2, 2};
+  const LrcStripeShape shape(code);
+  std::cout << "--- (4,2,2) LRC (paper Figure 14) ---\n";
+  DataCenterConfig dc;
+  dc.racks = 8;
+  const Topology topo(dc);
+  const auto placement = place_lrc_declustered(topo, code, 1, /*seed=*/3).front();
+  for (std::size_t c = 0; c < code.width(); ++c) {
+    std::string role;
+    switch (shape.role(c)) {
+      case LrcChunkRole::kData:
+        role = "data (group " + std::to_string(shape.group(c)) + ")";
+        break;
+      case LrcChunkRole::kLocalParity:
+        role = "local parity of group " + std::to_string(shape.group(c));
+        break;
+      case LrcChunkRole::kGlobalParity:
+        role = "global parity";
+        break;
+    }
+    std::cout << "  chunk " << c << " -> rack R" << placement.racks[c] + 1 << "  (" << role
+              << ", single-failure repair reads " << shape.single_repair_reads(c)
+              << " chunks)\n";
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  for (auto scheme : kAllMlecSchemes) print_scheme(scheme);
+  print_lrc();
+  return 0;
+}

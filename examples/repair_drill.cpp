@@ -1,0 +1,70 @@
+// Repair drill: the paper's Figure 4 walk-through, executable.
+//
+//   $ ./repair_drill
+//
+// Injects a catastrophic local-pool failure (p_l+1 concurrent disk losses)
+// into a toy C/D system, classifies the damage with the Table 1 taxonomy,
+// and plans the repair under all four methods, printing exactly what each
+// one moves over the network vs inside the rack.
+#include <iostream>
+
+#include "placement/stripe_map.hpp"
+#include "sim/repair_planner.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mlec;
+
+  DataCenterConfig dc;
+  dc.racks = 3;
+  dc.enclosures_per_rack = 1;
+  dc.disks_per_enclosure = 6;
+  dc.disk_capacity_tb = 1.28e-6;  // 10 chunks per disk
+  const MlecCode code{{2, 1}, {2, 1}};
+  const Topology topo(dc);
+  const StripeMap map(topo, code, MlecScheme::kCD, 10, /*seed=*/11);
+
+  // Fail p_l+1 = 2 disks of a rack-1 declustered pool that co-host a local
+  // stripe (Figure 4's D1, D3): the pool then holds a lost local stripe and
+  // is catastrophic, while other affected stripes remain locally repairable.
+  std::vector<DiskId> failed;
+  for (const auto& stripe : map.stripes()) {
+    for (const auto& local : stripe.locals) {
+      if (map.pool_rack(local.pool) == 0) {
+        failed = {local.disks[0], local.disks[1]};
+        break;
+      }
+    }
+    if (!failed.empty()) break;
+  }
+  std::cout << "failing disks:";
+  for (DiskId d : failed) std::cout << ' ' << topo.describe(d);
+  std::cout << "\n\n";
+
+  const auto damage = assess_failures(map, failed);
+  std::cout << "Table 1 damage assessment:\n"
+            << "  failed chunks:                     " << damage.failed_chunks << '\n'
+            << "  affected local stripes:            " << damage.affected_local_stripes << '\n'
+            << "  locally-recoverable local stripes: "
+            << damage.locally_recoverable_local_stripes << '\n'
+            << "  lost local stripes:                " << damage.lost_local_stripes << '\n'
+            << "  catastrophic local pools:          " << damage.catastrophic_local_pools << '\n'
+            << "  recoverable network stripes:       " << damage.recoverable_network_stripes
+            << '\n'
+            << "  lost network stripes (data loss):  " << damage.lost_network_stripes << "\n\n";
+
+  std::cout << "repair plans (chunk transfers; network = cross-rack):\n";
+  Table t({"method", "net_reads", "net_writes", "local_reads", "local_writes"});
+  for (auto method : kAllRepairMethods) {
+    const auto plan = plan_repair(map, failed, method);
+    t.add_row({to_string(method), Table::num(plan.network_read_chunks, 0),
+               Table::num(plan.network_write_chunks, 0), Table::num(plan.local_read_chunks, 0),
+               Table::num(plan.local_write_chunks, 0)});
+  }
+  std::cout << t.to_ascii() << '\n';
+  std::cout << "Figure 4's story: R_ALL rebuilds the whole pool over the network;\n"
+            << "R_FCO only the failed chunks; R_HYB keeps locally-recoverable stripes\n"
+            << "local; R_MIN network-repairs one chunk per lost stripe, then finishes\n"
+            << "locally.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "analysis/encoding.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "gf/rs.hpp"
+#include "util/error.hpp"
+
+namespace mlec {
+
+EncodingMeasurement measure_encoding_throughput(std::size_t k, std::size_t p, double chunk_kb,
+                                                double min_seconds) {
+  MLEC_REQUIRE(k >= 1 && p >= 1, "throughput is defined for k >= 1, p >= 1");
+  MLEC_REQUIRE(chunk_kb > 0.0, "chunk size must be positive");
+  const auto chunk_bytes = static_cast<std::size_t>(chunk_kb * 1e3);
+  const gf::RsCode code(k, p);
+
+  std::vector<std::vector<gf::byte_t>> data(k), parity(p);
+  for (std::size_t i = 0; i < k; ++i) {
+    data[i].resize(chunk_bytes);
+    for (std::size_t b = 0; b < chunk_bytes; ++b)
+      data[i][b] = static_cast<gf::byte_t>((i * 131 + b * 7 + 13) & 0xff);
+  }
+  for (auto& shard : parity) shard.assign(chunk_bytes, 0);
+
+  using clock = std::chrono::steady_clock;
+  // Warm-up pass to populate caches and fault pages.
+  code.encode(data, parity);
+
+  std::size_t iters = 0;
+  const auto start = clock::now();
+  double elapsed = 0.0;
+  do {
+    code.encode(data, parity);
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+
+  EncodingMeasurement m;
+  m.k = k;
+  m.p = p;
+  const double data_bytes = static_cast<double>(iters) * static_cast<double>(k) *
+                            static_cast<double>(chunk_bytes);
+  m.data_mbps = data_bytes / elapsed / 1e6;
+  return m;
+}
+
+double cached_encoding_mbps(std::size_t k, std::size_t p, double chunk_kb) {
+  static std::map<std::tuple<std::size_t, std::size_t, long>, double> cache;
+  static std::mutex mutex;
+  const auto key = std::make_tuple(k, p, std::lround(chunk_kb * 1000));
+  {
+    std::scoped_lock lock(mutex);
+    if (auto it = cache.find(key); it != cache.end()) return it->second;
+  }
+  const double mbps = measure_encoding_throughput(k, p, chunk_kb).data_mbps;
+  std::scoped_lock lock(mutex);
+  cache.emplace(key, mbps);
+  return mbps;
+}
+
+double mlec_encoding_mbps(const MlecCode& code, double chunk_kb) {
+  code.validate();
+  MLEC_REQUIRE(code.network.p >= 1 && code.local.p >= 1, "MLEC stages need parities");
+  const double net = cached_encoding_mbps(code.network.k, code.network.p, chunk_kb);
+  const double loc = cached_encoding_mbps(code.local.k, code.local.p, chunk_kb);
+  return 1.0 / (1.0 / net + 1.0 / loc);
+}
+
+double lrc_encoding_mbps(const LrcCode& code, double chunk_kb) {
+  code.validate();
+  MLEC_REQUIRE(code.r >= 1, "LRC needs global parities");
+  const double local = cached_encoding_mbps(code.group_data_chunks(), 1, chunk_kb);
+  const double global = cached_encoding_mbps(code.k, code.r, chunk_kb);
+  return 1.0 / (1.0 / local + 1.0 / global);
+}
+
+}  // namespace mlec

@@ -1,0 +1,41 @@
+// Encoding-throughput measurement (paper §5.1.1 Figure 11 and the
+// throughput axis of Figures 12 and 15).
+//
+// The paper measured Intel ISA-L on a Xeon Gold 6240R; this repository
+// substitutes its own GF(2^8) Reed-Solomon coder measured on the host CPU
+// (documented in DESIGN.md). Absolute GB/s differ; the k/p scaling shape and
+// all cross-scheme comparisons (which use the same coder everywhere) are
+// preserved.
+#pragma once
+
+#include <cstddef>
+
+#include "placement/codes.hpp"
+
+namespace mlec {
+
+struct EncodingMeasurement {
+  std::size_t k = 0;
+  std::size_t p = 0;
+  double data_mbps = 0;  ///< user data encoded per second (MB/s)
+};
+
+/// Measure single-core (k+p) RS encode throughput on buffers of `chunk_kb`,
+/// running at least `min_seconds`. p == 0 measures a pure memory pass and is
+/// rejected (a (k+0) code encodes nothing).
+EncodingMeasurement measure_encoding_throughput(std::size_t k, std::size_t p,
+                                                double chunk_kb = 128.0,
+                                                double min_seconds = 0.05);
+
+/// Memoizing wrapper (measurements are deterministic enough for sweeps).
+double cached_encoding_mbps(std::size_t k, std::size_t p, double chunk_kb = 128.0);
+
+/// MLEC encodes in two serial stages (network then local); the combined
+/// data throughput is the harmonic composition 1/(1/T_net + 1/T_loc).
+double mlec_encoding_mbps(const MlecCode& code, double chunk_kb = 128.0);
+
+/// LRC encodes local parities per group ((k/l)+1) and r global parities
+/// (k+r), also serially.
+double lrc_encoding_mbps(const LrcCode& code, double chunk_kb = 128.0);
+
+}  // namespace mlec

@@ -1,0 +1,518 @@
+#include "analysis/fleet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/repair_time.hpp"
+#include "math/combin.hpp"
+#include "placement/pools.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlec {
+
+void FleetSimConfig::validate() const {
+  dc.validate();
+  code.validate();
+  bandwidth.validate();
+  MLEC_REQUIRE(detection_hours >= 0.0, "detection time must be non-negative");
+  MLEC_REQUIRE(mission_hours > 0.0, "mission must be positive");
+}
+
+ProportionEstimate::Interval FleetSimResult::pdl_interval() const {
+  ProportionEstimate est;
+  est.add_many(data_loss_missions, missions);
+  return est.wilson();
+}
+
+double FleetSimResult::catastrophes_per_system_year(double mission_hours) const {
+  const double years =
+      static_cast<double>(missions) * mission_hours / units::kHoursPerYear;
+  return years > 0 ? static_cast<double>(catastrophic_pool_events) / years : 0.0;
+}
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+struct ActiveFailure {
+  double start;
+  double detect_at;
+  double remaining_tb;
+};
+
+struct PoolState {
+  std::vector<ActiveFailure> failures;
+  double clear_at = kNegInf;  ///< declustered critical-window end
+  double last_advance = 0.0;
+  std::uint64_t generation = 0;
+};
+
+struct Catastrophe {
+  std::uint32_t pool;
+  RackId rack;
+  std::uint32_t network_pool;
+  double until;
+  double lost_fraction;
+  std::size_t failed_disks;
+};
+
+/// Shared, immutable per-run constants.
+struct RunContext {
+  FleetSimConfig cfg;
+  PoolLayout layout;
+  bool local_clustered;
+  bool network_clustered;
+  std::size_t pool_disks;
+  std::size_t pools_per_enclosure;
+  std::size_t pools_per_rack;
+  double lambda_hour;       // per disk
+  double fleet_rate;        // per hour, whole fleet
+  double disk_rate_tb_h;    // clustered per-disk rebuild rate
+  double net_bw_tb_h;       // network-stage bandwidth for cfg.method
+  double stripes_per_network_pool;
+  double total_network_stripes;
+  double rack_cover_times_pool_pick;  // D/* coverage geometry factor
+  std::vector<double> dp_frac_tab;    // declustered lost-stripe fraction by f
+
+  explicit RunContext(const FleetSimConfig& config)
+      : cfg(config), layout(config.dc, config.code, config.scheme) {
+    cfg.validate();
+    local_clustered = local_placement(cfg.scheme) == Placement::kClustered;
+    network_clustered = network_placement(cfg.scheme) == Placement::kClustered;
+    pool_disks = layout.local_pool_disks();
+    pools_per_enclosure = layout.local_pools_per_enclosure();
+    pools_per_rack = layout.local_pools_per_rack();
+    lambda_hour = cfg.failures.afr / units::kHoursPerYear;
+    fleet_rate = lambda_hour * static_cast<double>(cfg.dc.total_disks());
+    disk_rate_tb_h = cfg.bandwidth.effective_disk_mbps() * units::kSecondsPerHour * 1e6 / 1e12;
+
+    const RepairTimeModel rtm(cfg.dc, cfg.bandwidth, cfg.code);
+    const BandwidthModel bwm(cfg.bandwidth);
+    net_bw_tb_h = bwm.available_repair_mbps(rtm.network_stage_flow(cfg.scheme, cfg.method)) *
+                  units::kSecondsPerHour * 1e6 / 1e12;
+
+    stripes_per_network_pool = layout.network_stripes_per_pool();
+    total_network_stripes = layout.total_network_stripes();
+    if (!network_clustered) {
+      const auto R = static_cast<std::int64_t>(cfg.dc.racks);
+      const auto W = static_cast<std::int64_t>(cfg.code.network_width());
+      const auto pn1 = static_cast<std::int64_t>(cfg.code.network.p + 1);
+      const double rack_cover =
+          std::exp(log_choose(R - pn1, W - pn1) - log_choose(R, W));
+      rack_cover_times_pool_pick =
+          rack_cover * std::pow(1.0 / static_cast<double>(pools_per_rack),
+                                static_cast<double>(pn1));
+    } else {
+      rack_cover_times_pool_pick = 0.0;
+    }
+
+    const std::size_t max_f = std::min<std::size_t>(pool_disks, 64);
+    dp_frac_tab.assign(max_f + 1, 0.0);
+    for (std::size_t f = 0; f <= max_f; ++f)
+      dp_frac_tab[f] = hypergeom_tail_geq(static_cast<std::int64_t>(pool_disks),
+                                          static_cast<std::int64_t>(f),
+                                          static_cast<std::int64_t>(cfg.code.local_width()),
+                                          static_cast<std::int64_t>(cfg.code.local.p + 1));
+  }
+
+  std::uint32_t pool_of_disk(DiskId disk) const {
+    const std::size_t enc = disk / cfg.dc.disks_per_enclosure;
+    const std::size_t within = (disk % cfg.dc.disks_per_enclosure) /
+                               (local_clustered ? pool_disks : cfg.dc.disks_per_enclosure);
+    return static_cast<std::uint32_t>(enc * pools_per_enclosure + within);
+  }
+  RackId rack_of_pool(std::uint32_t pool) const {
+    return static_cast<RackId>(pool / pools_per_rack);
+  }
+  std::uint32_t network_pool_of(std::uint32_t pool) const {
+    if (!network_clustered) return 0;
+    const std::size_t group = rack_of_pool(pool) / cfg.code.network_width();
+    return static_cast<std::uint32_t>(group * pools_per_rack + pool % pools_per_rack);
+  }
+
+  /// Expected volume (TB) of class-p_l demotions inside one pool with f
+  /// concurrent failures (the priority-reconstruction window).
+  double critical_volume_tb(std::size_t f) const {
+    const double stripes = static_cast<double>(pool_disks) * cfg.dc.chunks_per_disk() /
+                           static_cast<double>(cfg.code.local_width());
+    const double p_crit = hypergeom_pmf(static_cast<std::int64_t>(pool_disks),
+                                        static_cast<std::int64_t>(f),
+                                        static_cast<std::int64_t>(cfg.code.local_width()),
+                                        static_cast<std::int64_t>(cfg.code.local.p));
+    return stripes * p_crit * cfg.dc.chunk_kb * 1e3 / 1e12;
+  }
+
+  double dp_bw_tb_h(std::size_t f) const {
+    return static_cast<double>(pool_disks - f) * cfg.bandwidth.effective_disk_mbps() /
+           static_cast<double>(cfg.code.local.k + 1) * units::kSecondsPerHour * 1e6 / 1e12;
+  }
+
+  /// Network-rebuilt volume for one catastrophe, from the realized state.
+  double network_volume_tb(double unrebuilt_tb, std::size_t f, double stripe_frac) const {
+    const double chunk_frac = std::min(
+        1.0, stripe_frac * static_cast<double>(pool_disks) /
+                 static_cast<double>(cfg.code.local_width()));
+    switch (cfg.method) {
+      case RepairMethod::kRepairAll:
+        return layout.local_pool_capacity_tb();
+      case RepairMethod::kRepairFailedOnly:
+        return unrebuilt_tb;
+      case RepairMethod::kRepairHybrid:
+        return unrebuilt_tb * chunk_frac;
+      case RepairMethod::kRepairMinimum:
+        return unrebuilt_tb * chunk_frac *
+               static_cast<double>(f - cfg.code.local.p) / static_cast<double>(f);
+    }
+    throw InternalError("unknown repair method");
+  }
+};
+
+class MissionRunner {
+ public:
+  MissionRunner(const RunContext& ctx, Rng rng) : ctx_(ctx), rng_(std::move(rng)) {}
+
+  void run(FleetSimResult& result) {
+    const double mission = ctx_.cfg.mission_hours;
+    double t = 0.0;
+    double next_fail = rng_.exponential(ctx_.fleet_rate);
+    std::size_t injected_idx = 0;
+    pools_.clear();
+    cats_.clear();
+    events_ = {};
+
+    bool lost_this_mission = false;
+
+    while (true) {
+      // Next pool event (lazy invalidation by generation).
+      while (!events_.empty()) {
+        const auto& top = events_.top();
+        auto it = pools_.find(top.pool);
+        if (it == pools_.end() || it->second.generation != top.generation) {
+          events_.pop();
+          continue;
+        }
+        break;
+      }
+      double next_event = next_fail;
+      const auto& injected = ctx_.cfg.injected_events;
+      if (injected_idx < injected.size())
+        next_event = std::min(next_event, injected[injected_idx].time_hours);
+      bool pool_event = false;
+      if (!events_.empty() && events_.top().time < next_event) {
+        next_event = events_.top().time;
+        pool_event = true;
+      }
+      if (next_event >= mission) break;
+
+      if (pool_event) {
+        const auto ev = events_.top();
+        events_.pop();
+        advance_pool(ev.pool, ev.time);
+        schedule_pool(ev.pool, ev.time);
+        continue;
+      }
+
+      // Disk failure: sampled or injected.
+      DiskId disk;
+      if (injected_idx < injected.size() &&
+          injected[injected_idx].time_hours <= next_fail) {
+        disk = injected[injected_idx].disk;
+        ++injected_idx;
+      } else {
+        disk = static_cast<DiskId>(rng_.uniform_below(ctx_.cfg.dc.total_disks()));
+        next_fail = next_event + rng_.exponential(ctx_.fleet_rate);
+      }
+      t = next_event;
+      ++result.disk_failures;
+      std::erase_if(cats_, [t](const Catastrophe& c) { return c.until <= t; });
+
+      const std::uint32_t pool = ctx_.pool_of_disk(disk);
+      if (Catastrophe* active = active_catastrophe(pool, t); active != nullptr) {
+        // The pool is already under network repair: the extra failure
+        // deepens the damage (more lost stripes) and gives the overlap
+        // another chance to cover a network stripe — crucial for bursts,
+        // where all failures land before any repair begins.
+        ++active->failed_disks;
+        const double prev_frac = active->lost_fraction;
+        if (!ctx_.local_clustered)
+          active->lost_fraction = ctx_.dp_frac_tab[std::min(active->failed_disks,
+                                                            ctx_.dp_frac_tab.size() - 1)];
+        // Only the *incremental* coverage gets a fresh draw: overlaps were
+        // already tested at the old fraction when they formed.
+        if (check_data_loss(*active, t, prev_frac)) {
+          ++result.data_loss_events;
+          if (!lost_this_mission) {
+            lost_this_mission = true;
+            ++result.data_loss_missions;
+            result.loss_time_hours.add(t);
+          }
+          if (ctx_.cfg.stop_on_loss) break;
+        }
+        continue;
+      }
+      advance_pool(pool, t);  // may retire the pool's map entry entirely
+      auto& state = pools_[pool];
+      if (state.failures.empty()) state.last_advance = t;  // fresh or retired entry
+      state.failures.push_back({t, t + ctx_.cfg.detection_hours, ctx_.cfg.dc.disk_capacity_tb});
+      const std::size_t f_after = state.failures.size();
+      const std::size_t pl = ctx_.cfg.code.local.p;
+
+      bool catastrophe = false;
+      if (f_after >= pl + 1) {
+        if (ctx_.local_clustered || !ctx_.cfg.priority_repair) {
+          catastrophe = true;
+        } else {
+          catastrophe = t < state.clear_at;
+        }
+      }
+
+      if (!catastrophe) {
+        if (!ctx_.local_clustered && ctx_.cfg.priority_repair && f_after >= pl) {
+          const double window = ctx_.cfg.detection_hours +
+                                ctx_.critical_volume_tb(f_after) / ctx_.dp_bw_tb_h(f_after);
+          state.clear_at = std::max(state.clear_at, t + window);
+        }
+        schedule_pool(pool, t);
+        continue;
+      }
+
+      // Catastrophic local pool: compute realized state, enter exposure.
+      ++result.catastrophic_pool_events;
+      double unrebuilt = 0.0;
+      double max_progress = 0.0;
+      for (const auto& fail : state.failures) {
+        unrebuilt += fail.remaining_tb;
+        max_progress = std::max(
+            max_progress, 1.0 - fail.remaining_tb / ctx_.cfg.dc.disk_capacity_tb);
+      }
+      const double frac =
+          ctx_.local_clustered
+              ? 1.0 - max_progress
+              : ctx_.dp_frac_tab[std::min(f_after, ctx_.dp_frac_tab.size() - 1)];
+      const double volume = ctx_.network_volume_tb(unrebuilt, f_after, frac);
+      const double exposure = ctx_.cfg.detection_hours + volume / ctx_.net_bw_tb_h;
+      result.catastrophe_exposure_hours.add(exposure);
+      result.cross_rack_tb += volume * (static_cast<double>(ctx_.cfg.code.network.k) + 1.0);
+
+      pools_.erase(pool);  // network repair owns the pool now
+      cats_.push_back({pool, ctx_.rack_of_pool(pool), ctx_.network_pool_of(pool), t + exposure,
+                       frac, f_after});
+
+      if (check_data_loss(cats_.back(), t)) {
+        ++result.data_loss_events;
+        if (!lost_this_mission) {
+          lost_this_mission = true;
+          ++result.data_loss_missions;
+          result.loss_time_hours.add(t);
+        }
+        if (ctx_.cfg.stop_on_loss) break;
+      }
+    }
+  }
+
+ private:
+  struct PoolEvent {
+    double time;
+    std::uint32_t pool;
+    std::uint64_t generation;
+    bool operator>(const PoolEvent& other) const { return time > other.time; }
+  };
+
+  /// Progress repairs in [state.last_advance, t] and drop completions.
+  void advance_pool(std::uint32_t pool, double t) {
+    auto it = pools_.find(pool);
+    if (it == pools_.end()) return;
+    auto& state = it->second;
+    double now = state.last_advance;
+    while (now < t && !state.failures.empty()) {
+      // Piecewise-constant rates between detections/completions.
+      std::size_t detected = 0;
+      for (const auto& fail : state.failures) detected += fail.detect_at <= now ? 1 : 0;
+      double rate = 0.0;
+      if (detected > 0)
+        rate = ctx_.local_clustered
+                   ? ctx_.disk_rate_tb_h
+                   : ctx_.dp_bw_tb_h(state.failures.size()) / static_cast<double>(detected);
+      double boundary = t;
+      for (const auto& fail : state.failures) {
+        if (fail.detect_at > now) boundary = std::min(boundary, fail.detect_at);
+        else if (rate > 0.0)
+          boundary = std::min(boundary, now + fail.remaining_tb / rate);
+      }
+      const double dt = boundary - now;
+      for (auto& fail : state.failures)
+        if (fail.detect_at <= now) fail.remaining_tb -= rate * dt;
+      now = boundary;
+      std::erase_if(state.failures,
+                    [](const ActiveFailure& f) { return f.remaining_tb <= 1e-12; });
+    }
+    state.last_advance = t;
+    if (state.failures.empty() && state.clear_at <= t) pools_.erase(it);
+  }
+
+  /// Queue this pool's next intrinsic event (detection or completion).
+  void schedule_pool(std::uint32_t pool, double t) {
+    auto it = pools_.find(pool);
+    if (it == pools_.end()) return;
+    auto& state = it->second;
+    ++state.generation;
+    if (state.failures.empty()) return;
+    std::size_t detected = 0;
+    for (const auto& fail : state.failures) detected += fail.detect_at <= t ? 1 : 0;
+    const double rate =
+        detected == 0
+            ? 0.0
+            : (ctx_.local_clustered
+                   ? ctx_.disk_rate_tb_h
+                   : ctx_.dp_bw_tb_h(state.failures.size()) / static_cast<double>(detected));
+    double next = std::numeric_limits<double>::infinity();
+    for (const auto& fail : state.failures) {
+      if (fail.detect_at > t) next = std::min(next, fail.detect_at);
+      else if (rate > 0.0)
+        next = std::min(next, t + fail.remaining_tb / rate);
+    }
+    if (std::isfinite(next)) events_.push({next, pool, state.generation});
+  }
+
+  /// The pool's in-flight catastrophe, if any.
+  Catastrophe* active_catastrophe(std::uint32_t pool, double t) {
+    for (auto& c : cats_)
+      if (c.pool == pool && c.until > t) return &c;
+    return nullptr;
+  }
+
+  /// Does the overlap of `newest` with the other active catastrophes lose a
+  /// network stripe? Enumerates every p_n+1-subset containing `newest`
+  /// (same network pool for clustered networks, distinct racks for
+  /// declustered ones) and draws once against the union of their
+  /// stripe-coverage probabilities.
+  /// `prev_frac >= 0` re-tests existing overlaps after the newest pool's
+  /// lost fraction grew: the draw targets only the added coverage
+  /// (cov_new - cov_old) / (1 - cov_old) per combination.
+  bool check_data_loss(const Catastrophe& newest, double t, double prev_frac = -1.0) {
+    const std::size_t pn1 = ctx_.cfg.code.network.p + 1;
+    std::vector<const Catastrophe*> others;
+    for (const auto& c : cats_) {
+      if (&c == &newest || c.until <= t) continue;
+      if (ctx_.network_clustered) {
+        if (c.network_pool == newest.network_pool) others.push_back(&c);
+      } else if (c.rack != newest.rack) {
+        others.push_back(&c);
+      }
+    }
+    if (others.size() + 1 < pn1) return false;
+
+    const double frac_new =
+        ctx_.cfg.method == RepairMethod::kRepairAll ? 1.0 : newest.lost_fraction;
+    double log_no_cover = 0.0;
+    // Enumerate (p_n)-subsets of `others` via an index odometer.
+    std::vector<std::size_t> idx(pn1 - 1);
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    while (true) {
+      bool valid = true;
+      if (!ctx_.network_clustered) {
+        // Distinct racks within the subset (newest's rack already excluded).
+        for (std::size_t a = 0; a < idx.size() && valid; ++a)
+          for (std::size_t b = a + 1; b < idx.size() && valid; ++b)
+            valid = others[idx[a]]->rack != others[idx[b]]->rack;
+      }
+      if (valid) {
+        double partners = 1.0;
+        for (std::size_t i : idx)
+          partners *= ctx_.cfg.method == RepairMethod::kRepairAll ? 1.0
+                                                                  : others[i]->lost_fraction;
+        auto coverage_of = [&](double frac) {
+          const double joint = frac * partners;
+          return ctx_.network_clustered
+                     ? saturating_loss(joint, ctx_.stripes_per_network_pool)
+                     : saturating_loss(joint * ctx_.rack_cover_times_pool_pick,
+                                       ctx_.total_network_stripes);
+        };
+        const double cov_new = coverage_of(frac_new);
+        const double cov_old =
+            prev_frac >= 0.0 && ctx_.cfg.method != RepairMethod::kRepairAll
+                ? coverage_of(prev_frac)
+                : (prev_frac >= 0.0 ? cov_new : 0.0);
+        if (cov_new >= 1.0 && cov_old < 1.0) return rng_.bernoulli(1.0);
+        if (cov_new > cov_old)
+          log_no_cover += std::log1p(-cov_new) - std::log1p(-cov_old);
+      }
+      // Advance the odometer.
+      if (idx.empty()) break;
+      std::size_t pos = idx.size();
+      while (pos > 0) {
+        --pos;
+        if (idx[pos] + (idx.size() - pos) < others.size()) {
+          ++idx[pos];
+          for (std::size_t i = pos + 1; i < idx.size(); ++i) idx[i] = idx[i - 1] + 1;
+          break;
+        }
+        if (pos == 0) {
+          pos = idx.size() + 1;  // exhausted
+          break;
+        }
+      }
+      if (pos > idx.size()) break;
+    }
+    return rng_.bernoulli(-std::expm1(log_no_cover));
+  }
+
+  const RunContext& ctx_;
+  Rng rng_;
+  std::unordered_map<std::uint32_t, PoolState> pools_;
+  std::vector<Catastrophe> cats_;
+  std::priority_queue<PoolEvent, std::vector<PoolEvent>, std::greater<>> events_;
+};
+
+}  // namespace
+
+FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missions,
+                              std::uint64_t seed, ThreadPool* pool) {
+  const RunContext ctx(config);
+  MLEC_REQUIRE(std::is_sorted(config.injected_events.begin(), config.injected_events.end(),
+                              [](const FailureEvent& a, const FailureEvent& b) {
+                                return a.time_hours < b.time_hours;
+                              }),
+               "injected events must be time-sorted");
+
+  const std::size_t shards =
+      pool != nullptr ? std::min<std::size_t>(pool->size() * 2, missions) : 1;
+  std::vector<FleetSimResult> partial(shards);
+
+  auto run_shard = [&](std::size_t shard, std::uint64_t count) {
+    Rng rng(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
+    MissionRunner runner(ctx, rng.split());
+    auto& result = partial[shard];
+    result.missions = count;
+    for (std::uint64_t m = 0; m < count; ++m) runner.run(result);
+  };
+
+  if (pool != nullptr && shards > 1) {
+    pool->parallel_chunks(0, missions, shards,
+                          [&](std::size_t shard, std::size_t lo, std::size_t hi) {
+                            run_shard(shard, hi - lo);
+                          });
+  } else {
+    run_shard(0, missions);
+  }
+
+  FleetSimResult merged;
+  for (auto& part : partial) {
+    merged.missions += part.missions;
+    merged.data_loss_missions += part.data_loss_missions;
+    merged.data_loss_events += part.data_loss_events;
+    merged.disk_failures += part.disk_failures;
+    merged.catastrophic_pool_events += part.catastrophic_pool_events;
+    merged.loss_time_hours.merge(part.loss_time_hours);
+    merged.catastrophe_exposure_hours.merge(part.catastrophe_exposure_hours);
+    merged.cross_rack_tb += part.cross_rack_tb;
+  }
+  return merged;
+}
+
+}  // namespace mlec

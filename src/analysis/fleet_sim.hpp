@@ -1,0 +1,76 @@
+// Count-level full-fleet Monte-Carlo simulator — the paper's "measure MLEC
+// performance and durability at scale (over 50,000 disks)" capability.
+//
+// Unlike sim/system_sim.hpp (chunk-exact, small topologies only), FleetSim
+// keeps per-pool *counts*: each local pool tracks its concurrent failures,
+// rebuild progress, and — for declustered pools — the priority-
+// reconstruction critical window, exactly as sim/local_pool_sim.hpp does
+// for one pool. Catastrophic pools enter a network-repair exposure whose
+// duration depends on the repair method and the realized lost-stripe
+// fraction; data loss occurs when p_n+1 catastrophic pools overlap in the
+// same network pool (clustered network placement) or in distinct racks
+// (declustered), thinned by the stripe-coverage probability for the
+// chunk-aware repair methods (the paper's §4.2.3 F#1).
+//
+// The simulator supports the paper's three failure sources: exponential/
+// Weibull distributions, injected bursts, and replayed traces — all merged
+// into one mission timeline.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "placement/codes.hpp"
+#include "placement/schemes.hpp"
+#include "sim/failure_gen.hpp"
+#include "topology/bandwidth.hpp"
+#include "topology/topology.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlec {
+
+struct FleetSimConfig {
+  DataCenterConfig dc = DataCenterConfig::paper_default();
+  MlecCode code = MlecCode::paper_default();
+  MlecScheme scheme = MlecScheme::kCC;
+  RepairMethod method = RepairMethod::kRepairMinimum;
+  BandwidthConfig bandwidth{};
+  FailureDistribution failures{};
+  double detection_hours = 0.5;
+  double mission_hours = 8766.0;
+  bool priority_repair = true;
+  /// Deterministic events merged into every mission (bursts, trace replay).
+  FailureTrace injected_events{};
+  /// Stop each mission at its first data loss (PDL estimation). When false,
+  /// losses are counted and the mission continues (loss-rate estimation).
+  bool stop_on_loss = true;
+
+  void validate() const;
+};
+
+struct FleetSimResult {
+  std::uint64_t missions = 0;
+  std::uint64_t data_loss_missions = 0;
+  std::uint64_t data_loss_events = 0;
+  std::uint64_t disk_failures = 0;
+  std::uint64_t catastrophic_pool_events = 0;
+  RunningStats loss_time_hours;
+  RunningStats catastrophe_exposure_hours;
+  /// Cross-rack repair traffic accumulated over all missions (TB).
+  double cross_rack_tb = 0;
+
+  double pdl() const {
+    return missions ? static_cast<double>(data_loss_missions) / static_cast<double>(missions)
+                    : 0.0;
+  }
+  ProportionEstimate::Interval pdl_interval() const;
+  double catastrophes_per_system_year(double mission_hours) const;
+};
+
+/// Run `missions` independent missions. When `pool` is provided, missions
+/// are sharded across its workers (deterministic per-shard seeding).
+FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missions,
+                              std::uint64_t seed, ThreadPool* pool = nullptr);
+
+}  // namespace mlec

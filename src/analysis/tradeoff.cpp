@@ -1,0 +1,109 @@
+#include "analysis/tradeoff.hpp"
+
+#include <algorithm>
+
+#include "analysis/encoding.hpp"
+#include "placement/pools.hpp"
+
+namespace mlec {
+
+namespace {
+
+bool mlec_fits(const DataCenterConfig& dc, const MlecCode& code, MlecScheme scheme) {
+  if (network_placement(scheme) == Placement::kClustered) {
+    if (dc.racks % code.network_width() != 0) return false;
+  } else if (code.network_width() > dc.racks) {
+    return false;
+  }
+  if (local_placement(scheme) == Placement::kClustered) {
+    if (dc.disks_per_enclosure % code.local_width() != 0) return false;
+  } else if (code.local_width() > dc.disks_per_enclosure) {
+    return false;
+  }
+  return true;
+}
+
+bool slec_fits(const DataCenterConfig& dc, const SlecCode& code, SlecScheme scheme) {
+  const std::size_t w = code.width();
+  if (scheme.domain == SlecDomain::kLocal)
+    return scheme.placement == Placement::kClustered ? dc.disks_per_enclosure % w == 0
+                                                     : w <= dc.disks_per_enclosure;
+  return scheme.placement == Placement::kClustered ? dc.racks % w == 0 : w <= dc.racks;
+}
+
+void sort_points(std::vector<TradeoffPoint>& points) {
+  std::sort(points.begin(), points.end(), [](const TradeoffPoint& a, const TradeoffPoint& b) {
+    return a.nines < b.nines;
+  });
+}
+
+}  // namespace
+
+std::vector<TradeoffPoint> mlec_tradeoff(const DurabilityEnv& env, MlecScheme scheme,
+                                         RepairMethod method, const OverheadBand& band,
+                                         bool measure_encoding) {
+  std::vector<TradeoffPoint> points;
+  for (std::size_t kn = 2; kn <= 22; ++kn) {
+    for (std::size_t pn = 1; pn <= 4; ++pn) {
+      for (std::size_t kl = 2; kl <= 28; ++kl) {
+        for (std::size_t pl = 1; pl <= 6; ++pl) {
+          const MlecCode code{{kn, pn}, {kl, pl}};
+          if (!band.contains(code.overhead())) continue;
+          if (!mlec_fits(env.dc, code, scheme)) continue;
+          TradeoffPoint pt;
+          pt.label = code.notation();
+          pt.overhead = code.overhead();
+          pt.nines = mlec_durability(env, code, scheme, method).nines;
+          pt.encode_gbps = measure_encoding ? mlec_encoding_mbps(code, env.dc.chunk_kb) / 1e3 : 0;
+          points.push_back(std::move(pt));
+        }
+      }
+    }
+  }
+  sort_points(points);
+  return points;
+}
+
+std::vector<TradeoffPoint> slec_tradeoff(const DurabilityEnv& env, SlecScheme scheme,
+                                         const OverheadBand& band, bool measure_encoding) {
+  std::vector<TradeoffPoint> points;
+  for (std::size_t k = 2; k <= 46; ++k) {
+    for (std::size_t p = 1; p <= 15; ++p) {
+      const SlecCode code{k, p};
+      if (!band.contains(code.overhead())) continue;
+      if (!slec_fits(env.dc, code, scheme)) continue;
+      TradeoffPoint pt;
+      pt.label = code.notation();
+      pt.overhead = code.overhead();
+      pt.nines = slec_durability(env, code, scheme).nines;
+      pt.encode_gbps = measure_encoding ? cached_encoding_mbps(k, p, env.dc.chunk_kb) / 1e3 : 0;
+      points.push_back(std::move(pt));
+    }
+  }
+  sort_points(points);
+  return points;
+}
+
+std::vector<TradeoffPoint> lrc_tradeoff(const DurabilityEnv& env, const OverheadBand& band,
+                                        bool measure_encoding) {
+  std::vector<TradeoffPoint> points;
+  for (std::size_t l = 1; l <= 4; ++l) {
+    for (std::size_t r = 1; r <= 8; ++r) {
+      for (std::size_t k = l; k <= 44; k += l) {
+        const LrcCode code{k, l, r};
+        if (code.width() > env.dc.racks) continue;
+        if (!band.contains(code.overhead())) continue;
+        TradeoffPoint pt;
+        pt.label = code.notation();
+        pt.overhead = code.overhead();
+        pt.nines = lrc_durability(env, code).nines;
+        pt.encode_gbps = measure_encoding ? lrc_encoding_mbps(code, env.dc.chunk_kb) / 1e3 : 0;
+        points.push_back(std::move(pt));
+      }
+    }
+  }
+  sort_points(points);
+  return points;
+}
+
+}  // namespace mlec

@@ -1,0 +1,48 @@
+// Durability-versus-encoding-throughput tradeoff sweeps
+// (paper §5.1.2 Figure 12 and §5.2.2 Figure 15).
+//
+// Enumerates MLEC / SLEC / LRC configurations whose capacity (parity space)
+// overhead falls in a band around the paper's ~30%, then evaluates each
+// point's durability (analysis/durability.hpp) and single-core encoding
+// throughput (analysis/encoding.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/durability.hpp"
+#include "placement/codes.hpp"
+#include "placement/schemes.hpp"
+
+namespace mlec {
+
+struct TradeoffPoint {
+  std::string label;      ///< e.g. "(10+2)/(17+3)"
+  double overhead = 0;    ///< parity space fraction
+  double nines = 0;
+  double encode_gbps = 0; ///< single-core data throughput
+};
+
+struct OverheadBand {
+  double lo = 0.27;
+  double hi = 0.33;
+  bool contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// MLEC configurations of one scheme within the band, evaluated with the
+/// given repair method (the paper uses R_MIN). Only configurations whose
+/// placement constraints fit the topology are emitted.
+std::vector<TradeoffPoint> mlec_tradeoff(const DurabilityEnv& env, MlecScheme scheme,
+                                         RepairMethod method, const OverheadBand& band,
+                                         bool measure_encoding = true);
+
+/// SLEC configurations within the band for one placement.
+std::vector<TradeoffPoint> slec_tradeoff(const DurabilityEnv& env, SlecScheme scheme,
+                                         const OverheadBand& band,
+                                         bool measure_encoding = true);
+
+/// Declustered LRC configurations within the band.
+std::vector<TradeoffPoint> lrc_tradeoff(const DurabilityEnv& env, const OverheadBand& band,
+                                        bool measure_encoding = true);
+
+}  // namespace mlec

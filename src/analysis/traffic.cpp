@@ -1,0 +1,114 @@
+#include "analysis/traffic.hpp"
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+double lost_chunk_fraction(std::size_t pool_disks, std::size_t width, std::size_t pl,
+                           std::size_t failed) {
+  MLEC_REQUIRE(width <= pool_disks, "stripe cannot be wider than its pool");
+  if (failed <= pl) return 0.0;
+  if (width == pool_disks) return 1.0;  // clustered: every stripe spans every disk
+  // A chunk on a failed disk belongs to a lost stripe iff at least p_l of the
+  // other failed disks host the stripe's remaining width-1 chunks. With
+  // failed == p_l+1 (the injection case) this means all of them:
+  //   prod_{i=0}^{pl-1} (width-1-i)/(pool-1-i).
+  MLEC_REQUIRE(failed == pl + 1,
+               "general lost fractions are sample-driven; closed form covers the injection case");
+  double frac = 1.0;
+  for (std::size_t i = 0; i < pl; ++i)
+    frac *= static_cast<double>(width - 1 - i) / static_cast<double>(pool_disks - 1 - i);
+  return frac;
+}
+
+InjectionTraffic catastrophic_injection_traffic(const DataCenterConfig& dc, const MlecCode& code,
+                                                MlecScheme scheme, RepairMethod method) {
+  dc.validate();
+  code.validate();
+  const PoolLayout layout(dc, code, scheme);
+  const std::size_t pool_disks = layout.local_pool_disks();
+  const std::size_t width = code.local_width();
+  const std::size_t pl = code.local.p;
+  const double kn = static_cast<double>(code.network.k);
+  const double kl = static_cast<double>(code.local.k);
+  const std::size_t failed = pl + 1;
+
+  const double pool_tb = layout.local_pool_capacity_tb();
+  const double failed_tb = static_cast<double>(failed) * dc.disk_capacity_tb;
+  const double lost_tb = failed_tb * lost_chunk_fraction(pool_disks, width, pl, failed);
+
+  InjectionTraffic t;
+  auto network = [&](double rebuilt_tb) {
+    t.network_rebuilt_tb += rebuilt_tb;
+    t.network_read_tb += kn * rebuilt_tb;
+    t.network_write_tb += rebuilt_tb;
+  };
+  auto local = [&](double rebuilt_tb) {
+    t.local_rebuilt_tb += rebuilt_tb;
+    t.local_read_tb += kl * rebuilt_tb;  // k_l reads per stripe ~= per chunk set
+    t.local_write_tb += rebuilt_tb;
+  };
+
+  switch (method) {
+    case RepairMethod::kRepairAll:
+      network(pool_tb);
+      break;
+    case RepairMethod::kRepairFailedOnly:
+      network(failed_tb);
+      break;
+    case RepairMethod::kRepairHybrid:
+      network(lost_tb);
+      local(failed_tb - lost_tb);
+      break;
+    case RepairMethod::kRepairMinimum: {
+      // Stage 1: one chunk of each lost stripe over the network
+      // ((failed - p_l) of its `failed` lost chunks)...
+      const double stage1 = lost_tb * static_cast<double>(failed - pl) /
+                            static_cast<double>(failed);
+      network(stage1);
+      // ...stage 2: everything else locally.
+      local(failed_tb - stage1);
+      break;
+    }
+  }
+  return t;
+}
+
+AnnualTraffic slec_network_annual_traffic(const DataCenterConfig& dc, const SlecCode& code,
+                                          double afr) {
+  dc.validate();
+  code.validate();
+  AnnualTraffic t;
+  t.failures_per_year = static_cast<double>(dc.total_disks()) * afr;
+  const double per_failure_tb = dc.disk_capacity_tb * (static_cast<double>(code.k) + 1.0);
+  t.cross_rack_tb_per_year = t.failures_per_year * per_failure_tb;
+  return t;
+}
+
+AnnualTraffic lrc_annual_traffic(const DataCenterConfig& dc, const LrcCode& code, double afr) {
+  dc.validate();
+  code.validate();
+  AnnualTraffic t;
+  t.failures_per_year = static_cast<double>(dc.total_disks()) * afr;
+  // Weighted mean reads per rebuilt chunk across roles.
+  const double width = static_cast<double>(code.width());
+  const double group_reads = static_cast<double>(code.group_data_chunks());
+  const double reads = (static_cast<double>(code.k + code.l) * group_reads +
+                        static_cast<double>(code.r) * static_cast<double>(code.k)) /
+                       width;
+  t.cross_rack_tb_per_year = t.failures_per_year * dc.disk_capacity_tb * (reads + 1.0);
+  return t;
+}
+
+AnnualTraffic mlec_annual_traffic(const DataCenterConfig& dc, const MlecCode& code,
+                                  MlecScheme scheme, RepairMethod method,
+                                  double catastrophe_rate_per_year) {
+  AnnualTraffic t;
+  t.failures_per_year = catastrophe_rate_per_year;  // only catastrophes cross racks
+  t.cross_rack_tb_per_year =
+      catastrophe_rate_per_year *
+      catastrophic_injection_traffic(dc, code, scheme, method).cross_rack_tb();
+  return t;
+}
+
+}  // namespace mlec

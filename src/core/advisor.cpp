@@ -1,0 +1,62 @@
+#include "core/advisor.hpp"
+
+#include <sstream>
+
+namespace mlec {
+
+std::string Recommendation::summary() const {
+  std::ostringstream os;
+  if (!use_mlec) {
+    os << "SLEC (single-level erasure coding)";
+  } else {
+    os << "MLEC " << to_string(scheme) << " with " << to_string(repair);
+  }
+  return os.str();
+}
+
+Recommendation advise(const DeploymentProfile& profile) {
+  Recommendation rec;
+
+  // Takeaway 5: modest durability targets are met by SLEC with better
+  // performance; roughly, two-level protection starts paying off beyond
+  // what a single wide stripe sustains comfortably (~15 nines at 30%
+  // overhead in the paper's Figure 12).
+  if (profile.required_nines <= 15.0 && profile.throughput_critical) {
+    rec.use_mlec = false;
+    rec.rationale.push_back(
+        "takeaway 5: lower durability requirements are met by SLEC with better performance");
+    return rec;
+  }
+  rec.rationale.push_back(
+      "takeaway 6: high durability targets favor MLEC's two-level protection with "
+      "minimal repair overhead");
+
+  // Takeaways 3-4: scheme choice follows the failure environment.
+  if (profile.frequent_failure_bursts) {
+    rec.scheme = MlecScheme::kCC;
+    rec.rationale.push_back(
+        "takeaway 3: frequent correlated bursts favor C/C, the most burst-tolerant scheme "
+        "(Figure 5)");
+  } else {
+    rec.scheme = MlecScheme::kCD;
+    rec.rationale.push_back(
+        "takeaway 4: with rare bursts, C/D (or D/D) gives the best durability under "
+        "independent failures (Figure 10)");
+  }
+
+  // Takeaways 1-2: repair method follows operational capability.
+  if (profile.has_devops_team) {
+    rec.repair = RepairMethod::kRepairMinimum;
+    rec.rationale.push_back(
+        "takeaway 2: with cross-level transparency, R_MIN minimizes network repair traffic "
+        "by orders of magnitude (Figure 8)");
+  } else {
+    rec.repair = RepairMethod::kRepairAll;
+    rec.rationale.push_back(
+        "takeaway 1: off-the-shelf RBODs without cross-level APIs support only R_ALL, "
+        "trading performance and durability for simplicity");
+  }
+  return rec;
+}
+
+}  // namespace mlec

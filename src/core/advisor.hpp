@@ -1,0 +1,40 @@
+// The paper's §6.1 takeaways as an executable configuration advisor.
+//
+// Given a coarse description of the deployment's constraints and failure
+// environment, recommends a redundancy architecture (SLEC or MLEC), an MLEC
+// scheme and a repair method, with the paper's rationale attached.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "placement/schemes.hpp"
+
+namespace mlec {
+
+struct DeploymentProfile {
+  /// Large storage devops team able to manage cross-level repair APIs
+  /// (takeaways 1-2).
+  bool has_devops_team = false;
+  /// Correlated failure bursts observed frequently (takeaways 3-4).
+  bool frequent_failure_bursts = false;
+  /// Required durability in nines over one year (takeaways 5-6).
+  double required_nines = 10.0;
+  /// Encoding throughput matters more than maximum durability (takeaway 5).
+  bool throughput_critical = false;
+};
+
+struct Recommendation {
+  /// False: a single-level EC suffices (takeaway 5).
+  bool use_mlec = true;
+  MlecScheme scheme = MlecScheme::kCC;
+  RepairMethod repair = RepairMethod::kRepairAll;
+  std::vector<std::string> rationale;
+
+  std::string summary() const;
+};
+
+/// Apply the paper's takeaways to a profile.
+Recommendation advise(const DeploymentProfile& profile);
+
+}  // namespace mlec

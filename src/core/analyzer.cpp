@@ -1,0 +1,95 @@
+#include "core/analyzer.hpp"
+
+#include <sstream>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/encoding.hpp"
+#include "util/table.hpp"
+
+namespace mlec {
+
+MlecAnalyzer::MlecAnalyzer(SystemSpec spec)
+    : spec_(std::move(spec)), layout_(spec_.dc, spec_.code, spec_.scheme) {
+  spec_.bandwidth.validate();
+  MLEC_REQUIRE(spec_.afr > 0.0 && spec_.afr < 1.0, "AFR must be in (0,1)");
+}
+
+Table2Row MlecAnalyzer::repair_bandwidth() const {
+  return RepairTimeModel(spec_.dc, spec_.bandwidth, spec_.code).table2_row(spec_.scheme);
+}
+
+double MlecAnalyzer::single_disk_repair_hours() const {
+  return RepairTimeModel(spec_.dc, spec_.bandwidth, spec_.code)
+      .single_disk_repair_hours(spec_.scheme);
+}
+
+double MlecAnalyzer::catastrophic_repair_hours() const {
+  return RepairTimeModel(spec_.dc, spec_.bandwidth, spec_.code)
+      .catastrophic_repair_hours(spec_.scheme);
+}
+
+InjectionTraffic MlecAnalyzer::injection_traffic() const {
+  return catastrophic_injection_traffic(spec_.dc, spec_.code, spec_.scheme, spec_.repair);
+}
+
+RepairTimeModel::MethodTime MlecAnalyzer::method_repair_time() const {
+  return RepairTimeModel(spec_.dc, spec_.bandwidth, spec_.code)
+      .method_repair_time(spec_.scheme, spec_.repair);
+}
+
+MlecDurabilityResult MlecAnalyzer::durability(
+    const std::optional<LocalPoolStats>& stage1) const {
+  return mlec_durability(spec_.durability_env(), spec_.code, spec_.scheme, spec_.repair, stage1);
+}
+
+double MlecAnalyzer::burst_pdl(std::size_t racks, std::size_t failures,
+                               std::size_t trials) const {
+  BurstPdlConfig cfg;
+  cfg.dc = spec_.dc;
+  cfg.trials_per_cell = trials;
+  return BurstPdlEngine(cfg).mlec_cell(spec_.code, spec_.scheme, racks, failures);
+}
+
+double MlecAnalyzer::encoding_gbps() const {
+  return mlec_encoding_mbps(spec_.code, spec_.dc.chunk_kb) / 1e3;
+}
+
+AnnualTraffic MlecAnalyzer::annual_traffic() const {
+  const auto d = durability();
+  return mlec_annual_traffic(spec_.dc, spec_.code, spec_.scheme, spec_.repair,
+                             d.system_cat_rate_per_year);
+}
+
+std::string MlecAnalyzer::report() const {
+  std::ostringstream os;
+  os << "MLEC deployment " << spec_.code.notation() << " " << to_string(spec_.scheme)
+     << ", repair " << to_string(spec_.repair) << '\n';
+  os << "  topology: " << spec_.dc.racks << " racks x " << spec_.dc.enclosures_per_rack
+     << " enclosures x " << spec_.dc.disks_per_enclosure << " disks ("
+     << spec_.dc.total_disks() << " disks, " << Table::num(spec_.dc.total_capacity_tb() / 1e3)
+     << " PB)\n";
+  os << "  local pools: " << layout_.total_local_pools() << " x " << layout_.local_pool_disks()
+     << " disks; network pools: " << layout_.network_pools() << '\n';
+  os << "  parity overhead: " << Table::num(100.0 * spec_.code.overhead()) << "%\n";
+
+  const auto row = repair_bandwidth();
+  os << "  repair bandwidth: single disk " << Table::num(row.single_disk_mbps)
+     << " MB/s, pool (R_ALL) " << Table::num(row.pool_mbps) << " MB/s\n";
+  os << "  repair time: single disk " << Table::num(single_disk_repair_hours())
+     << " h; catastrophic pool (R_ALL) " << Table::num(catastrophic_repair_hours()) << " h\n";
+
+  const auto traffic = injection_traffic();
+  os << "  catastrophic repair traffic (" << to_string(spec_.repair)
+     << "): " << Table::num(traffic.cross_rack_tb()) << " TB cross-rack, "
+     << Table::num(traffic.local_tb()) << " TB local\n";
+
+  const auto dur = durability();
+  os << "  durability: " << Table::num(dur.nines, 3) << " nines (PDL "
+     << Table::num(dur.pdl, 3) << "/mission); catastrophic pools "
+     << Table::num(dur.system_cat_rate_per_year, 3) << "/yr; exposure "
+     << Table::num(dur.exposure_hours, 3) << " h; coverage " << Table::num(dur.coverage, 3)
+     << '\n';
+  return os.str();
+}
+
+}  // namespace mlec

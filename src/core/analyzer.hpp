@@ -1,0 +1,80 @@
+// Public one-stop API for MLEC deployment analysis.
+//
+// MlecAnalyzer bundles one deployment specification (topology, bandwidth
+// policy, code, scheme, repair method, failure environment) and exposes
+// every analysis from the paper through a single object. Quickstart:
+//
+//   mlec::SystemSpec spec;                         // the paper's §3 setup
+//   mlec::MlecAnalyzer analyzer(spec);
+//   auto durability = analyzer.durability();       // splitting + Markov
+//   std::cout << analyzer.report();                // formatted summary
+#pragma once
+
+#include <string>
+
+#include "analysis/durability.hpp"
+#include "analysis/repair_time.hpp"
+#include "analysis/traffic.hpp"
+#include "placement/codes.hpp"
+#include "placement/pools.hpp"
+#include "placement/schemes.hpp"
+#include "topology/bandwidth.hpp"
+#include "topology/topology.hpp"
+
+namespace mlec {
+
+/// One MLEC deployment. Defaults reproduce the paper's §3 setup:
+/// (10+2)/(17+3) over 57,600 disks, 1% AFR, 30-minute detection.
+struct SystemSpec {
+  DataCenterConfig dc = DataCenterConfig::paper_default();
+  BandwidthConfig bandwidth{};
+  MlecCode code = MlecCode::paper_default();
+  MlecScheme scheme = MlecScheme::kCC;
+  RepairMethod repair = RepairMethod::kRepairMinimum;
+  double afr = 0.01;
+  double detection_hours = 0.5;
+  double mission_hours = 8766.0;
+
+  DurabilityEnv durability_env() const {
+    return {dc, bandwidth, afr, detection_hours, mission_hours};
+  }
+};
+
+class MlecAnalyzer {
+ public:
+  explicit MlecAnalyzer(SystemSpec spec);
+
+  const SystemSpec& spec() const { return spec_; }
+  const PoolLayout& layout() const { return layout_; }
+
+  /// Table 2: repair sizes and available repair bandwidth.
+  Table2Row repair_bandwidth() const;
+  /// Figure 6a/6b repair times (hours), R_ALL for the pool.
+  double single_disk_repair_hours() const;
+  double catastrophic_repair_hours() const;
+  /// Figure 8: traffic of repairing one catastrophic local pool.
+  InjectionTraffic injection_traffic() const;
+  /// Figure 9: network/local time split under the spec's repair method.
+  RepairTimeModel::MethodTime method_repair_time() const;
+  /// Figures 7/10: two-stage durability. Pass simulation-derived stage-1
+  /// stats to run the splitting workflow.
+  MlecDurabilityResult durability(
+      const std::optional<LocalPoolStats>& stage1 = std::nullopt) const;
+  /// Figure 5: PDL of one burst cell (y failures over x racks).
+  double burst_pdl(std::size_t racks, std::size_t failures,
+                   std::size_t trials = 2000) const;
+  /// Figure 11/12 axis: measured single-core encoding throughput (GB/s).
+  double encoding_gbps() const;
+  /// §5.1.4: expected cross-rack repair traffic per year.
+  AnnualTraffic annual_traffic() const;
+
+  /// Human-readable summary covering all of the above (minus the burst
+  /// heatmap, which is a sweep).
+  std::string report() const;
+
+ private:
+  SystemSpec spec_;
+  PoolLayout layout_;
+};
+
+}  // namespace mlec

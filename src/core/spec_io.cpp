@@ -1,0 +1,87 @@
+#include "core/spec_io.hpp"
+
+#include <sstream>
+
+#include "placement/notation.hpp"
+
+namespace mlec {
+
+SystemSpec load_spec(const IniFile& ini) {
+  SystemSpec spec;
+
+  spec.dc.racks = ini.get_size("datacenter", "racks", spec.dc.racks);
+  spec.dc.enclosures_per_rack =
+      ini.get_size("datacenter", "enclosures_per_rack", spec.dc.enclosures_per_rack);
+  spec.dc.disks_per_enclosure =
+      ini.get_size("datacenter", "disks_per_enclosure", spec.dc.disks_per_enclosure);
+  spec.dc.disk_capacity_tb =
+      ini.get_double("datacenter", "disk_capacity_tb", spec.dc.disk_capacity_tb);
+  spec.dc.chunk_kb = ini.get_double("datacenter", "chunk_kb", spec.dc.chunk_kb);
+
+  spec.bandwidth.disk_mbps = ini.get_double("bandwidth", "disk_mbps", spec.bandwidth.disk_mbps);
+  spec.bandwidth.rack_gbps = ini.get_double("bandwidth", "rack_gbps", spec.bandwidth.rack_gbps);
+  spec.bandwidth.repair_fraction =
+      ini.get_double("bandwidth", "repair_fraction", spec.bandwidth.repair_fraction);
+
+  if (const auto code = ini.get("code", "mlec")) spec.code = parse_mlec_code(*code);
+  if (const auto scheme = ini.get("code", "scheme")) spec.scheme = parse_mlec_scheme(*scheme);
+  if (const auto repair = ini.get("code", "repair")) spec.repair = parse_repair_method(*repair);
+
+  spec.afr = ini.get_double("failures", "afr", spec.afr);
+  spec.detection_hours = ini.get_double("failures", "detection_hours", spec.detection_hours);
+  spec.mission_hours = ini.get_double("failures", "mission_hours", spec.mission_hours);
+  return spec;
+}
+
+std::string format_spec(const SystemSpec& spec) {
+  std::ostringstream os;
+  os << "[datacenter]\n"
+     << "racks = " << spec.dc.racks << '\n'
+     << "enclosures_per_rack = " << spec.dc.enclosures_per_rack << '\n'
+     << "disks_per_enclosure = " << spec.dc.disks_per_enclosure << '\n'
+     << "disk_capacity_tb = " << spec.dc.disk_capacity_tb << '\n'
+     << "chunk_kb = " << spec.dc.chunk_kb << "\n\n";
+  os << "[bandwidth]\n"
+     << "disk_mbps = " << spec.bandwidth.disk_mbps << '\n'
+     << "rack_gbps = " << spec.bandwidth.rack_gbps << '\n'
+     << "repair_fraction = " << spec.bandwidth.repair_fraction << "\n\n";
+  os << "[code]\n"
+     << "mlec = " << spec.code.notation() << '\n'
+     << "scheme = " << to_string(spec.scheme) << '\n'
+     << "repair = " << to_string(spec.repair) << "\n\n";
+  os << "[failures]\n"
+     << "afr = " << spec.afr << '\n'
+     << "detection_hours = " << spec.detection_hours << '\n'
+     << "mission_hours = " << spec.mission_hours << '\n';
+  return os.str();
+}
+
+std::string example_spec() {
+  return R"(# mlec++ deployment file — every key optional; defaults are the paper's §3
+# setup (57,600 disks, (10+2)/(17+3), 1% AFR, 30-minute detection).
+
+[datacenter]
+racks = 60
+enclosures_per_rack = 8
+disks_per_enclosure = 120
+disk_capacity_tb = 20
+chunk_kb = 128
+
+[bandwidth]
+disk_mbps = 200          # raw sequential bandwidth per disk
+rack_gbps = 10           # raw cross-rack link per rack
+repair_fraction = 0.2    # share of raw bandwidth repairs may use
+
+[code]
+mlec = (10+2)/(17+3)     # (kn+pn)/(kl+pl)
+scheme = C/D             # C/C, C/D, D/C, D/D
+repair = R_MIN           # R_ALL, R_FCO, R_HYB, R_MIN
+
+[failures]
+afr = 0.01               # annual failure rate
+detection_hours = 0.5
+mission_hours = 8766     # one year
+)";
+}
+
+}  // namespace mlec

@@ -1,0 +1,25 @@
+// SystemSpec <-> INI deployment files.
+//
+// A deployment file captures everything MlecAnalyzer needs; absent keys
+// keep the paper's §3 defaults. See example_spec() for the full annotated
+// template.
+#pragma once
+
+#include <string>
+
+#include "core/analyzer.hpp"
+#include "util/ini.hpp"
+
+namespace mlec {
+
+/// Build a spec from an INI file (sections [datacenter], [bandwidth],
+/// [code], [failures]). Unknown keys are ignored; malformed values throw.
+SystemSpec load_spec(const IniFile& ini);
+
+/// Serialize a spec back to INI text (parse(load) round-trips).
+std::string format_spec(const SystemSpec& spec);
+
+/// An annotated template documenting every key with the paper defaults.
+std::string example_spec();
+
+}  // namespace mlec

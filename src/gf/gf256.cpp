@@ -1,0 +1,113 @@
+#include "gf/gf256.hpp"
+
+#include "util/error.hpp"
+
+namespace mlec::gf {
+
+namespace {
+
+struct Tables {
+  std::array<byte_t, 256> log;
+  std::array<byte_t, 512> exp;  // doubled to skip a mod in mul
+};
+
+const Tables& tables() {
+  static const Tables t = [] {
+    Tables t{};
+    // Generate with the 0x11d polynomial: exp[i] = g^i.
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      t.exp[i] = static_cast<byte_t>(x);
+      t.log[x] = static_cast<byte_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+    t.log[0] = 0;  // undefined; guarded by callers
+    return t;
+  }();
+  return t;
+}
+
+}  // namespace
+
+byte_t mul(byte_t a, byte_t b) {
+  if (a == 0 || b == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
+}
+
+byte_t inv(byte_t a) {
+  MLEC_REQUIRE(a != 0, "zero has no inverse in GF(256)");
+  const auto& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+byte_t div(byte_t a, byte_t b) {
+  MLEC_REQUIRE(b != 0, "division by zero in GF(256)");
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[static_cast<unsigned>(t.log[a]) + 255 - t.log[b]];
+}
+
+byte_t pow(byte_t a, unsigned n) {
+  if (n == 0) return 1;
+  if (a == 0) return 0;
+  const auto& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+}
+
+MulTable make_mul_table(byte_t c) {
+  MulTable table{};
+  for (unsigned n = 0; n < 16; ++n) {
+    table.lo[n] = mul(c, static_cast<byte_t>(n));
+    table.hi[n] = mul(c, static_cast<byte_t>(n << 4));
+  }
+  return table;
+}
+
+void mul_acc(const MulTable& table, std::span<const byte_t> src, std::span<byte_t> dst) {
+  MLEC_REQUIRE(src.size() == dst.size(), "buffer sizes must match");
+  const byte_t* __restrict s = src.data();
+  byte_t* __restrict d = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const byte_t v = s[i];
+    d[i] ^= table.lo[v & 0x0f] ^ table.hi[v >> 4];
+  }
+}
+
+void mul_assign(const MulTable& table, std::span<const byte_t> src, std::span<byte_t> dst) {
+  MLEC_REQUIRE(src.size() == dst.size(), "buffer sizes must match");
+  const byte_t* __restrict s = src.data();
+  byte_t* __restrict d = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const byte_t v = s[i];
+    d[i] = table.lo[v & 0x0f] ^ table.hi[v >> 4];
+  }
+}
+
+FullMulTable make_full_table(byte_t c) {
+  FullMulTable table{};
+  for (unsigned v = 0; v < 256; ++v) table[v] = mul(c, static_cast<byte_t>(v));
+  return table;
+}
+
+void mul_acc(const FullMulTable& table, std::span<const byte_t> src, std::span<byte_t> dst) {
+  MLEC_REQUIRE(src.size() == dst.size(), "buffer sizes must match");
+  const byte_t* __restrict s = src.data();
+  byte_t* __restrict d = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= table[s[i]];
+}
+
+void mul_assign(const FullMulTable& table, std::span<const byte_t> src, std::span<byte_t> dst) {
+  MLEC_REQUIRE(src.size() == dst.size(), "buffer sizes must match");
+  const byte_t* __restrict s = src.data();
+  byte_t* __restrict d = dst.data();
+  const std::size_t n = src.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = table[s[i]];
+}
+
+}  // namespace mlec::gf

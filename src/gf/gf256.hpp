@@ -1,0 +1,61 @@
+// GF(2^8) arithmetic over the AES/ISA-L polynomial x^8+x^4+x^3+x^2+1 (0x1d).
+//
+// This is the arithmetic substrate for the Reed-Solomon coder that stands in
+// for Intel ISA-L in the paper's encoding-throughput study (Figure 11). The
+// bulk kernel uses split-nibble lookup tables (the scalar formulation of the
+// PSHUFB trick), which is the fastest portable approach without intrinsics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace mlec::gf {
+
+using byte_t = std::uint8_t;
+
+/// Field addition/subtraction (XOR).
+constexpr byte_t add(byte_t a, byte_t b) { return a ^ b; }
+
+/// Field multiplication via log/exp tables.
+byte_t mul(byte_t a, byte_t b);
+
+/// Multiplicative inverse; requires a != 0.
+byte_t inv(byte_t a);
+
+/// a / b; requires b != 0.
+byte_t div(byte_t a, byte_t b);
+
+/// a^n (n >= 0).
+byte_t pow(byte_t a, unsigned n);
+
+/// Precomputed split-nibble tables for multiplying a buffer by a constant.
+struct MulTable {
+  std::array<byte_t, 16> lo;  ///< products of c with 0x00..0x0f
+  std::array<byte_t, 16> hi;  ///< products of c with 0x00..0xf0 (high nibble)
+};
+
+/// Build the nibble tables for constant `c`.
+MulTable make_mul_table(byte_t c);
+
+/// dst[i] ^= c * src[i] for all i (the GF multiply-accumulate at the heart of
+/// every RS encode). Sizes must match.
+void mul_acc(const MulTable& table, std::span<const byte_t> src, std::span<byte_t> dst);
+
+/// dst[i] = c * src[i].
+void mul_assign(const MulTable& table, std::span<const byte_t> src, std::span<byte_t> dst);
+
+/// Full 256-entry product table: one lookup per byte instead of two plus a
+/// XOR. 8x the footprint of MulTable (256 B, still a fraction of L1), and
+/// the faster choice for the long sequential buffers the encoder processes;
+/// the coder uses these for its precomputed rows.
+using FullMulTable = std::array<byte_t, 256>;
+
+FullMulTable make_full_table(byte_t c);
+void mul_acc(const FullMulTable& table, std::span<const byte_t> src, std::span<byte_t> dst);
+void mul_assign(const FullMulTable& table, std::span<const byte_t> src, std::span<byte_t> dst);
+
+/// Primitive element used to generate the field (0x02 for this polynomial).
+inline constexpr byte_t kGenerator = 0x02;
+
+}  // namespace mlec::gf

@@ -1,0 +1,94 @@
+#include "gf/rs.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace mlec::gf {
+
+RsCode::RsCode(std::size_t k, std::size_t p) : k_(k), p_(p) {
+  MLEC_REQUIRE(k >= 1, "RS needs at least one data shard");
+  MLEC_REQUIRE(k + p <= 256, "RS over GF(256) supports at most 256 shards");
+  parity_rows_ = Matrix::cauchy(p, k);
+  encode_tables_.reserve(p * k);
+  for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      encode_tables_.push_back(make_full_table(parity_rows_.at(r, c)));
+}
+
+void RsCode::encode(std::span<const std::span<const byte_t>> data,
+                    std::span<const std::span<byte_t>> parity) const {
+  MLEC_REQUIRE(data.size() == k_, "expected k data shards");
+  MLEC_REQUIRE(parity.size() == p_, "expected p parity shards");
+  if (p_ == 0) return;
+  const std::size_t len = data.empty() ? 0 : data[0].size();
+  for (const auto& shard : data) MLEC_REQUIRE(shard.size() == len, "data shard size mismatch");
+  for (const auto& shard : parity) MLEC_REQUIRE(shard.size() == len, "parity shard size mismatch");
+
+  for (std::size_t r = 0; r < p_; ++r) {
+    mul_assign(encode_tables_[r * k_], data[0], parity[r]);
+    for (std::size_t c = 1; c < k_; ++c) mul_acc(encode_tables_[r * k_ + c], data[c], parity[r]);
+  }
+}
+
+void RsCode::encode(const std::vector<std::vector<byte_t>>& data,
+                    std::vector<std::vector<byte_t>>& parity) const {
+  std::vector<std::span<const byte_t>> d(data.begin(), data.end());
+  std::vector<std::span<byte_t>> q(parity.begin(), parity.end());
+  encode(std::span<const std::span<const byte_t>>(d), std::span<const std::span<byte_t>>(q));
+}
+
+void RsCode::decode(std::vector<std::vector<byte_t>>& shards,
+                    std::span<const std::size_t> lost) const {
+  MLEC_REQUIRE(shards.size() == k_ + p_, "expected k+p shard buffers");
+  MLEC_REQUIRE(lost.size() <= p_, "cannot recover more shards than parities");
+  if (lost.empty()) return;
+  const std::size_t len = shards[0].size();
+  for (const auto& s : shards) MLEC_REQUIRE(s.size() == len, "shard size mismatch");
+
+  std::vector<bool> is_lost(k_ + p_, false);
+  for (std::size_t idx : lost) {
+    MLEC_REQUIRE(idx < k_ + p_, "lost index out of range");
+    MLEC_REQUIRE(!is_lost[idx], "duplicate lost index");
+    is_lost[idx] = true;
+  }
+
+  // Pick the first k surviving shards; build the k x k submatrix of the
+  // systematic generator [I; C] restricted to those rows.
+  std::vector<std::size_t> survivors;
+  survivors.reserve(k_);
+  for (std::size_t i = 0; i < k_ + p_ && survivors.size() < k_; ++i)
+    if (!is_lost[i]) survivors.push_back(i);
+  MLEC_REQUIRE(survivors.size() == k_, "not enough surviving shards to decode");
+
+  Matrix sub(k_, k_);
+  for (std::size_t r = 0; r < k_; ++r) {
+    const std::size_t row = survivors[r];
+    for (std::size_t c = 0; c < k_; ++c)
+      sub.at(r, c) = row < k_ ? static_cast<byte_t>(row == c ? 1 : 0) : parity_rows_.at(row - k_, c);
+  }
+  Matrix invsub;
+  const bool ok = sub.invert(invsub);
+  MLEC_REQUIRE(ok, "generator submatrix singular (not MDS?)");
+
+  // data[c] = sum_r invsub[c][r] * shard[survivors[r]] — rebuild only the
+  // data shards that were lost.
+  for (std::size_t idx : lost) {
+    if (idx >= k_) continue;
+    std::fill(shards[idx].begin(), shards[idx].end(), 0);
+    for (std::size_t r = 0; r < k_; ++r) {
+      const byte_t coef = invsub.at(idx, r);
+      if (coef == 0) continue;
+      mul_acc(make_full_table(coef), shards[survivors[r]], shards[idx]);
+    }
+  }
+  // Lost parity shards: re-encode from the (now complete) data shards.
+  for (std::size_t idx : lost) {
+    if (idx < k_) continue;
+    const std::size_t r = idx - k_;
+    mul_assign(encode_tables_[r * k_], shards[0], shards[idx]);
+    for (std::size_t c = 1; c < k_; ++c) mul_acc(encode_tables_[r * k_ + c], shards[c], shards[idx]);
+  }
+}
+
+}  // namespace mlec::gf

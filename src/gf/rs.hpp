@@ -1,0 +1,53 @@
+// Systematic Reed-Solomon erasure coding over GF(2^8).
+//
+// RsCode(k, p) produces p parity shards from k data shards and can rebuild
+// any <= p lost shards from any k survivors (MDS, via a Cauchy generator).
+// This is the encoder measured in the Figure 11 throughput study and the
+// arithmetic backing every chunk-level repair walk-through in the examples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gf/matrix.hpp"
+
+namespace mlec::gf {
+
+class RsCode {
+ public:
+  /// Requires 1 <= k, 0 <= p, and k + p <= 256 (field-size limit).
+  RsCode(std::size_t k, std::size_t p);
+
+  std::size_t k() const { return k_; }
+  std::size_t p() const { return p_; }
+
+  /// Compute parity shards from data shards. data.size() == k,
+  /// parity.size() == p, all shards the same length.
+  void encode(std::span<const std::span<const byte_t>> data,
+              std::span<const std::span<byte_t>> parity) const;
+
+  /// Convenience overload over vectors.
+  void encode(const std::vector<std::vector<byte_t>>& data,
+              std::vector<std::vector<byte_t>>& parity) const;
+
+  /// Rebuild the shards listed in `lost` (global indices: 0..k-1 data,
+  /// k..k+p-1 parity) from any k available shards.
+  ///
+  /// `shards` holds all k+p shard buffers; entries listed in `lost` are
+  /// outputs (overwritten), all others must contain valid data. Requires
+  /// lost.size() <= p.
+  void decode(std::vector<std::vector<byte_t>>& shards,
+              std::span<const std::size_t> lost) const;
+
+  /// The p x k parity-generation rows (Cauchy).
+  const Matrix& parity_rows() const { return parity_rows_; }
+
+ private:
+  std::size_t k_;
+  std::size_t p_;
+  Matrix parity_rows_;
+  std::vector<FullMulTable> encode_tables_;  // p*k tables, row-major
+};
+
+}  // namespace mlec::gf

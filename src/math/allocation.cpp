@@ -1,0 +1,97 @@
+#include "math/allocation.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "math/combin.hpp"
+#include "util/error.hpp"
+
+namespace mlec {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+BurstAllocationSampler::BurstAllocationSampler(std::size_t disks_per_rack, std::size_t max_racks,
+                                               std::size_t max_failures)
+    : disks_per_rack_(disks_per_rack), max_racks_(max_racks), max_failures_(max_failures) {
+  MLEC_REQUIRE(disks_per_rack >= 1, "need at least one disk per rack");
+  log_w_.assign((max_racks + 1) * (max_failures + 1), kNegInf);
+  const auto d = static_cast<std::int64_t>(disks_per_rack);
+  for (std::size_t m = 0; m <= max_racks; ++m) {
+    for (std::size_t s = 0; s <= max_failures; ++s) {
+      if (m == 0) {
+        if (s == 0) log_w_[s] = 0.0;  // one way: the empty allocation
+        continue;
+      }
+      if (s < m || s > m * disks_per_rack) continue;
+      // Inclusion-exclusion over the racks that receive no failure;
+      // accumulate positive and negative terms separately in log space.
+      double pos = kNegInf, neg = kNegInf;
+      for (std::size_t j = 0; j < m; ++j) {
+        const double term = log_choose(static_cast<std::int64_t>(m), static_cast<std::int64_t>(j)) +
+                            log_choose(d * static_cast<std::int64_t>(m - j),
+                                       static_cast<std::int64_t>(s));
+        if (term == kNegInf) continue;
+        if (j % 2 == 0)
+          pos = log_add(pos, term);
+        else
+          neg = log_add(neg, term);
+      }
+      if (pos == kNegInf) continue;
+      // W = exp(pos) - exp(neg); compute log(W) stably.
+      if (neg == kNegInf) {
+        log_w_[m * (max_failures + 1) + s] = pos;
+      } else {
+        const double diff = 1.0 - std::exp(neg - pos);
+        MLEC_ASSERT(diff > -1e-9);
+        log_w_[m * (max_failures + 1) + s] = diff <= 0.0 ? kNegInf : pos + std::log(diff);
+      }
+    }
+  }
+}
+
+double BurstAllocationSampler::log_ways(std::size_t racks, std::size_t failures) const {
+  MLEC_REQUIRE(racks <= max_racks_ && failures <= max_failures_,
+               "query exceeds precomputed table");
+  return log_w_[racks * (max_failures_ + 1) + failures];
+}
+
+std::vector<std::size_t> BurstAllocationSampler::sample(std::size_t racks, std::size_t failures,
+                                                        Rng& rng) const {
+  MLEC_REQUIRE(racks >= 1 && racks <= max_racks_, "rack count out of range");
+  MLEC_REQUIRE(failures >= racks && failures <= racks * disks_per_rack_ &&
+                   failures <= max_failures_,
+               "failure count infeasible for this rack count");
+  std::vector<std::size_t> counts(racks);
+  std::size_t remaining = failures;
+  const auto d = static_cast<std::int64_t>(disks_per_rack_);
+  for (std::size_t i = 0; i < racks; ++i) {
+    const std::size_t left = racks - i - 1;  // racks after this one
+    if (left == 0) {
+      counts[i] = remaining;
+      break;
+    }
+    // P(f_i = a) = C(D, a) W(left, remaining-a) / W(left+1, remaining).
+    const double log_denom = log_ways(left + 1, remaining);
+    MLEC_ASSERT(log_denom != kNegInf);
+    double u = rng.uniform();
+    std::size_t chosen = 0;
+    double cum = 0.0;
+    const std::size_t a_max = std::min<std::size_t>(disks_per_rack_, remaining - left);
+    for (std::size_t a = 1; a <= a_max; ++a) {
+      const double lw = log_ways(left, remaining - a);
+      if (lw == kNegInf) continue;
+      const double p = std::exp(log_choose(d, static_cast<std::int64_t>(a)) + lw - log_denom);
+      cum += p;
+      chosen = a;
+      if (u < cum) break;
+    }
+    MLEC_ASSERT(chosen >= 1);
+    counts[i] = chosen;
+    remaining -= chosen;
+  }
+  return counts;
+}
+
+}  // namespace mlec

@@ -1,0 +1,82 @@
+#include "math/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+DiscreteDist::DiscreteDist(std::vector<double> pmf) : pmf_(std::move(pmf)) {
+  for (double p : pmf_) MLEC_REQUIRE(p >= 0.0, "pmf entries must be non-negative");
+}
+
+DiscreteDist DiscreteDist::delta(std::size_t v) {
+  std::vector<double> pmf(v + 1, 0.0);
+  pmf[v] = 1.0;
+  return DiscreteDist(std::move(pmf));
+}
+
+double DiscreteDist::total_mass() const {
+  return std::accumulate(pmf_.begin(), pmf_.end(), 0.0);
+}
+
+void DiscreteDist::normalize() {
+  const double total = total_mass();
+  MLEC_REQUIRE(total > 0.0, "cannot normalize a zero distribution");
+  for (double& p : pmf_) p /= total;
+}
+
+double DiscreteDist::tail_geq(std::size_t k) const {
+  double tail = 0.0;
+  for (std::size_t i = k; i < pmf_.size(); ++i) tail += pmf_[i];
+  return std::min(1.0, tail);
+}
+
+double DiscreteDist::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) m += static_cast<double>(i) * pmf_[i];
+  return m;
+}
+
+DiscreteDist DiscreteDist::convolve(const DiscreteDist& other, std::size_t cap) const {
+  if (pmf_.empty()) return other;
+  if (other.pmf_.empty()) return *this;
+  const std::size_t full = pmf_.size() + other.pmf_.size() - 1;
+  const std::size_t states = cap == 0 ? full : std::min(full, cap + 1);
+  std::vector<double> out(states, 0.0);
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    if (pmf_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < other.pmf_.size(); ++j) {
+      const std::size_t k = std::min(i + j, states - 1);
+      out[k] += pmf_[i] * other.pmf_[j];
+    }
+  }
+  return DiscreteDist(std::move(out));
+}
+
+std::size_t DiscreteDist::sample(Rng& rng) const {
+  MLEC_REQUIRE(!pmf_.empty(), "cannot sample empty distribution");
+  double u = rng.uniform();
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    u -= pmf_[i];
+    if (u < 0.0) return i;
+  }
+  return pmf_.size() - 1;  // numeric slack lands on the last bucket
+}
+
+DiscreteDist::Sampler::Sampler(const DiscreteDist& dist) : cdf_(dist.values()) {
+  MLEC_REQUIRE(!cdf_.empty(), "cannot build sampler for empty distribution");
+  std::partial_sum(cdf_.begin(), cdf_.end(), cdf_.begin());
+  MLEC_REQUIRE(std::abs(cdf_.back() - 1.0) < 1e-9, "sampler requires a normalized distribution");
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteDist::Sampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace mlec

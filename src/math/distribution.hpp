@@ -1,0 +1,57 @@
+// Small dense distributions over non-negative integer counts.
+//
+// The burst-PDL engine composes per-pool and per-rack count distributions;
+// this type keeps those compositions readable (convolve, tail, sample).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mlec {
+
+/// Probability mass function over {0, 1, ..., size()-1}. Not required to be
+/// normalized during construction; call normalize() before sampling.
+class DiscreteDist {
+ public:
+  DiscreteDist() = default;
+  explicit DiscreteDist(std::vector<double> pmf);
+
+  /// Point mass at value v.
+  static DiscreteDist delta(std::size_t v);
+
+  std::size_t size() const { return pmf_.size(); }
+  double pmf(std::size_t k) const { return k < pmf_.size() ? pmf_[k] : 0.0; }
+  const std::vector<double>& values() const { return pmf_; }
+
+  double total_mass() const;
+  void normalize();
+
+  /// P[X >= k].
+  double tail_geq(std::size_t k) const;
+  double mean() const;
+
+  /// Distribution of X + Y for independent X, Y; optional cap lumps all mass
+  /// at >= cap into the final bucket (saturating convolution).
+  DiscreteDist convolve(const DiscreteDist& other, std::size_t cap = 0) const;
+
+  /// Sample a value; requires a normalized distribution. O(size) — fine for
+  /// the short supports used here; build_sampler() provides O(1) when hot.
+  std::size_t sample(Rng& rng) const;
+
+  /// Precomputed inverse-CDF table for repeated sampling.
+  class Sampler {
+   public:
+    explicit Sampler(const DiscreteDist& dist);
+    std::size_t operator()(Rng& rng) const;
+
+   private:
+    std::vector<double> cdf_;
+  };
+
+ private:
+  std::vector<double> pmf_;
+};
+
+}  // namespace mlec

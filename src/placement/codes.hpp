@@ -1,0 +1,79 @@
+// Erasure-code parameter sets and the paper's (k+p) / (kn+pn)/(kl+pl) /
+// (k,l,r) notations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+/// Single-level erasure code with k data and p parity chunks.
+struct SlecCode {
+  std::size_t k = 0;
+  std::size_t p = 0;
+
+  std::size_t width() const { return k + p; }
+  /// Fraction of raw capacity spent on parity.
+  double overhead() const { return static_cast<double>(p) / static_cast<double>(width()); }
+
+  std::string notation() const {
+    return "(" + std::to_string(k) + "+" + std::to_string(p) + ")";
+  }
+  void validate() const {
+    MLEC_REQUIRE(k >= 1, "SLEC needs at least one data chunk");
+  }
+  bool operator==(const SlecCode&) const = default;
+};
+
+/// Two-level MLEC code: network (k_n+p_n) over local (k_l+p_l).
+struct MlecCode {
+  SlecCode network;
+  SlecCode local;
+
+  /// The paper's default (10+2)/(17+3).
+  static MlecCode paper_default() { return {{10, 2}, {17, 3}}; }
+
+  std::size_t network_width() const { return network.width(); }
+  std::size_t local_width() const { return local.width(); }
+  /// Chunks of one network stripe = (k_n+p_n)(k_l+p_l).
+  std::size_t stripe_chunks() const { return network_width() * local_width(); }
+  /// Total parity overhead: 1 - (k_n k_l) / ((k_n+p_n)(k_l+p_l)).
+  double overhead() const {
+    return 1.0 - static_cast<double>(network.k * local.k) /
+                     static_cast<double>(stripe_chunks());
+  }
+  std::string notation() const { return network.notation() + "/" + local.notation(); }
+  void validate() const {
+    network.validate();
+    local.validate();
+  }
+  bool operator==(const MlecCode&) const = default;
+};
+
+/// Azure-style locally repairable code: k data chunks in l local groups (one
+/// local parity per group) plus r global parities.
+struct LrcCode {
+  std::size_t k = 0;
+  std::size_t l = 0;
+  std::size_t r = 0;
+
+  std::size_t width() const { return k + l + r; }
+  double overhead() const {
+    return static_cast<double>(l + r) / static_cast<double>(width());
+  }
+  std::size_t group_data_chunks() const { return k / l; }
+  /// Chunks per local group including the group's local parity.
+  std::size_t group_width() const { return group_data_chunks() + 1; }
+  std::string notation() const {
+    return "(" + std::to_string(k) + "," + std::to_string(l) + "," + std::to_string(r) + ")";
+  }
+  void validate() const {
+    MLEC_REQUIRE(k >= 1 && l >= 1, "LRC needs data chunks and at least one group");
+    MLEC_REQUIRE(k % l == 0, "LRC data chunks must divide evenly into groups");
+  }
+  bool operator==(const LrcCode&) const = default;
+};
+
+}  // namespace mlec

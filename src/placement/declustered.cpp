@@ -1,0 +1,182 @@
+#include "placement/declustered.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+DeclusteredLayout make_declustered_layout(std::size_t pool_disks, std::size_t width,
+                                          std::size_t stripes, DeclusterStrategy strategy,
+                                          std::uint64_t seed) {
+  MLEC_REQUIRE(width >= 1 && width <= pool_disks, "stripe width must fit the pool");
+  MLEC_REQUIRE(stripes >= 1, "need at least one stripe");
+  DeclusteredLayout layout;
+  layout.pool_disks = pool_disks;
+  layout.stripe_width = width;
+  layout.stripes.reserve(stripes);
+  Rng rng(seed);
+
+  switch (strategy) {
+    case DeclusterStrategy::kRoundRobin: {
+      // Contiguous groups, diagonally shifted one disk per row — the
+      // classic rotated-parity generalization.
+      const std::size_t groups = std::max<std::size_t>(1, pool_disks / width);
+      for (std::size_t s = 0; s < stripes; ++s) {
+        const std::size_t row = s / groups;
+        const std::size_t group = s % groups;
+        std::vector<std::uint32_t> disks(width);
+        for (std::size_t j = 0; j < width; ++j)
+          disks[j] = static_cast<std::uint32_t>((group * width + j + row) % pool_disks);
+        layout.stripes.push_back(std::move(disks));
+      }
+      break;
+    }
+    case DeclusterStrategy::kPseudorandom: {
+      for (std::size_t s = 0; s < stripes; ++s) {
+        auto sample = rng.sample_without_replacement(pool_disks, width);
+        layout.stripes.emplace_back(sample.begin(), sample.end());
+      }
+      break;
+    }
+    case DeclusterStrategy::kLowOverlap: {
+      // Greedy: grow each stripe by the disk that adds the smallest
+      // worst-case pair overlap, breaking ties by the lightest load —
+      // the single-overlap-declustered-parity idea.
+      std::vector<std::vector<std::uint32_t>> overlap(pool_disks,
+                                                      std::vector<std::uint32_t>(pool_disks, 0));
+      std::vector<std::uint32_t> load(pool_disks, 0);
+      for (std::size_t s = 0; s < stripes; ++s) {
+        std::vector<std::uint32_t> disks;
+        disks.reserve(width);
+        std::vector<bool> used(pool_disks, false);
+        // Seed with the least-loaded disk (random ties).
+        std::uint32_t first = 0;
+        std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
+        const std::size_t rotate = static_cast<std::size_t>(rng.uniform_below(pool_disks));
+        for (std::size_t i = 0; i < pool_disks; ++i) {
+          const auto d = static_cast<std::uint32_t>((i + rotate) % pool_disks);
+          if (load[d] < best_load) {
+            best_load = load[d];
+            first = d;
+          }
+        }
+        disks.push_back(first);
+        used[first] = true;
+        while (disks.size() < width) {
+          std::uint32_t best = 0;
+          std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+          for (std::size_t i = 0; i < pool_disks; ++i) {
+            const auto d = static_cast<std::uint32_t>((i + rotate) % pool_disks);
+            if (used[d]) continue;
+            std::uint32_t worst = 0;
+            for (auto member : disks) worst = std::max(worst, overlap[d][member]);
+            const std::uint64_t key = (static_cast<std::uint64_t>(worst) << 32) | load[d];
+            if (key < best_key) {
+              best_key = key;
+              best = d;
+            }
+          }
+          disks.push_back(best);
+          used[best] = true;
+        }
+        for (auto a : disks) {
+          ++load[a];
+          for (auto b : disks)
+            if (a != b) ++overlap[a][b];
+        }
+        layout.stripes.push_back(std::move(disks));
+      }
+      break;
+    }
+  }
+  return layout;
+}
+
+LayoutQuality analyze_layout(const DeclusteredLayout& layout) {
+  const std::size_t n = layout.pool_disks;
+  MLEC_REQUIRE(n >= 2, "analysis needs at least two disks");
+  std::vector<std::size_t> load(n, 0);
+  std::vector<std::vector<std::size_t>> overlap(n, std::vector<std::size_t>(n, 0));
+  for (const auto& stripe : layout.stripes) {
+    for (auto a : stripe) {
+      ++load[a];
+      for (auto b : stripe)
+        if (a != b) ++overlap[a][b];
+    }
+  }
+
+  LayoutQuality q;
+  double load_sum = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    load_sum += static_cast<double>(load[d]);
+    q.max_stripes_per_disk = std::max(q.max_stripes_per_disk, static_cast<double>(load[d]));
+  }
+  q.mean_stripes_per_disk = load_sum / static_cast<double>(n);
+
+  double fanout_sum = 0;
+  q.min_rebuild_fanout = static_cast<double>(n);
+  double imbalance_sum = 0;
+  std::size_t counted = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (load[d] == 0) continue;
+    std::size_t fanout = 0;
+    std::size_t max_reads = 0;
+    std::size_t total_reads = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == d) continue;
+      if (overlap[d][s] > 0) ++fanout;
+      max_reads = std::max(max_reads, overlap[d][s]);
+      total_reads += overlap[d][s];
+      q.max_pair_overlap = std::max(q.max_pair_overlap, overlap[d][s]);
+    }
+    fanout_sum += static_cast<double>(fanout);
+    q.min_rebuild_fanout = std::min(q.min_rebuild_fanout, static_cast<double>(fanout));
+    const double even = static_cast<double>(total_reads) / static_cast<double>(fanout);
+    imbalance_sum += static_cast<double>(max_reads) / even;
+    ++counted;
+  }
+  q.mean_rebuild_fanout = counted ? fanout_sum / static_cast<double>(counted) : 0;
+  q.read_imbalance = counted ? imbalance_sum / static_cast<double>(counted) : 0;
+  return q;
+}
+
+double layout_rebuild_mbps(const DeclusteredLayout& layout, std::size_t k, double disk_mbps) {
+  const std::size_t n = layout.pool_disks;
+  const std::size_t w = layout.stripe_width;
+  MLEC_REQUIRE(k >= 1 && k < w, "need 1 <= k < stripe width");
+  MLEC_REQUIRE(disk_mbps > 0.0, "disk bandwidth must be positive");
+
+  std::vector<std::size_t> load(n, 0);
+  std::vector<std::vector<std::size_t>> overlap(n, std::vector<std::size_t>(n, 0));
+  for (const auto& stripe : layout.stripes)
+    for (auto a : stripe) {
+      ++load[a];
+      for (auto b : stripe)
+        if (a != b) ++overlap[a][b];
+    }
+
+  // Rebuilding disk d reads k of its stripes' w-1 surviving chunks,
+  // proportionally to co-membership, and writes its chunks to spare space
+  // spread over all survivors. The slowest survivor bounds the rebuild.
+  double rate_sum = 0;
+  std::size_t counted = 0;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (load[d] == 0) continue;
+    const double rebuilt = static_cast<double>(load[d]);
+    double worst_io = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == d) continue;
+      const double reads = static_cast<double>(overlap[d][s]) * static_cast<double>(k) /
+                           static_cast<double>(w - 1);
+      const double writes = rebuilt / static_cast<double>(n - 1);
+      worst_io = std::max(worst_io, reads + writes);
+    }
+    rate_sum += rebuilt / worst_io * disk_mbps;
+    ++counted;
+  }
+  return counted ? rate_sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace mlec

@@ -1,0 +1,92 @@
+#include "placement/notation.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+namespace {
+
+std::string strip(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text)
+    if (!std::isspace(static_cast<unsigned char>(c)) && c != '(' && c != ')') out.push_back(c);
+  return out;
+}
+
+std::size_t parse_count(const std::string& text, const std::string& context) {
+  MLEC_REQUIRE(!text.empty() &&
+                   std::all_of(text.begin(), text.end(),
+                               [](unsigned char c) { return std::isdigit(c); }),
+               "cannot parse '" + text + "' in " + context);
+  return static_cast<std::size_t>(std::stoul(text));
+}
+
+std::string lower(const std::string& text) {
+  std::string out = text;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+SlecCode parse_slec_code(const std::string& text) {
+  const std::string body = strip(text);
+  const auto plus = body.find('+');
+  MLEC_REQUIRE(plus != std::string::npos, "expected 'k+p' in '" + text + "'");
+  SlecCode code{parse_count(body.substr(0, plus), text),
+                parse_count(body.substr(plus + 1), text)};
+  code.validate();
+  return code;
+}
+
+MlecCode parse_mlec_code(const std::string& text) {
+  const std::string body = strip(text);
+  const auto slash = body.find('/');
+  MLEC_REQUIRE(slash != std::string::npos,
+               "expected '(kn+pn)/(kl+pl)' in '" + text + "'");
+  MlecCode code{parse_slec_code(body.substr(0, slash)),
+                parse_slec_code(body.substr(slash + 1))};
+  code.validate();
+  return code;
+}
+
+LrcCode parse_lrc_code(const std::string& text) {
+  const std::string body = strip(text);
+  const auto c1 = body.find(',');
+  const auto c2 = body.find(',', c1 == std::string::npos ? c1 : c1 + 1);
+  MLEC_REQUIRE(c1 != std::string::npos && c2 != std::string::npos,
+               "expected '(k,l,r)' in '" + text + "'");
+  LrcCode code{parse_count(body.substr(0, c1), text),
+               parse_count(body.substr(c1 + 1, c2 - c1 - 1), text),
+               parse_count(body.substr(c2 + 1), text)};
+  code.validate();
+  return code;
+}
+
+MlecScheme parse_mlec_scheme(const std::string& text) {
+  const std::string t = lower(strip(text));
+  if (t == "c/c" || t == "cc") return MlecScheme::kCC;
+  if (t == "c/d" || t == "cd") return MlecScheme::kCD;
+  if (t == "d/c" || t == "dc") return MlecScheme::kDC;
+  if (t == "d/d" || t == "dd") return MlecScheme::kDD;
+  throw PreconditionError("unknown MLEC scheme '" + text + "' (want C/C, C/D, D/C, or D/D)");
+}
+
+RepairMethod parse_repair_method(const std::string& text) {
+  std::string t = lower(text);
+  std::erase(t, '_');
+  if (t == "rall" || t == "repairall" || t == "all") return RepairMethod::kRepairAll;
+  if (t == "rfco" || t == "repairfailedonly" || t == "fco")
+    return RepairMethod::kRepairFailedOnly;
+  if (t == "rhyb" || t == "repairhybrid" || t == "hyb") return RepairMethod::kRepairHybrid;
+  if (t == "rmin" || t == "repairminimum" || t == "min") return RepairMethod::kRepairMinimum;
+  throw PreconditionError("unknown repair method '" + text +
+                          "' (want R_ALL, R_FCO, R_HYB, or R_MIN)");
+}
+
+}  // namespace mlec

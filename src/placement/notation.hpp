@@ -1,0 +1,27 @@
+// Parsing of the paper's code and scheme notations — the inverse of the
+// notation() methods, for CLI/config use.
+//
+//   "(10+2)"            -> SlecCode{10, 2}
+//   "(10+2)/(17+3)"     -> MlecCode{{10, 2}, {17, 3}}
+//   "(14,2,4)"          -> LrcCode{14, 2, 4}
+//   "C/D", "c/d"        -> MlecScheme::kCD
+//   "R_MIN", "rmin"     -> RepairMethod::kRepairMinimum
+//
+// Parsers throw PreconditionError with the offending text on malformed
+// input; parentheses are optional.
+#pragma once
+
+#include <string>
+
+#include "placement/codes.hpp"
+#include "placement/schemes.hpp"
+
+namespace mlec {
+
+SlecCode parse_slec_code(const std::string& text);
+MlecCode parse_mlec_code(const std::string& text);
+LrcCode parse_lrc_code(const std::string& text);
+MlecScheme parse_mlec_scheme(const std::string& text);
+RepairMethod parse_repair_method(const std::string& text);
+
+}  // namespace mlec

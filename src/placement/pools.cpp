@@ -1,0 +1,97 @@
+#include "placement/pools.hpp"
+
+namespace mlec {
+
+PoolLayout::PoolLayout(const DataCenterConfig& dc, const MlecCode& code, MlecScheme scheme)
+    : dc_(dc), code_(code), scheme_(scheme) {
+  dc_.validate();
+  code_.validate();
+
+  if (local_placement(scheme) == Placement::kClustered) {
+    local_pool_disks_ = code.local_width();
+    MLEC_REQUIRE(dc.disks_per_enclosure % local_pool_disks_ == 0,
+                 "local clustered placement needs disks/enclosure to be a multiple of k_l+p_l");
+    local_pools_per_enclosure_ = dc.disks_per_enclosure / local_pool_disks_;
+  } else {
+    local_pool_disks_ = dc.disks_per_enclosure;
+    MLEC_REQUIRE(dc.disks_per_enclosure >= code.local_width(),
+                 "declustered local pool must hold at least one stripe width of disks");
+    local_pools_per_enclosure_ = 1;
+  }
+
+  if (network_placement(scheme) == Placement::kClustered) {
+    network_pool_racks_ = code.network_width();
+    MLEC_REQUIRE(dc.racks % network_pool_racks_ == 0,
+                 "network clustered placement needs racks to be a multiple of k_n+p_n");
+    rack_groups_ = dc.racks / network_pool_racks_;
+    network_pool_members_ = network_pool_racks_;
+    // One network pool per (rack group, enclosure position, pool position):
+    // pools at the same position across the group's racks share a network
+    // pool, so each group contributes pools-per-rack network pools.
+    network_pools_ = rack_groups_ * local_pools_per_rack();
+  } else {
+    network_pool_racks_ = dc.racks;
+    MLEC_REQUIRE(dc.racks >= code.network_width(),
+                 "declustered network pool needs at least k_n+p_n racks");
+    rack_groups_ = 1;
+    network_pool_members_ = total_local_pools();
+    network_pools_ = 1;
+  }
+}
+
+double PoolLayout::local_stripes_per_pool() const {
+  const double chunks = static_cast<double>(local_pool_disks_) * dc_.chunks_per_disk();
+  return chunks / static_cast<double>(code_.local_width());
+}
+
+double PoolLayout::network_stripes_per_pool() const {
+  return total_network_stripes() / static_cast<double>(network_pools_);
+}
+
+double PoolLayout::total_network_stripes() const {
+  const double chunks = static_cast<double>(dc_.total_disks()) * dc_.chunks_per_disk();
+  return chunks / static_cast<double>(code_.stripe_chunks());
+}
+
+SlecLayout::SlecLayout(const DataCenterConfig& dc, const SlecCode& code, SlecScheme scheme)
+    : dc_(dc), code_(code), scheme_(scheme) {
+  dc_.validate();
+  code_.validate();
+  const std::size_t width = code.width();
+  if (scheme.domain == SlecDomain::kLocal) {
+    if (scheme.placement == Placement::kClustered) {
+      MLEC_REQUIRE(dc.disks_per_enclosure % width == 0,
+                   "local clustered SLEC needs disks/enclosure to be a multiple of k+p");
+      pool_disks_ = width;
+      total_pools_ = dc.total_disks() / width;
+    } else {
+      MLEC_REQUIRE(dc.disks_per_enclosure >= width,
+                   "declustered local pool must hold at least one stripe width");
+      pool_disks_ = dc.disks_per_enclosure;
+      total_pools_ = dc.total_enclosures();
+    }
+  } else {
+    if (scheme.placement == Placement::kClustered) {
+      MLEC_REQUIRE(dc.racks % width == 0,
+                   "network clustered SLEC needs racks to be a multiple of k+p");
+      // A pool is k+p disks, one per rack of a rack group, same position.
+      pool_disks_ = width;
+      total_pools_ = dc.total_disks() / width;
+    } else {
+      MLEC_REQUIRE(dc.racks >= width, "network declustered SLEC needs at least k+p racks");
+      pool_disks_ = dc.total_disks();
+      total_pools_ = 1;
+    }
+  }
+}
+
+double SlecLayout::stripes_per_pool() const {
+  return total_stripes() / static_cast<double>(total_pools_);
+}
+
+double SlecLayout::total_stripes() const {
+  const double chunks = static_cast<double>(dc_.total_disks()) * dc_.chunks_per_disk();
+  return chunks / static_cast<double>(code_.width());
+}
+
+}  // namespace mlec

@@ -1,0 +1,94 @@
+// Derived pool geometry for every placement scheme (paper §2.2, §3 setup).
+//
+// PoolLayout turns (topology, code, scheme) into the counts the analysis and
+// simulation layers consume: local pool size, pools per enclosure/rack,
+// network pool membership, and stripe counts at realistic chunk density.
+#pragma once
+
+#include <cstddef>
+
+#include "placement/codes.hpp"
+#include "placement/schemes.hpp"
+#include "topology/topology.hpp"
+
+namespace mlec {
+
+/// Geometry of an MLEC deployment.
+class PoolLayout {
+ public:
+  /// Validates the divisibility rules from §2.2: local clustered pools need
+  /// disks_per_enclosure % (k_l+p_l) == 0; network clustered pools need
+  /// racks % (k_n+p_n) == 0.
+  PoolLayout(const DataCenterConfig& dc, const MlecCode& code, MlecScheme scheme);
+
+  const DataCenterConfig& dc() const { return dc_; }
+  const MlecCode& code() const { return code_; }
+  MlecScheme scheme() const { return scheme_; }
+
+  // --- local level ---
+  /// Disks in one local pool: k_l+p_l (Cp) or a whole enclosure (Dp).
+  std::size_t local_pool_disks() const { return local_pool_disks_; }
+  std::size_t local_pools_per_enclosure() const { return local_pools_per_enclosure_; }
+  std::size_t local_pools_per_rack() const {
+    return local_pools_per_enclosure_ * dc_.enclosures_per_rack;
+  }
+  std::size_t total_local_pools() const { return local_pools_per_rack() * dc_.racks; }
+  double local_pool_capacity_tb() const {
+    return static_cast<double>(local_pool_disks_) * dc_.disk_capacity_tb;
+  }
+  /// Local stripes resident in one local pool at full chunk density.
+  double local_stripes_per_pool() const;
+
+  // --- network level ---
+  /// Racks whose pools form one network pool: k_n+p_n (Cp) or all racks (Dp).
+  std::size_t network_pool_racks() const { return network_pool_racks_; }
+  /// Local pools per network pool.
+  std::size_t network_pool_members() const { return network_pool_members_; }
+  /// Independent network pools in the system (1 for network-Dp).
+  std::size_t network_pools() const { return network_pools_; }
+  /// Rack groups for network-Cp schemes (racks / (k_n+p_n)); 1 for Dp.
+  std::size_t rack_groups() const { return rack_groups_; }
+
+  /// Network stripes per network pool at full chunk density.
+  double network_stripes_per_pool() const;
+  /// Network stripes in the whole system.
+  double total_network_stripes() const;
+
+ private:
+  DataCenterConfig dc_;
+  MlecCode code_;
+  MlecScheme scheme_;
+  std::size_t local_pool_disks_;
+  std::size_t local_pools_per_enclosure_;
+  std::size_t network_pool_racks_;
+  std::size_t network_pool_members_;
+  std::size_t network_pools_;
+  std::size_t rack_groups_;
+};
+
+/// Geometry of a single-level (SLEC) deployment, needed by the §5.1
+/// comparison: pool size and count for each of the four SLEC placements.
+class SlecLayout {
+ public:
+  SlecLayout(const DataCenterConfig& dc, const SlecCode& code, SlecScheme scheme);
+
+  const DataCenterConfig& dc() const { return dc_; }
+  const SlecCode& code() const { return code_; }
+  SlecScheme scheme() const { return scheme_; }
+
+  /// Disks in one pool. Local: k+p (Cp) or an enclosure (Dp).
+  /// Network: k+p disks across k+p racks (Cp) or the whole system (Dp).
+  std::size_t pool_disks() const { return pool_disks_; }
+  std::size_t total_pools() const { return total_pools_; }
+  double stripes_per_pool() const;
+  double total_stripes() const;
+
+ private:
+  DataCenterConfig dc_;
+  SlecCode code_;
+  SlecScheme scheme_;
+  std::size_t pool_disks_;
+  std::size_t total_pools_;
+};
+
+}  // namespace mlec

@@ -1,0 +1,65 @@
+#include "placement/schemes.hpp"
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+Placement network_placement(MlecScheme scheme) {
+  switch (scheme) {
+    case MlecScheme::kCC:
+    case MlecScheme::kCD:
+      return Placement::kClustered;
+    case MlecScheme::kDC:
+    case MlecScheme::kDD:
+      return Placement::kDeclustered;
+  }
+  throw InternalError("unknown scheme");
+}
+
+Placement local_placement(MlecScheme scheme) {
+  switch (scheme) {
+    case MlecScheme::kCC:
+    case MlecScheme::kDC:
+      return Placement::kClustered;
+    case MlecScheme::kCD:
+    case MlecScheme::kDD:
+      return Placement::kDeclustered;
+  }
+  throw InternalError("unknown scheme");
+}
+
+MlecScheme make_scheme(Placement network, Placement local) {
+  if (network == Placement::kClustered)
+    return local == Placement::kClustered ? MlecScheme::kCC : MlecScheme::kCD;
+  return local == Placement::kClustered ? MlecScheme::kDC : MlecScheme::kDD;
+}
+
+std::string to_string(Placement placement) {
+  return placement == Placement::kClustered ? "C" : "D";
+}
+
+std::string to_string(MlecScheme scheme) {
+  return to_string(network_placement(scheme)) + "/" + to_string(local_placement(scheme));
+}
+
+std::string to_string(const SlecScheme& scheme) {
+  const std::string domain = scheme.domain == SlecDomain::kLocal ? "Loc" : "Net";
+  const std::string placement = scheme.placement == Placement::kClustered ? "Cp" : "Dp";
+  return domain + "-" + placement;
+}
+
+std::string to_string(RepairMethod method) {
+  switch (method) {
+    case RepairMethod::kRepairAll:
+      return "R_ALL";
+    case RepairMethod::kRepairFailedOnly:
+      return "R_FCO";
+    case RepairMethod::kRepairHybrid:
+      return "R_HYB";
+    case RepairMethod::kRepairMinimum:
+      return "R_MIN";
+  }
+  throw InternalError("unknown repair method");
+}
+
+}  // namespace mlec

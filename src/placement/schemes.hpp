@@ -1,0 +1,71 @@
+// Placement scheme taxonomy (paper §2.2): clustered vs declustered parity at
+// each of the two MLEC levels, the four resulting MLEC schemes, and the four
+// SLEC placements used in the §5.1 comparison.
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace mlec {
+
+/// Parity placement within one level.
+enum class Placement {
+  kClustered,    ///< "Cp": every k+p devices form a dedicated pool
+  kDeclustered,  ///< "Dp": stripes pseudorandomly spread over a larger pool
+};
+
+/// The four MLEC schemes: network placement / local placement.
+enum class MlecScheme {
+  kCC,  ///< clustered/clustered
+  kCD,  ///< clustered/declustered
+  kDC,  ///< declustered/clustered
+  kDD,  ///< declustered/declustered
+};
+
+inline constexpr std::array<MlecScheme, 4> kAllMlecSchemes = {
+    MlecScheme::kCC, MlecScheme::kCD, MlecScheme::kDC, MlecScheme::kDD};
+
+Placement network_placement(MlecScheme scheme);
+Placement local_placement(MlecScheme scheme);
+MlecScheme make_scheme(Placement network, Placement local);
+
+/// "C/C", "C/D", "D/C", "D/D".
+std::string to_string(MlecScheme scheme);
+std::string to_string(Placement placement);
+
+/// SLEC deployments (paper §2.1/§5.1): EC performed at one level only.
+enum class SlecDomain {
+  kLocal,    ///< stripes confined to one enclosure
+  kNetwork,  ///< each chunk of a stripe in a separate rack
+};
+
+struct SlecScheme {
+  SlecDomain domain;
+  Placement placement;
+};
+
+inline constexpr std::array<SlecScheme, 4> kAllSlecSchemes = {
+    SlecScheme{SlecDomain::kLocal, Placement::kClustered},
+    SlecScheme{SlecDomain::kLocal, Placement::kDeclustered},
+    SlecScheme{SlecDomain::kNetwork, Placement::kClustered},
+    SlecScheme{SlecDomain::kNetwork, Placement::kDeclustered}};
+
+/// "Loc-Cp", "Net-Dp", ...
+std::string to_string(const SlecScheme& scheme);
+
+/// Repair methods for a catastrophic (locally-unrecoverable) local pool
+/// (paper §2.4), ordered simplest to most network-frugal.
+enum class RepairMethod {
+  kRepairAll,        ///< R_ALL: rebuild the entire local pool over the network
+  kRepairFailedOnly, ///< R_FCO: rebuild only the failed chunks over the network
+  kRepairHybrid,     ///< R_HYB: network repair for lost stripes, local otherwise
+  kRepairMinimum,    ///< R_MIN: network-repair just enough, then finish locally
+};
+
+inline constexpr std::array<RepairMethod, 4> kAllRepairMethods = {
+    RepairMethod::kRepairAll, RepairMethod::kRepairFailedOnly, RepairMethod::kRepairHybrid,
+    RepairMethod::kRepairMinimum};
+
+std::string to_string(RepairMethod method);
+
+}  // namespace mlec

@@ -1,0 +1,131 @@
+#include "placement/stripe_map.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mlec {
+
+StripeMap::StripeMap(const Topology& topo, const MlecCode& code, MlecScheme scheme,
+                     std::size_t stripes_per_network_pool, std::uint64_t seed)
+    : topo_(topo), layout_(topo.config(), code, scheme) {
+  MLEC_REQUIRE(stripes_per_network_pool >= 1, "need at least one stripe per network pool");
+  Rng rng(seed);
+  const std::size_t net_width = code.network_width();
+  const std::size_t loc_width = code.local_width();
+  const std::size_t pools_per_rack = layout_.local_pools_per_rack();
+
+  auto make_local = [&](LocalPoolId pool, std::size_t rotation) {
+    LocalStripePlacement local;
+    local.pool = pool;
+    local.disks.reserve(loc_width);
+    const auto disks = pool_disks(pool);
+    if (local_placement(scheme) == Placement::kClustered) {
+      // Chunk j -> pool disk (j + rotation) % width; rotation balances parity.
+      for (std::size_t j = 0; j < loc_width; ++j)
+        local.disks.push_back(disks[(j + rotation) % loc_width]);
+    } else {
+      auto picks = rng.sample_without_replacement(disks.size(), loc_width);
+      for (auto idx : picks) local.disks.push_back(disks[idx]);
+    }
+    return local;
+  };
+
+  if (network_placement(scheme) == Placement::kClustered) {
+    // Enumerate network pools as (group, enclosure position, pool position).
+    for (std::size_t g = 0; g < layout_.rack_groups(); ++g) {
+      for (std::size_t pos = 0; pos < pools_per_rack; ++pos) {
+        for (std::size_t s = 0; s < stripes_per_network_pool; ++s) {
+          NetworkStripePlacement stripe;
+          stripe.locals.reserve(net_width);
+          for (std::size_t i = 0; i < net_width; ++i) {
+            // Rotate the member order so network parity does not pin to the
+            // same racks for every stripe.
+            const std::size_t member = (i + s) % net_width;
+            const RackId rack = static_cast<RackId>(g * net_width + member);
+            const LocalPoolId pool = static_cast<LocalPoolId>(rack * pools_per_rack + pos);
+            stripe.locals.push_back(make_local(pool, s));
+          }
+          stripes_.push_back(std::move(stripe));
+        }
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < stripes_per_network_pool; ++s) {
+      NetworkStripePlacement stripe;
+      stripe.locals.reserve(net_width);
+      auto racks = rng.sample_without_replacement(topo_.config().racks, net_width);
+      for (std::size_t i = 0; i < net_width; ++i) {
+        const auto rack = static_cast<RackId>(racks[i]);
+        const auto pool_in_rack = static_cast<std::size_t>(rng.uniform_below(pools_per_rack));
+        const LocalPoolId pool = static_cast<LocalPoolId>(rack * pools_per_rack + pool_in_rack);
+        stripe.locals.push_back(make_local(pool, s));
+      }
+      stripes_.push_back(std::move(stripe));
+    }
+  }
+}
+
+std::vector<DiskId> StripeMap::pool_disks(LocalPoolId pool) const {
+  MLEC_REQUIRE(pool < total_pools(), "pool out of range");
+  const std::size_t pools_per_enc = layout_.local_pools_per_enclosure();
+  const auto enc = static_cast<EnclosureId>(pool / pools_per_enc);
+  const std::size_t pos = pool % pools_per_enc;
+  const std::size_t pool_size = layout_.local_pool_disks();
+  const DiskId base = static_cast<DiskId>(enc * topo_.config().disks_per_enclosure +
+                                          pos * pool_size);
+  std::vector<DiskId> disks(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) disks[i] = base + static_cast<DiskId>(i);
+  return disks;
+}
+
+RackId StripeMap::pool_rack(LocalPoolId pool) const {
+  MLEC_REQUIRE(pool < total_pools(), "pool out of range");
+  return static_cast<RackId>(pool / layout_.local_pools_per_rack());
+}
+
+LocalPoolId StripeMap::pool_of_disk(DiskId disk) const {
+  const EnclosureId enc = topo_.enclosure_of(disk);
+  const std::size_t pools_per_enc = layout_.local_pools_per_enclosure();
+  const std::size_t within = topo_.disk_position(disk) / layout_.local_pool_disks();
+  return static_cast<LocalPoolId>(enc * pools_per_enc + std::min(within, pools_per_enc - 1));
+}
+
+FailureAssessment assess_failures(const StripeMap& map, const std::vector<DiskId>& failed_disks) {
+  std::vector<bool> failed(map.topology().config().total_disks(), false);
+  for (DiskId d : failed_disks) {
+    MLEC_REQUIRE(d < failed.size(), "failed disk out of range");
+    failed[d] = true;
+  }
+  const std::size_t pl = map.layout().code().local.p;
+  const std::size_t pn = map.layout().code().network.p;
+
+  FailureAssessment out;
+  std::unordered_set<LocalPoolId> catastrophic;
+  for (const auto& stripe : map.stripes()) {
+    std::size_t lost_locals = 0;
+    bool any_affected = false;
+    for (const auto& local : stripe.locals) {
+      std::size_t failures = 0;
+      for (DiskId d : local.disks) failures += failed[d] ? 1 : 0;
+      out.failed_chunks += failures;
+      if (failures == 0) continue;
+      any_affected = true;
+      ++out.affected_local_stripes;
+      if (failures <= pl) {
+        ++out.locally_recoverable_local_stripes;
+      } else {
+        ++out.lost_local_stripes;
+        ++lost_locals;
+        catastrophic.insert(local.pool);
+      }
+    }
+    if (!any_affected && lost_locals == 0) continue;
+    if (any_affected) ++out.affected_network_stripes;
+    if (lost_locals >= 1 && lost_locals <= pn) ++out.recoverable_network_stripes;
+    if (lost_locals > pn) ++out.lost_network_stripes;
+  }
+  out.catastrophic_local_pools = catastrophic.size();
+  return out;
+}
+
+}  // namespace mlec

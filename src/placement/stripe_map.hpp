@@ -1,0 +1,83 @@
+// Explicit chunk-level stripe placement (the paper's Figures 2-3 made
+// executable).
+//
+// At 57.6k-disk scale the analysis layers work with counts, but examples,
+// tests, and the chunk-level repair planner need real chunk -> disk maps.
+// StripeMap materializes them for any topology small enough to enumerate,
+// honoring each scheme's placement constraints:
+//   * local-Cp: a stripe's chunks occupy its pool's k_l+p_l disks;
+//   * local-Dp: chunks pseudorandomly spread over the pool, distinct disks;
+//   * network-Cp: a network stripe's local stripes sit at the same pool
+//     position across its rack group;
+//   * network-Dp: local stripes pseudorandomly spread, distinct racks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "placement/codes.hpp"
+#include "placement/pools.hpp"
+#include "placement/schemes.hpp"
+#include "topology/topology.hpp"
+#include "util/rng.hpp"
+
+namespace mlec {
+
+/// Identifier of a local pool, global across the data center.
+using LocalPoolId = std::uint32_t;
+
+/// One local stripe: chunk j lives on disks[j]; the last p_l entries are the
+/// local parity chunks.
+struct LocalStripePlacement {
+  LocalPoolId pool;
+  std::vector<DiskId> disks;
+};
+
+/// One network stripe: local stripe i (the last p_n are network parities)
+/// with its chunk placement.
+struct NetworkStripePlacement {
+  std::vector<LocalStripePlacement> locals;
+};
+
+class StripeMap {
+ public:
+  /// Materialize `stripes_per_network_pool` network stripes in every network
+  /// pool (for network-Dp there is a single pool; pass the total you want).
+  StripeMap(const Topology& topo, const MlecCode& code, MlecScheme scheme,
+            std::size_t stripes_per_network_pool, std::uint64_t seed = 42);
+
+  const PoolLayout& layout() const { return layout_; }
+  const Topology& topology() const { return topo_; }
+  const std::vector<NetworkStripePlacement>& stripes() const { return stripes_; }
+
+  /// Disks of a local pool.
+  std::vector<DiskId> pool_disks(LocalPoolId pool) const;
+  /// Rack that hosts a local pool.
+  RackId pool_rack(LocalPoolId pool) const;
+  LocalPoolId pool_of_disk(DiskId disk) const;
+  std::size_t total_pools() const { return layout_.total_local_pools(); }
+
+ private:
+  Topology topo_;
+  PoolLayout layout_;
+  std::vector<NetworkStripePlacement> stripes_;
+};
+
+/// Table 1 failure-mode classification of one materialized system state.
+struct FailureAssessment {
+  std::size_t failed_chunks = 0;            ///< chunks on failed disks
+  std::size_t affected_local_stripes = 0;   ///< >= 1 failed chunk
+  std::size_t locally_recoverable_local_stripes = 0;  ///< 1..p_l failures
+  std::size_t lost_local_stripes = 0;       ///< >= p_l+1 failures
+  std::size_t catastrophic_local_pools = 0; ///< pools with >= 1 lost stripe
+  std::size_t affected_network_stripes = 0;
+  std::size_t recoverable_network_stripes = 0;  ///< 1..p_n lost locals
+  std::size_t lost_network_stripes = 0;     ///< >= p_n+1 lost locals (data loss)
+
+  bool data_loss() const { return lost_network_stripes > 0; }
+};
+
+/// Classify every stripe of `map` against the failed-disk set (paper Table 1).
+FailureAssessment assess_failures(const StripeMap& map, const std::vector<DiskId>& failed_disks);
+
+}  // namespace mlec

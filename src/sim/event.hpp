@@ -1,0 +1,66 @@
+// Discrete-event scheduling core.
+//
+// A stable-ordered priority queue of timestamped callbacks; ties break by
+// insertion order so simulations are deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `time` (hours). Must not be before the
+  /// current simulation time.
+  void schedule(double time, Callback fn) {
+    MLEC_REQUIRE(time >= now_, "cannot schedule an event in the past");
+    heap_.push(Event{time, seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  double now() const { return now_; }
+  double next_time() const {
+    MLEC_REQUIRE(!heap_.empty(), "no pending events");
+    return heap_.top().time;
+  }
+
+  /// Pop and run the earliest event, advancing the clock.
+  void run_next() {
+    MLEC_REQUIRE(!heap_.empty(), "no pending events");
+    // Move the event out before executing: the callback may schedule more.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+
+  /// Run until the queue drains or the clock passes `horizon` (events beyond
+  /// the horizon stay queued; the clock clamps to the horizon).
+  void run_until(double horizon) {
+    while (!heap_.empty() && heap_.top().time <= horizon) run_next();
+    now_ = std::max(now_, horizon);
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace mlec

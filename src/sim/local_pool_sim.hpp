@@ -1,0 +1,94 @@
+// Single-local-pool Monte-Carlo simulator — stage 1 of the paper's
+// "splitting" methodology (§3) and the engine behind Figure 7.
+//
+// Simulates one local pool (clustered: k_l+p_l disks; declustered: a whole
+// enclosure) under independent disk failures with detection delay and
+// bandwidth-limited rebuild, and records every catastrophic (locally-
+// unrecoverable) event together with the state needed by stage 2: how many
+// local stripes were lost, and how much data the failed disks held.
+//
+// Modeling notes (documented deviations are cross-checked against the
+// Markov closed forms in tests):
+//  * Failures arrive as a Poisson process at rate n*lambda; with <=1% AFR
+//    and small concurrent-failure counts the thinning error is negligible.
+//  * Clustered pools rebuild each failed disk onto a dedicated spare at the
+//    spare's write bandwidth (Table 2's 40 MB/s); a catastrophe occurs when
+//    p_l+1 rebuilds overlap, and the lost-stripe fraction is the span of
+//    stripes not yet rebuilt on the most-rebuilt failed disk (in-order
+//    rebuild).
+//  * Declustered pools rebuild at the pool-wide declustered bandwidth
+//    (Table 2's 264 MB/s) shared across concurrent failures. With priority
+//    reconstruction (the default, as in the paper), stripes currently at
+//    p_l failed chunks are rebuilt first; their volume is the hypergeometric
+//    expectation, so the pool becomes immune to the next single failure
+//    once that (small) volume has been rewritten, detection time included.
+//    A catastrophe occurs when a failure arrives inside the critical window.
+//    With priority_repair=false (ablation), any p_l+1 overlapping rebuilds
+//    are catastrophic, as in a clustered pool.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "placement/codes.hpp"
+#include "placement/schemes.hpp"
+#include "topology/bandwidth.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mlec {
+
+struct LocalPoolSimConfig {
+  SlecCode code{17, 3};
+  Placement placement = Placement::kClustered;
+  std::size_t pool_disks = 20;  ///< k_l+p_l for Cp, enclosure size for Dp
+  double disk_capacity_tb = 20.0;
+  double chunk_kb = 128.0;
+  double afr = 0.01;
+  double detection_hours = 0.5;
+  BandwidthConfig bandwidth{};
+  double mission_hours = 8766.0;
+  bool priority_repair = true;
+
+  void validate() const;
+  /// Local stripes resident in the pool at full chunk density.
+  double stripes_in_pool() const;
+};
+
+/// State captured at one catastrophic local-pool failure; consumed by the
+/// splitting stage 2 (analysis/splitting.hpp).
+struct CatastropheSample {
+  double time_hours;                ///< when within the mission it happened
+  std::uint32_t concurrent_failures;///< failed disks at that instant
+  double lost_local_stripes;        ///< stripes with >= p_l+1 lost chunks
+  double lost_stripe_fraction;      ///< lost stripes / stripes in pool
+  double unrebuilt_tb;              ///< data still missing across failed disks
+};
+
+struct LocalPoolSimResult {
+  std::uint64_t missions = 0;
+  std::uint64_t catastrophes = 0;
+  double pool_years = 0.0;  ///< total simulated pool-time in years
+  std::vector<CatastropheSample> samples;
+  RunningStats single_disk_repair_hours;  ///< observed per-disk rebuild times
+
+  /// Catastrophes per pool-year (the splitting stage-1 rate).
+  double catastrophe_rate_per_year() const {
+    return pool_years > 0.0 ? static_cast<double>(catastrophes) / pool_years : 0.0;
+  }
+  /// Probability a single pool goes catastrophic within one year.
+  double catastrophe_probability_per_year() const;
+};
+
+/// Run `missions` independent missions (sequentially; callers parallelize by
+/// splitting rngs and merging results). After each catastrophe the pool is
+/// reset (network-level repair is stage 2's concern) and the mission
+/// continues, so the estimator is a rate, not a first-passage probability.
+LocalPoolSimResult simulate_local_pool(const LocalPoolSimConfig& config, std::uint64_t missions,
+                                       Rng& rng, std::size_t max_samples = 10000);
+
+/// Merge partial results from parallel shards.
+LocalPoolSimResult merge_results(std::vector<LocalPoolSimResult> shards,
+                                 std::size_t max_samples = 10000);
+
+}  // namespace mlec

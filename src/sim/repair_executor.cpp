@@ -1,0 +1,222 @@
+#include "sim/repair_executor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mlec {
+
+MaterializedSystem::MaterializedSystem(const StripeMap& map, std::size_t chunk_bytes,
+                                       std::uint64_t seed)
+    : map_(map),
+      chunk_bytes_(chunk_bytes),
+      network_code_(map.layout().code().network.k, map.layout().code().network.p),
+      local_code_(map.layout().code().local.k, map.layout().code().local.p),
+      disk_failed_(map.topology().config().total_disks(), false) {
+  MLEC_REQUIRE(chunk_bytes >= 1, "chunks need at least one byte");
+  const auto& code = map.layout().code();
+  const std::size_t kn = code.network.k, pn = code.network.p;
+  const std::size_t kl = code.local.k, pl = code.local.p;
+
+  Rng rng(seed);
+  contents_.resize(map.stripes().size());
+  for (std::size_t s = 0; s < map.stripes().size(); ++s) {
+    auto& stripe = contents_[s];
+    stripe.assign(kn + pn, std::vector<std::vector<gf::byte_t>>(
+                               kl + pl, std::vector<gf::byte_t>(chunk_bytes_, 0)));
+    // User data in the k_n data locals' k_l data positions.
+    for (std::size_t i = 0; i < kn; ++i)
+      for (std::size_t j = 0; j < kl; ++j)
+        for (auto& b : stripe[i][j]) b = static_cast<gf::byte_t>(rng());
+
+    // Network parities, positionwise across the data locals (§2.1: a network
+    // chunk is a whole local stripe; parity is computed column by column).
+    for (std::size_t j = 0; j < kl; ++j) {
+      std::vector<std::span<const gf::byte_t>> data;
+      data.reserve(kn);
+      for (std::size_t i = 0; i < kn; ++i) data.emplace_back(stripe[i][j]);
+      std::vector<std::span<gf::byte_t>> parity;
+      parity.reserve(pn);
+      for (std::size_t m = 0; m < pn; ++m) parity.emplace_back(stripe[kn + m][j]);
+      network_code_.encode(std::span<const std::span<const gf::byte_t>>(data),
+                           std::span<const std::span<gf::byte_t>>(parity));
+    }
+
+    // Local parities within every local stripe (network-parity locals
+    // included — the two encodings commute for linear codes).
+    for (std::size_t i = 0; i < kn + pn; ++i) {
+      std::vector<std::span<const gf::byte_t>> data;
+      data.reserve(kl);
+      for (std::size_t j = 0; j < kl; ++j) data.emplace_back(stripe[i][j]);
+      std::vector<std::span<gf::byte_t>> parity;
+      parity.reserve(pl);
+      for (std::size_t q = 0; q < pl; ++q) parity.emplace_back(stripe[i][kl + q]);
+      local_code_.encode(std::span<const std::span<const gf::byte_t>>(data),
+                         std::span<const std::span<gf::byte_t>>(parity));
+    }
+  }
+  pristine_ = contents_;
+}
+
+void MaterializedSystem::fail_disks(const std::vector<DiskId>& disks) {
+  for (DiskId d : disks) {
+    MLEC_REQUIRE(d < disk_failed_.size(), "disk out of range");
+    disk_failed_[d] = true;
+  }
+  for (std::size_t s = 0; s < map_.stripes().size(); ++s)
+    for (std::size_t i = 0; i < map_.stripes()[s].locals.size(); ++i)
+      for (std::size_t j = 0; j < map_.stripes()[s].locals[i].disks.size(); ++j)
+        if (disk_failed_[map_.stripes()[s].locals[i].disks[j]])
+          std::fill(contents_[s][i][j].begin(), contents_[s][i][j].end(), 0);
+}
+
+const std::vector<gf::byte_t>& MaterializedSystem::chunk(std::size_t stripe, std::size_t local,
+                                                         std::size_t position) const {
+  return contents_.at(stripe).at(local).at(position);
+}
+
+RepairExecution MaterializedSystem::execute(RepairMethod method) {
+  const auto& code = map_.layout().code();
+  const std::size_t kn = code.network.k, pn = code.network.p;
+  const std::size_t kl = code.local.k, pl = code.local.p;
+  const std::size_t locals_per_stripe = kn + pn;
+  const std::size_t chunks_per_local = kl + pl;
+
+  RepairExecution exec;
+  exec.method = method;
+
+  // Catastrophic pools (any lost local stripe).
+  std::vector<bool> pool_catastrophic(map_.total_pools(), false);
+  const auto& stripes = map_.stripes();
+  std::vector<std::vector<std::vector<std::size_t>>> failed_positions(stripes.size());
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    failed_positions[s].resize(locals_per_stripe);
+    for (std::size_t i = 0; i < locals_per_stripe; ++i) {
+      for (std::size_t j = 0; j < chunks_per_local; ++j)
+        if (disk_failed_[stripes[s].locals[i].disks[j]]) failed_positions[s][i].push_back(j);
+      if (failed_positions[s][i].size() > pl)
+        pool_catastrophic[stripes[s].locals[i].pool] = true;
+    }
+  }
+
+  std::vector<bool> stripe_unrecoverable(stripes.size(), false);
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    // Choose, per (local, position), the repair path.
+    std::vector<std::vector<bool>> via_network(locals_per_stripe,
+                                               std::vector<bool>(chunks_per_local, false));
+    std::size_t lost_locals = 0;
+    for (std::size_t i = 0; i < locals_per_stripe; ++i)
+      lost_locals += failed_positions[s][i].size() > pl ? 1 : 0;
+    if (lost_locals > pn) {
+      ++exec.unrecoverable_network_stripes;
+      stripe_unrecoverable[s] = true;
+      continue;
+    }
+
+    bool any_network = false;
+    for (std::size_t i = 0; i < locals_per_stripe; ++i) {
+      const auto& failed = failed_positions[s][i];
+      const bool pool_cat = pool_catastrophic[stripes[s].locals[i].pool];
+      switch (method) {
+        case RepairMethod::kRepairAll:
+          if (pool_cat)
+            for (std::size_t j = 0; j < chunks_per_local; ++j) via_network[i][j] = true;
+          break;
+        case RepairMethod::kRepairFailedOnly:
+          if (pool_cat)
+            for (std::size_t j : failed) via_network[i][j] = true;
+          break;
+        case RepairMethod::kRepairHybrid:
+          if (failed.size() > pl)
+            for (std::size_t j : failed) via_network[i][j] = true;
+          break;
+        case RepairMethod::kRepairMinimum:
+          if (failed.size() > pl)
+            for (std::size_t n = 0; n < failed.size() - pl; ++n)
+              via_network[i][failed[n]] = true;
+          break;
+      }
+      for (std::size_t j = 0; j < chunks_per_local; ++j) any_network |= via_network[i][j];
+    }
+
+    // Stage 0: locals with no network involvement repair locally first, so
+    // their columns are back before the network decodes (real repairers
+    // drain the cheap local queue while the network path spins up).
+    for (std::size_t i = 0; i < locals_per_stripe; ++i) {
+      auto& fp = failed_positions[s][i];
+      if (fp.empty()) continue;
+      bool needs_network = false;
+      for (std::size_t j = 0; j < chunks_per_local; ++j) needs_network |= via_network[i][j];
+      if (needs_network || fp.size() > pl) continue;
+      local_code_.decode(contents_[s][i], fp);
+      ++exec.local_decodes;
+      exec.chunks_rebuilt += fp.size();
+      fp.clear();
+    }
+
+    // Stage 1: network decodes, one per column that has a network target.
+    if (any_network) {
+      for (std::size_t j = 0; j < chunks_per_local; ++j) {
+        bool wanted = false;
+        std::vector<std::size_t> lost;
+        for (std::size_t i = 0; i < locals_per_stripe; ++i) {
+          const bool unavailable =
+              std::find(failed_positions[s][i].begin(), failed_positions[s][i].end(), j) !=
+              failed_positions[s][i].end();
+          if (unavailable) lost.push_back(i);
+          wanted |= via_network[i][j];
+        }
+        if (!wanted) continue;
+        MLEC_ASSERT(lost.size() <= pn);
+        // Decode into scratch shards so chunks slated for local repair stay
+        // missing until their own stage.
+        std::vector<std::vector<gf::byte_t>> shards(locals_per_stripe);
+        for (std::size_t i = 0; i < locals_per_stripe; ++i) shards[i] = contents_[s][i][j];
+        network_code_.decode(shards, lost);
+        ++exec.network_decodes;
+        for (std::size_t i : lost) {
+          if (!via_network[i][j]) continue;
+          contents_[s][i][j] = shards[i];
+          ++exec.chunks_rebuilt;
+          // This chunk is now available for the local stage.
+          auto& fp = failed_positions[s][i];
+          fp.erase(std::find(fp.begin(), fp.end(), j));
+        }
+      }
+    }
+
+    // Stage 2: local decodes for whatever is still missing.
+    for (std::size_t i = 0; i < locals_per_stripe; ++i) {
+      auto& fp = failed_positions[s][i];
+      if (fp.empty()) continue;
+      MLEC_ASSERT(fp.size() <= pl);
+      local_code_.decode(contents_[s][i], fp);
+      ++exec.local_decodes;
+      exec.chunks_rebuilt += fp.size();
+      fp.clear();
+    }
+  }
+
+  // All repairs done: disks are healthy again.
+  std::fill(disk_failed_.begin(), disk_failed_.end(), false);
+
+  // Verify against the pristine copy (recoverable stripes only).
+  exec.verified = true;
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    if (stripe_unrecoverable[s]) continue;
+    if (contents_[s] != pristine_[s]) {
+      exec.verified = false;
+      break;
+    }
+  }
+  // Unrecoverable stripes keep their zeroed chunks until (hypothetical)
+  // higher-level recovery; reset them to pristine so later drills start
+  // clean.
+  for (std::size_t s = 0; s < stripes.size(); ++s)
+    if (stripe_unrecoverable[s]) contents_[s] = pristine_[s];
+  return exec;
+}
+
+
+}  // namespace mlec

@@ -1,0 +1,72 @@
+// Data-level repair execution: the repair planner's decisions applied to
+// real bytes with the GF(2^8) Reed-Solomon coder.
+//
+// This closes the loop between the placement/planning layers and the coding
+// substrate: a MaterializedSystem holds actual chunk contents for every
+// disk, encodes network and local parities exactly as §2.1 describes
+// (network parities positionwise across local stripes, local parities within
+// each local stripe), destroys disks, executes a repair method, and verifies
+// the rebuilt bytes — proving the four repair methods are not just cheaper
+// or dearer in traffic, but *correct*.
+//
+// Scale note: chunk contents for every materialized stripe live in memory,
+// so this is for small topologies (tests, examples, demos); the count-level
+// simulators cover the 57.6k-disk scale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "gf/rs.hpp"
+#include "placement/stripe_map.hpp"
+#include "sim/repair_planner.hpp"
+
+namespace mlec {
+
+/// Outcome of executing one repair.
+struct RepairExecution {
+  RepairMethod method{};
+  std::size_t chunks_rebuilt = 0;
+  std::size_t network_decodes = 0;  ///< RS decodes at the network level
+  std::size_t local_decodes = 0;    ///< RS decodes at the local level
+  bool verified = false;            ///< rebuilt bytes match the originals
+  std::size_t unrecoverable_network_stripes = 0;
+};
+
+class MaterializedSystem {
+ public:
+  /// Build chunk contents over `map`: deterministic pseudo-data for the
+  /// k_n*k_l data chunks of each network stripe, then network parities
+  /// (positionwise RS over the k_n data local stripes) and local parities
+  /// (RS within each local stripe). chunk_bytes is small by design.
+  MaterializedSystem(const StripeMap& map, std::size_t chunk_bytes = 64,
+                     std::uint64_t seed = 1);
+
+  const StripeMap& map() const { return map_; }
+  std::size_t chunk_bytes() const { return chunk_bytes_; }
+
+  /// Mark disks failed: their chunk contents are zeroed (simulating loss).
+  void fail_disks(const std::vector<DiskId>& disks);
+
+  /// Execute `method` against the current failed set, rebuilding chunk
+  /// contents with real RS decodes, then verify every chunk against the
+  /// pristine copy. Unrecoverable network stripes are skipped and counted.
+  RepairExecution execute(RepairMethod method);
+
+  /// Direct read access for tests: chunk (stripe, local, position).
+  const std::vector<gf::byte_t>& chunk(std::size_t stripe, std::size_t local,
+                                       std::size_t position) const;
+
+ private:
+  const StripeMap& map_;
+  std::size_t chunk_bytes_;
+  gf::RsCode network_code_;
+  gf::RsCode local_code_;
+  // contents_[stripe][local][position] and a pristine copy for verification.
+  std::vector<std::vector<std::vector<std::vector<gf::byte_t>>>> contents_;
+  std::vector<std::vector<std::vector<std::vector<gf::byte_t>>>> pristine_;
+  std::vector<bool> disk_failed_;
+};
+
+}  // namespace mlec

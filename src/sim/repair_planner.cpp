@@ -1,0 +1,105 @@
+#include "sim/repair_planner.hpp"
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_disks,
+                       RepairMethod method) {
+  const auto& code = map.layout().code();
+  const double kn = static_cast<double>(code.network.k);
+  const double kl = static_cast<double>(code.local.k);
+  const std::size_t pl = code.local.p;
+  const std::size_t pn = code.network.p;
+  const double loc_width = static_cast<double>(code.local_width());
+
+  std::vector<bool> failed(map.topology().config().total_disks(), false);
+  for (DiskId d : failed_disks) {
+    MLEC_REQUIRE(d < failed.size(), "failed disk out of range");
+    failed[d] = true;
+  }
+
+  // Pass 1: failure count per local stripe, and the catastrophic-pool set.
+  const auto& stripes = map.stripes();
+  std::vector<std::vector<std::size_t>> fail_counts(stripes.size());
+  std::unordered_set<LocalPoolId> catastrophic;
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    fail_counts[s].resize(stripes[s].locals.size());
+    for (std::size_t i = 0; i < stripes[s].locals.size(); ++i) {
+      std::size_t fc = 0;
+      for (DiskId d : stripes[s].locals[i].disks) fc += failed[d] ? 1 : 0;
+      fail_counts[s][i] = fc;
+      if (fc > pl) catastrophic.insert(stripes[s].locals[i].pool);
+    }
+  }
+
+  RepairPlan plan;
+  plan.method = method;
+  plan.catastrophic_pools = catastrophic.size();
+
+  auto local_repair = [&](std::size_t fc) {
+    plan.local_read_chunks += kl;
+    plan.local_write_chunks += static_cast<double>(fc);
+  };
+  auto network_repair_chunks = [&](double chunks) {
+    plan.network_read_chunks += kn * chunks;
+    plan.network_write_chunks += chunks;
+  };
+
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    // Network stripes with more than p_n lost locals are unrecoverable.
+    std::size_t lost_locals = 0;
+    for (std::size_t fc : fail_counts[s]) lost_locals += fc > pl ? 1 : 0;
+    plan.lost_local_stripes += lost_locals;
+    if (lost_locals > pn) {
+      ++plan.unrecoverable_network_stripes;
+      continue;
+    }
+
+    for (std::size_t i = 0; i < stripes[s].locals.size(); ++i) {
+      const std::size_t fc = fail_counts[s][i];
+      const bool pool_cat = catastrophic.contains(stripes[s].locals[i].pool);
+
+      switch (method) {
+        case RepairMethod::kRepairAll:
+          // Black-box: the entire pool's content is regenerated via the
+          // network, healthy chunks included.
+          if (pool_cat)
+            network_repair_chunks(loc_width);
+          else if (fc > 0)
+            local_repair(fc);
+          break;
+        case RepairMethod::kRepairFailedOnly:
+          if (fc == 0) break;
+          if (pool_cat)
+            network_repair_chunks(static_cast<double>(fc));
+          else
+            local_repair(fc);
+          break;
+        case RepairMethod::kRepairHybrid:
+          if (fc == 0) break;
+          if (fc > pl)
+            network_repair_chunks(static_cast<double>(fc));
+          else
+            local_repair(fc);
+          break;
+        case RepairMethod::kRepairMinimum:
+          if (fc == 0) break;
+          if (fc > pl) {
+            // Stage 1: network-repair until locally recoverable...
+            network_repair_chunks(static_cast<double>(fc - pl));
+            // ...stage 2: the remaining p_l failed chunks rebuild locally.
+            local_repair(pl);
+          } else {
+            local_repair(fc);
+          }
+          break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mlec

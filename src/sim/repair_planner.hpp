@@ -1,0 +1,60 @@
+// Chunk-level repair planning for the four repair methods (paper §2.4,
+// Figure 4), executed against a materialized StripeMap.
+//
+// Given a set of failed disks, the planner classifies every local stripe
+// (Table 1) and produces the exact chunk reads/writes each repair method
+// performs, split into cross-rack (network) and intra-rack (local) traffic.
+// The analytic TrafficModel (analysis/traffic.hpp) reproduces these numbers
+// in closed form at 57.6k-disk scale; tests cross-validate the two on small
+// systems.
+//
+// Accounting (matches the paper's Figure 8 arithmetic):
+//  * rebuilding a chunk over the network reads the chunk at the same stripe
+//    position from k_n sibling local stripes and writes 1 chunk, i.e.
+//    k_n + 1 cross-rack chunk transfers per rebuilt chunk;
+//  * rebuilding locally reads k_l surviving chunks of the stripe once and
+//    writes one chunk per failed chunk, all within the rack.
+#pragma once
+
+#include <vector>
+
+#include "placement/schemes.hpp"
+#include "placement/stripe_map.hpp"
+
+namespace mlec {
+
+/// Chunk-granular traffic of one planned repair.
+struct RepairPlan {
+  RepairMethod method{};
+  // Cross-rack (network-level) transfers, in chunks.
+  double network_read_chunks = 0;
+  double network_write_chunks = 0;
+  // Intra-rack (local-level) transfers, in chunks.
+  double local_read_chunks = 0;
+  double local_write_chunks = 0;
+
+  std::size_t catastrophic_pools = 0;
+  std::size_t lost_local_stripes = 0;
+  std::size_t unrecoverable_network_stripes = 0;  ///< data loss: cannot plan
+
+  double network_chunks() const { return network_read_chunks + network_write_chunks; }
+  double local_chunks() const { return local_read_chunks + local_write_chunks; }
+
+  /// Cross-rack traffic in TB given the chunk size.
+  double network_tb(double chunk_kb) const { return network_chunks() * chunk_kb * 1e3 / 1e12; }
+};
+
+/// Plan the repair of `failed_disks` under `method`. Local stripes in
+/// non-catastrophic pools always repair locally; the method governs how
+/// catastrophic pools are handled:
+///  * R_ALL rebuilds every chunk of each catastrophic pool over the network;
+///  * R_FCO rebuilds only the failed chunks of catastrophic pools, all over
+///    the network;
+///  * R_HYB network-repairs failed chunks of lost stripes, and locally
+///    repairs the rest;
+///  * R_MIN network-repairs just enough chunks of each lost stripe to make
+///    it locally recoverable (failures - p_l chunks), then finishes locally.
+RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_disks,
+                       RepairMethod method);
+
+}  // namespace mlec

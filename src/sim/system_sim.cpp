@@ -1,0 +1,171 @@
+#include "sim/system_sim.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "topology/bandwidth.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlec {
+
+double SystemSimConfig::single_disk_repair_hours() const {
+  const BandwidthModel model(bandwidth);
+  RepairFlow flow;
+  flow.read_amp = static_cast<double>(code.local.k);
+  flow.write_amp = 1.0;
+  if (local_placement(scheme) == Placement::kClustered) {
+    flow.read_only_disks = code.local_width() - 1;
+    flow.write_only_disks = 1;
+  } else {
+    flow.shared_disks = dc.disks_per_enclosure - 1;
+  }
+  return detection_hours + model.repair_hours(dc.disk_capacity_tb, flow);
+}
+
+double SystemSimConfig::catastrophic_repair_hours(RepairMethod method) const {
+  const BandwidthModel model(bandwidth);
+  const std::size_t pool_disks = local_placement(scheme) == Placement::kClustered
+                                     ? code.local_width()
+                                     : dc.disks_per_enclosure;
+  RepairFlow flow;
+  flow.read_amp = static_cast<double>(code.network.k);
+  flow.write_amp = 1.0;
+  flow.cross_rack = true;
+  if (network_placement(scheme) == Placement::kClustered) {
+    flow.read_only_racks = code.network.k;
+    flow.write_only_racks = 1;
+  } else {
+    flow.shared_racks = dc.racks;
+  }
+  // Disk-level participation is rarely the bottleneck but kept for small
+  // systems: reads spread over k_n pools, writes into the rebuilt pool.
+  flow.read_only_disks = code.network.k * pool_disks;
+  flow.write_only_disks = pool_disks;
+
+  const double pool_tb = static_cast<double>(pool_disks) * dc.disk_capacity_tb;
+  // Fraction of the pool each method moves over the network. The exact
+  // per-failure fractions live in analysis/traffic.hpp; here a fixed
+  // per-method fraction keeps mission simulation cheap while preserving the
+  // R_ALL > R_FCO > R_HYB >= R_MIN ordering.
+  const double pl1 = static_cast<double>(code.local.p + 1);
+  double fraction = 1.0;
+  switch (method) {
+    case RepairMethod::kRepairAll:
+      fraction = 1.0;
+      break;
+    case RepairMethod::kRepairFailedOnly:
+      fraction = pl1 / static_cast<double>(pool_disks);
+      break;
+    case RepairMethod::kRepairHybrid:
+      fraction = pl1 / static_cast<double>(pool_disks) *
+                 (local_placement(scheme) == Placement::kDeclustered ? 0.1 : 1.0);
+      break;
+    case RepairMethod::kRepairMinimum:
+      fraction = pl1 / static_cast<double>(pool_disks) /
+                 std::max(1.0, pl1) *
+                 (local_placement(scheme) == Placement::kDeclustered ? 0.1 : 1.0);
+      break;
+  }
+  return detection_hours + model.repair_hours(pool_tb * fraction, flow);
+}
+
+SystemSimResult simulate_system(const SystemSimConfig& cfg, std::uint64_t missions,
+                                std::uint64_t seed) {
+  cfg.dc.validate();
+  cfg.code.validate();
+  cfg.bandwidth.validate();
+  const Topology topo(cfg.dc);
+  const StripeMap map(topo, cfg.code, cfg.scheme, cfg.stripes_per_network_pool, seed);
+  const std::size_t pl = cfg.code.local.p;
+  const std::size_t pn = cfg.code.network.p;
+
+  // disk -> chunks it hosts, as (stripe, local) pairs.
+  struct ChunkRef {
+    std::uint32_t stripe;
+    std::uint16_t local;
+  };
+  std::vector<std::vector<ChunkRef>> disk_chunks(cfg.dc.total_disks());
+  for (std::size_t s = 0; s < map.stripes().size(); ++s)
+    for (std::size_t i = 0; i < map.stripes()[s].locals.size(); ++i)
+      for (DiskId d : map.stripes()[s].locals[i].disks)
+        disk_chunks[d].push_back({static_cast<std::uint32_t>(s), static_cast<std::uint16_t>(i)});
+
+  const double t_single = cfg.single_disk_repair_hours();
+  const double t_cat = cfg.catastrophic_repair_hours(cfg.method);
+
+  SystemSimResult result;
+  result.missions = missions;
+  Rng rng(seed ^ 0xabcdef1234567890ULL);
+
+  std::vector<std::size_t> local_failures;   // per (stripe, local), flattened
+  std::vector<std::size_t> stripe_lost;      // lost locals per network stripe
+  std::vector<std::size_t> local_offsets(map.stripes().size() + 1, 0);
+  for (std::size_t s = 0; s < map.stripes().size(); ++s)
+    local_offsets[s + 1] = local_offsets[s] + map.stripes()[s].locals.size();
+
+  for (std::uint64_t m = 0; m < missions; ++m) {
+    auto trace = generate_failures(topo, cfg.failures, cfg.mission_hours, rng);
+    local_failures.assign(local_offsets.back(), 0);
+    stripe_lost.assign(map.stripes().size(), 0);
+    std::vector<double> repaired_at(cfg.dc.total_disks(), -1.0);  // <0: healthy
+    // Completion-ordered queue of (time, disk) to un-fail disks lazily.
+    using Completion = std::pair<double, DiskId>;
+    std::priority_queue<Completion, std::vector<Completion>, std::greater<>> completions;
+
+    bool lost = false;
+    for (const auto& ev : trace) {
+      // Process repair completions up to this failure.
+      while (!completions.empty() && completions.top().first <= ev.time_hours) {
+        const auto [ct, d] = completions.top();
+        completions.pop();
+        if (repaired_at[d] < 0) continue;   // already healthy (stale entry)
+        if (repaired_at[d] > ct) continue;  // rescheduled to a later time
+        repaired_at[d] = -1.0;
+        for (const auto& ref : disk_chunks[d]) {
+          auto& fc = local_failures[local_offsets[ref.stripe] + ref.local];
+          if (fc > pl) --stripe_lost[ref.stripe];  // leaving the lost class?
+          --fc;
+          if (fc > pl) ++stripe_lost[ref.stripe];
+        }
+      }
+      if (repaired_at[ev.disk] >= 0) continue;  // already failed (renewal overlap)
+
+      // Fail the disk.
+      repaired_at[ev.disk] = ev.time_hours + t_single;
+      bool pool_went_catastrophic = false;
+      for (const auto& ref : disk_chunks[ev.disk]) {
+        auto& fc = local_failures[local_offsets[ref.stripe] + ref.local];
+        ++fc;
+        if (fc == pl + 1) {
+          ++stripe_lost[ref.stripe];
+          pool_went_catastrophic = true;
+          if (stripe_lost[ref.stripe] > pn) lost = true;
+        }
+      }
+      if (lost) {
+        ++result.data_loss_missions;
+        result.loss_time_hours.add(ev.time_hours);
+        break;
+      }
+      if (pool_went_catastrophic) {
+        ++result.catastrophic_pool_events;
+        // All failed disks of the affected pool now wait on the (slower)
+        // network repair path.
+        const LocalPoolId pool = map.pool_of_disk(ev.disk);
+        for (DiskId d : map.pool_disks(pool)) {
+          if (repaired_at[d] >= 0) {
+            repaired_at[d] = ev.time_hours + t_cat;
+            completions.push({repaired_at[d], d});
+          }
+        }
+      } else {
+        completions.push({repaired_at[ev.disk], ev.disk});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mlec

@@ -1,0 +1,44 @@
+#include "topology/bandwidth.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/units.hpp"
+
+namespace mlec {
+
+double BandwidthModel::available_repair_mbps(const RepairFlow& flow) const {
+  MLEC_REQUIRE(flow.read_amp >= 0.0 && flow.write_amp >= 0.0,
+               "amplifications must be non-negative");
+  MLEC_REQUIRE(flow.read_only_disks + flow.write_only_disks + flow.shared_disks > 0,
+               "a repair needs participating disks");
+
+  const double disk = config_.effective_disk_mbps();
+  const double rack = config_.effective_rack_mbps();
+  double best = std::numeric_limits<double>::infinity();
+  auto bottleneck = [&](std::size_t participants, double rate, double amp) {
+    if (participants == 0 || amp <= 0.0) return;
+    best = std::min(best, static_cast<double>(participants) * rate / amp);
+  };
+
+  bottleneck(flow.read_only_disks, disk, flow.read_amp);
+  bottleneck(flow.write_only_disks, disk, flow.write_amp);
+  bottleneck(flow.shared_disks, disk, flow.read_amp + flow.write_amp);
+
+  if (flow.cross_rack) {
+    MLEC_REQUIRE(flow.read_only_racks + flow.write_only_racks + flow.shared_racks > 0,
+                 "cross-rack repair needs participating racks");
+    bottleneck(flow.read_only_racks, rack, flow.read_amp);
+    bottleneck(flow.write_only_racks, rack, flow.write_amp);
+    bottleneck(flow.shared_racks, rack, flow.read_amp + flow.write_amp);
+  }
+  return best;
+}
+
+double BandwidthModel::repair_hours(double tb, const RepairFlow& flow) const {
+  MLEC_REQUIRE(tb >= 0.0, "repair size must be non-negative");
+  if (tb == 0.0) return 0.0;
+  return units::hours_to_move(tb, available_repair_mbps(flow));
+}
+
+}  // namespace mlec

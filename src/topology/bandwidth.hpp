@@ -1,0 +1,73 @@
+// Available-repair-bandwidth model (paper §3 "Available repair bandwidth"
+// and Table 2).
+//
+// Raw device/link rates are capped at a repair fraction (20% by default).
+// A repair is described as a flow: how many bytes are read and written per
+// repaired byte, and which disk/rack sets carry each direction. The
+// available repair bandwidth is the minimum over all resource bottlenecks.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+struct BandwidthConfig {
+  double disk_mbps = 200.0;       ///< raw per-disk sequential bandwidth
+  double rack_gbps = 10.0;        ///< raw per-rack cross-rack link
+  double repair_fraction = 0.2;   ///< share of raw bandwidth repairs may use
+
+  static BandwidthConfig paper_default() { return {}; }
+
+  double effective_disk_mbps() const { return disk_mbps * repair_fraction; }
+  double effective_rack_mbps() const { return rack_gbps * 1e9 / 8.0 / 1e6 * repair_fraction; }
+
+  void validate() const {
+    MLEC_REQUIRE(disk_mbps > 0.0 && rack_gbps > 0.0, "raw bandwidths must be positive");
+    MLEC_REQUIRE(repair_fraction > 0.0 && repair_fraction <= 1.0,
+                 "repair fraction must be in (0, 1]");
+  }
+};
+
+/// One repair's traffic pattern. Amplifications are bytes moved per repaired
+/// byte (e.g. rebuilding one chunk of a (17+3) stripe reads 17 chunks:
+/// read_amp = 17). Participant sets are either dedicated to one direction
+/// (read_only_*, write_only_*) or carry both (shared_*), which matches every
+/// placement in the paper: clustered repairs use disjoint source/target
+/// sets, declustered repairs spread both directions over one set.
+/// Rack-level fields of 0 with cross_rack=false describe an enclosure-local
+/// repair with no network constraint.
+struct RepairFlow {
+  double read_amp = 1.0;
+  double write_amp = 1.0;
+
+  std::size_t read_only_disks = 0;
+  std::size_t write_only_disks = 0;
+  std::size_t shared_disks = 0;
+
+  bool cross_rack = false;
+  std::size_t read_only_racks = 0;
+  std::size_t write_only_racks = 0;
+  std::size_t shared_racks = 0;
+};
+
+class BandwidthModel {
+ public:
+  explicit BandwidthModel(BandwidthConfig config) : config_(config) { config_.validate(); }
+
+  const BandwidthConfig& config() const { return config_; }
+
+  /// Available repair bandwidth (MB/s of *repaired* bytes per second) for
+  /// the given flow: min over disk-read, disk-write, shared-disk, rack
+  /// egress/ingress and shared-rack bottlenecks.
+  double available_repair_mbps(const RepairFlow& flow) const;
+
+  /// Hours to repair `tb` terabytes under the given flow.
+  double repair_hours(double tb, const RepairFlow& flow) const;
+
+ private:
+  BandwidthConfig config_;
+};
+
+}  // namespace mlec

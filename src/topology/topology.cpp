@@ -1,0 +1,39 @@
+#include "topology/topology.hpp"
+
+#include <sstream>
+
+namespace mlec {
+
+void DataCenterConfig::validate() const {
+  MLEC_REQUIRE(racks >= 1, "need at least one rack");
+  MLEC_REQUIRE(enclosures_per_rack >= 1, "need at least one enclosure per rack");
+  MLEC_REQUIRE(disks_per_enclosure >= 1, "need at least one disk per enclosure");
+  MLEC_REQUIRE(disk_capacity_tb > 0.0, "disk capacity must be positive");
+  MLEC_REQUIRE(chunk_kb > 0.0, "chunk size must be positive");
+}
+
+Topology::Topology(DataCenterConfig config) : config_(config) { config_.validate(); }
+
+DiskId Topology::disk_at(RackId rack, std::size_t enclosure_pos, std::size_t disk_pos) const {
+  MLEC_REQUIRE(rack < config_.racks, "rack out of range");
+  MLEC_REQUIRE(enclosure_pos < config_.enclosures_per_rack, "enclosure position out of range");
+  MLEC_REQUIRE(disk_pos < config_.disks_per_enclosure, "disk position out of range");
+  return static_cast<DiskId>(rack * config_.disks_per_rack() +
+                             enclosure_pos * config_.disks_per_enclosure + disk_pos);
+}
+
+EnclosureId Topology::enclosure_at(RackId rack, std::size_t enclosure_pos) const {
+  MLEC_REQUIRE(rack < config_.racks, "rack out of range");
+  MLEC_REQUIRE(enclosure_pos < config_.enclosures_per_rack, "enclosure position out of range");
+  return static_cast<EnclosureId>(rack * config_.enclosures_per_rack + enclosure_pos);
+}
+
+std::string Topology::describe(DiskId disk) const {
+  MLEC_REQUIRE(disk < config_.total_disks(), "disk out of range");
+  std::ostringstream os;
+  os << 'R' << rack_of(disk) + 1 << 'E' << enclosure_position(enclosure_of(disk)) + 1 << 'D'
+     << disk_position(disk) + 1;
+  return os.str();
+}
+
+}  // namespace mlec

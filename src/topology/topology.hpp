@@ -1,0 +1,75 @@
+// Data-center topology model: racks -> enclosures -> disks.
+//
+// Mirrors the paper's §3 setup: 57,600 disks across 60 racks, 8 enclosures
+// per rack, 120 disks per enclosure, 20 TB per disk, 128 KB chunks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+/// Flat disk identifier in [0, total_disks).
+using DiskId = std::uint32_t;
+/// Rack index in [0, racks).
+using RackId = std::uint32_t;
+/// Enclosure index, global across the data center.
+using EnclosureId = std::uint32_t;
+
+struct DataCenterConfig {
+  std::size_t racks = 60;
+  std::size_t enclosures_per_rack = 8;
+  std::size_t disks_per_enclosure = 120;
+  double disk_capacity_tb = 20.0;
+  double chunk_kb = 128.0;
+
+  /// The paper's default §3 deployment.
+  static DataCenterConfig paper_default() { return {}; }
+
+  std::size_t disks_per_rack() const { return enclosures_per_rack * disks_per_enclosure; }
+  std::size_t total_enclosures() const { return racks * enclosures_per_rack; }
+  std::size_t total_disks() const { return racks * disks_per_rack(); }
+  double total_capacity_tb() const { return static_cast<double>(total_disks()) * disk_capacity_tb; }
+  double chunks_per_disk() const { return disk_capacity_tb * 1e12 / (chunk_kb * 1e3); }
+
+  void validate() const;
+};
+
+/// Address arithmetic for the three-level hierarchy. All methods are O(1);
+/// the topology itself is implicit (no per-disk objects at 57.6k scale).
+class Topology {
+ public:
+  explicit Topology(DataCenterConfig config);
+
+  const DataCenterConfig& config() const { return config_; }
+
+  RackId rack_of(DiskId disk) const {
+    return static_cast<RackId>(disk / config_.disks_per_rack());
+  }
+  EnclosureId enclosure_of(DiskId disk) const {
+    return static_cast<EnclosureId>(disk / config_.disks_per_enclosure);
+  }
+  RackId rack_of_enclosure(EnclosureId enc) const {
+    return static_cast<RackId>(enc / config_.enclosures_per_rack);
+  }
+  /// Enclosure position within its rack.
+  std::size_t enclosure_position(EnclosureId enc) const {
+    return enc % config_.enclosures_per_rack;
+  }
+  /// Disk position within its enclosure.
+  std::size_t disk_position(DiskId disk) const { return disk % config_.disks_per_enclosure; }
+
+  DiskId disk_at(RackId rack, std::size_t enclosure_pos, std::size_t disk_pos) const;
+  EnclosureId enclosure_at(RackId rack, std::size_t enclosure_pos) const;
+
+  /// Human-readable "R3E1D42" form used in examples and logs.
+  std::string describe(DiskId disk) const;
+
+ private:
+  DataCenterConfig config_;
+};
+
+}  // namespace mlec

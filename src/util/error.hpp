@@ -1,0 +1,54 @@
+// Error-handling helpers shared across the library.
+//
+// The library reports precondition violations with exceptions carrying the
+// failing expression and location; hot inner loops use MLEC_ASSERT which
+// compiles out in release builds.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mlec {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is broken (library bug).
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg,
+                                            const std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": precondition failed: " << expr;
+  if (!msg.empty()) os << " (" << msg << ')';
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mlec
+
+/// Validate a documented precondition; throws mlec::PreconditionError.
+#define MLEC_REQUIRE(expr, msg)                                                     \
+  do {                                                                              \
+    if (!(expr))                                                                    \
+      ::mlec::detail::throw_precondition(#expr, (msg), std::source_location::current()); \
+  } while (0)
+
+/// Internal invariant check; active only in debug builds.
+#ifndef NDEBUG
+#define MLEC_ASSERT(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) throw ::mlec::InternalError("assertion failed: " #expr);   \
+  } while (0)
+#else
+#define MLEC_ASSERT(expr) ((void)0)
+#endif

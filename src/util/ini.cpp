@@ -1,0 +1,116 @@
+#include "util/ini.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+}  // namespace
+
+IniFile IniFile::parse(std::istream& in) {
+  IniFile ini;
+  std::string line;
+  std::string section;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#' || text[0] == ';') continue;
+    if (text.front() == '[') {
+      MLEC_REQUIRE(text.back() == ']' && text.size() > 2,
+                   "ini line " + std::to_string(lineno) + ": malformed section header");
+      section = trim(text.substr(1, text.size() - 2));
+      MLEC_REQUIRE(!section.empty(),
+                   "ini line " + std::to_string(lineno) + ": empty section name");
+      continue;
+    }
+    const auto eq = text.find('=');
+    MLEC_REQUIRE(eq != std::string::npos,
+                 "ini line " + std::to_string(lineno) + ": expected 'key = value'");
+    const std::string key = trim(text.substr(0, eq));
+    std::string raw = text.substr(eq + 1);
+    // Trailing comments: a '#' or ';' preceded by whitespace ends the value.
+    for (std::size_t i = 1; i < raw.size(); ++i) {
+      if ((raw[i] == '#' || raw[i] == ';') &&
+          (raw[i - 1] == ' ' || raw[i - 1] == '\t')) {
+        raw.resize(i);
+        break;
+      }
+    }
+    const std::string value = trim(raw);
+    MLEC_REQUIRE(!key.empty(), "ini line " + std::to_string(lineno) + ": empty key");
+    ini.values_[{section, key}] = value;
+  }
+  return ini;
+}
+
+IniFile IniFile::parse_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse(in);
+}
+
+bool IniFile::has(const std::string& section, const std::string& key) const {
+  return values_.count({section, key}) > 0;
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const auto it = values_.find({section, key});
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string IniFile::get_string(const std::string& section, const std::string& key,
+                                const std::string& fallback) const {
+  return get(section, key).value_or(fallback);
+}
+
+double IniFile::get_double(const std::string& section, const std::string& key,
+                           double fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    MLEC_REQUIRE(pos == v->size(), "trailing characters");
+    return parsed;
+  } catch (const std::exception&) {
+    throw PreconditionError("ini [" + section + "] " + key + ": expected a number, got '" +
+                            *v + "'");
+  }
+}
+
+std::size_t IniFile::get_size(const std::string& section, const std::string& key,
+                              std::size_t fallback) const {
+  const double v = get_double(section, key, static_cast<double>(fallback));
+  MLEC_REQUIRE(v >= 0.0 && v == std::floor(v),
+               "ini [" + section + "] " + key + ": expected a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+bool IniFile::get_bool(const std::string& section, const std::string& key,
+                       bool fallback) const {
+  const auto v = get(section, key);
+  if (!v) return fallback;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") return false;
+  throw PreconditionError("ini [" + section + "] " + key + ": expected a boolean, got '" + *v +
+                          "'");
+}
+
+}  // namespace mlec

@@ -1,0 +1,41 @@
+// Minimal INI configuration parsing for deployment spec files.
+//
+// Grammar: `[section]` headers, `key = value` pairs, `#`/`;` comments,
+// blank lines. Keys are case-sensitive and scoped by their section ("" for
+// the preamble). Later duplicates overwrite earlier ones. Values keep
+// internal whitespace; surrounding whitespace is trimmed.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mlec {
+
+class IniFile {
+ public:
+  /// Parse from a stream; throws PreconditionError with the line number on
+  /// malformed input.
+  static IniFile parse(std::istream& in);
+  static IniFile parse_string(const std::string& text);
+
+  bool has(const std::string& section, const std::string& key) const;
+  std::optional<std::string> get(const std::string& section, const std::string& key) const;
+
+  /// Typed accessors: return `fallback` when absent, throw PreconditionError
+  /// when present but malformed.
+  std::string get_string(const std::string& section, const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& section, const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& section, const std::string& key,
+                       std::size_t fallback) const;
+  bool get_bool(const std::string& section, const std::string& key, bool fallback) const;
+
+  std::size_t entries() const { return values_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, std::string> values_;
+};
+
+}  // namespace mlec

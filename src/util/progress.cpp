@@ -1,0 +1,50 @@
+#include "util/progress.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+namespace mlec {
+
+namespace {
+std::atomic<std::size_t> g_count{0};
+std::atomic<std::int64_t> g_last_print_ms{0};
+
+bool quiet() {
+  static const bool q = [] {
+    const char* v = std::getenv("MLEC_QUIET");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return q;
+}
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Progress::Progress(std::string label, std::size_t total)
+    : label_(std::move(label)), total_(total) {
+  g_count.store(0);
+  g_last_print_ms.store(now_ms());
+}
+
+void Progress::tick(std::size_t n) {
+  if (quiet()) return;
+  const std::size_t c = g_count.fetch_add(n) + n;
+  const std::int64_t t = now_ms();
+  std::int64_t last = g_last_print_ms.load();
+  if (t - last >= 2000 && g_last_print_ms.compare_exchange_strong(last, t)) {
+    std::cerr << label_ << ": " << c << '/' << total_ << '\n';
+  }
+}
+
+void Progress::done() {
+  if (quiet()) return;
+  std::cerr << label_ << ": " << total_ << '/' << total_ << " done\n";
+}
+
+}  // namespace mlec

@@ -1,0 +1,27 @@
+// Lightweight stderr progress reporting for long-running sweeps.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mlec {
+
+/// Prints "label: k/n" lines to stderr at most every ~2 seconds. Disabled
+/// entirely when MLEC_QUIET is set. Thread-safe via atomic counters; the
+/// printing itself tolerates interleaving (informational only).
+class Progress {
+ public:
+  Progress(std::string label, std::size_t total);
+
+  /// Record `n` completed units and maybe emit a line.
+  void tick(std::size_t n = 1);
+  /// Emit the final line (idempotent).
+  void done();
+
+ private:
+  struct Impl;
+  std::string label_;
+  std::size_t total_;
+};
+
+}  // namespace mlec

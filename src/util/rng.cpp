@@ -1,0 +1,120 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+namespace mlec {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // xoshiro must not start from the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) state_[0] = 1;
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_below(std::uint64_t n) {
+  MLEC_REQUIRE(n > 0, "uniform_below needs n > 0");
+  // Lemire's nearly-divisionless bounded generation with rejection.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = -n % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MLEC_REQUIRE(lo <= hi, "uniform_int needs lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_below(span));
+}
+
+double Rng::exponential(double rate) {
+  MLEC_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // -log(1-U) with U in [0,1) avoids log(0).
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::weibull(double shape, double scale) {
+  MLEC_REQUIRE(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
+  return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::uint64_t Rng::binomial(std::uint64_t n, double p) {
+  if (p <= 0.0 || n == 0) return 0;
+  if (p >= 1.0) return n;
+  // Waiting-time method: count geometric skips. O(np) expected, fine for the
+  // small np regimes in this library; falls back to per-trial Bernoulli when
+  // p is large so the geometric trick stays efficient.
+  if (p > 0.5) return n - binomial(n, 1.0 - p);
+  const double log_q = std::log1p(-p);
+  std::uint64_t hits = 0;
+  double skipped = 0;
+  while (true) {
+    skipped += std::floor(std::log1p(-uniform()) / log_q) + 1;
+    if (skipped > static_cast<double>(n)) return hits;
+    ++hits;
+  }
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n, std::uint64_t k) {
+  MLEC_REQUIRE(k <= n, "cannot sample more values than the population size");
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  // Floyd's algorithm: for j in [n-k, n), draw t in [0, j]; take t unless
+  // already taken, in which case take j.
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    std::uint64_t t = uniform_below(j + 1);
+    if (!seen.insert(t).second) {
+      seen.insert(j);
+      out.push_back(j);
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace mlec

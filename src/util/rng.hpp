@@ -1,0 +1,84 @@
+// Deterministic, splittable random number generation.
+//
+// Monte-Carlo experiments in this library must be reproducible across runs
+// and parallelizable across threads. We use xoshiro256** (Blackman & Vigna)
+// seeded through SplitMix64; Rng::split() derives statistically independent
+// child streams so each worker/trial can own a private generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies std::uniform_random_bit_generator so it can also feed <random>
+/// distributions if ever needed; the built-in helpers below avoid libstdc++
+/// distribution implementation differences for reproducibility.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion of `seed` (any value is fine, including 0).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Derive an independent child stream (uses jump-free reseeding through
+  /// SplitMix64 of fresh output, adequate for embarrassingly parallel MC).
+  Rng split();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given rate (events per unit
+  /// time). Requires rate > 0.
+  double exponential(double rate);
+
+  /// Weibull(shape, scale) sample. Requires shape > 0 and scale > 0.
+  double weibull(double shape, double scale);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Binomial(n, p) sample by inversion/waiting-time, suitable for the small
+  /// n (< a few thousand) used in this library.
+  std::uint64_t binomial(std::uint64_t n, double p);
+
+  /// Sample `k` distinct values from [0, n) in O(k) expected time
+  /// (Floyd's algorithm). Result is unsorted. Requires k <= n.
+  std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n, std::uint64_t k);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+/// SplitMix64 step, exposed for seeding utilities and tests.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+}  // namespace mlec

@@ -1,0 +1,82 @@
+// Streaming statistics and interval estimates for Monte-Carlo results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mlec {
+
+/// Welford streaming accumulator: mean, variance, extrema in one pass.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  double min() const { return n_ ? min_ : std::numeric_limits<double>::quiet_NaN(); }
+  double max() const { return n_ ? max_ : std::numeric_limits<double>::quiet_NaN(); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Counter for Bernoulli outcomes with interval estimation.
+class ProportionEstimate {
+ public:
+  void add(bool success) { ++trials_; successes_ += success ? 1 : 0; }
+  void add_many(std::uint64_t successes, std::uint64_t trials) {
+    successes_ += successes;
+    trials_ += trials;
+  }
+
+  std::uint64_t successes() const { return successes_; }
+  std::uint64_t trials() const { return trials_; }
+  double estimate() const { return trials_ ? static_cast<double>(successes_) / trials_ : 0.0; }
+
+  struct Interval {
+    double lo;
+    double hi;
+  };
+  /// Wilson score interval at the given normal quantile (default 95%).
+  Interval wilson(double z = 1.959964) const;
+
+ private:
+  std::uint64_t successes_ = 0;
+  std::uint64_t trials_ = 0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins so no data is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  /// Empirical quantile (linear within bins). q in [0,1].
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mlec

@@ -1,0 +1,95 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::scoped_lock lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end, std::size_t chunks,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  MLEC_REQUIRE(begin <= end, "empty-forward range required");
+  if (begin == end) return;
+  chunks = std::clamp<std::size_t>(chunks, 1, end - begin);
+
+  std::atomic<std::size_t> remaining{chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  const std::size_t total = end - begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + total * c / chunks;
+    const std::size_t hi = begin + total * (c + 1) / chunks;
+    submit([&, c, lo, hi] {
+      try {
+        fn(c, lo, hi);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1) == 1) {
+        std::scoped_lock lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_chunks(begin, end, size() * 4, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mlec

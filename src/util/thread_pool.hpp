@@ -1,0 +1,55 @@
+// Minimal work-stealing-free thread pool for embarrassingly parallel
+// Monte-Carlo sweeps.
+//
+// The library's heavy paths are independent trials/cells, so a static-chunked
+// parallel_for over an index range covers every need without task graphs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mlec {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks, and
+  /// block until all complete. fn must be safe to call concurrently for
+  /// distinct i. Exceptions from fn propagate (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Run fn(chunk_index, begin, end) over `chunks` contiguous ranges; useful
+  /// when each worker wants private state (e.g. an Rng) per chunk.
+  void parallel_chunks(std::size_t begin, std::size_t end, std::size_t chunks,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace mlec

@@ -1,0 +1,33 @@
+// Unit conventions and conversion helpers.
+//
+// The paper (and therefore this library) uses decimal storage units:
+// 1 TB = 1e12 bytes, bandwidths in MB/s (1e6 bytes/s), network links in
+// Gbps (1e9 bits/s), and times in hours unless stated otherwise.
+// All quantities are plain doubles; these helpers keep conversions explicit
+// at call sites instead of hiding them behind implicit factors.
+#pragma once
+
+namespace mlec::units {
+
+inline constexpr double kKB = 1e3;   ///< bytes per KB
+inline constexpr double kMB = 1e6;   ///< bytes per MB
+inline constexpr double kGB = 1e9;   ///< bytes per GB
+inline constexpr double kTB = 1e12;  ///< bytes per TB
+inline constexpr double kPB = 1e15;  ///< bytes per PB
+
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kHoursPerDay = 24.0;
+inline constexpr double kHoursPerYear = 8766.0;  ///< 365.25 days
+
+/// Convert a link rate in Gbps to MB/s (decimal, 8 bits per byte).
+constexpr double gbps_to_mbps(double gbps) { return gbps * 1e9 / 8.0 / kMB; }
+
+/// Convert TB to MB.
+constexpr double tb_to_mb(double tb) { return tb * kTB / kMB; }
+
+/// Time (hours) to move `tb` terabytes at `mbps` MB/s.
+constexpr double hours_to_move(double tb, double mbps) {
+  return tb_to_mb(tb) / mbps / kSecondsPerHour;
+}
+
+}  // namespace mlec::units

@@ -1,0 +1,58 @@
+#include "core/advisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+TEST(Advisor, LowDurabilityThroughputCriticalPrefersSlec) {
+  DeploymentProfile profile;
+  profile.required_nines = 10.0;
+  profile.throughput_critical = true;
+  const auto rec = advise(profile);
+  EXPECT_FALSE(rec.use_mlec);
+  EXPECT_NE(rec.summary().find("SLEC"), std::string::npos);
+}
+
+TEST(Advisor, BurstProneSitePicksCC) {
+  DeploymentProfile profile;
+  profile.required_nines = 30.0;
+  profile.frequent_failure_bursts = true;
+  profile.has_devops_team = true;
+  const auto rec = advise(profile);
+  EXPECT_TRUE(rec.use_mlec);
+  EXPECT_EQ(rec.scheme, MlecScheme::kCC);
+  EXPECT_EQ(rec.repair, RepairMethod::kRepairMinimum);
+}
+
+TEST(Advisor, QuietSitePicksCD) {
+  DeploymentProfile profile;
+  profile.required_nines = 30.0;
+  profile.frequent_failure_bursts = false;
+  profile.has_devops_team = true;
+  const auto rec = advise(profile);
+  EXPECT_EQ(rec.scheme, MlecScheme::kCD);
+}
+
+TEST(Advisor, NoDevopsMeansRepairAll) {
+  DeploymentProfile profile;
+  profile.required_nines = 30.0;
+  profile.has_devops_team = false;
+  const auto rec = advise(profile);
+  EXPECT_EQ(rec.repair, RepairMethod::kRepairAll);
+  EXPECT_NE(rec.summary().find("R_ALL"), std::string::npos);
+}
+
+TEST(Advisor, RationaleCitesTakeaways) {
+  DeploymentProfile profile;
+  profile.required_nines = 40.0;
+  const auto rec = advise(profile);
+  ASSERT_FALSE(rec.rationale.empty());
+  bool cites = false;
+  for (const auto& line : rec.rationale)
+    cites |= line.find("takeaway") != std::string::npos;
+  EXPECT_TRUE(cites);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,63 @@
+#include "core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+TEST(Analyzer, PaperDefaultsReportEndToEnd) {
+  const MlecAnalyzer analyzer{SystemSpec{}};
+  const std::string report = analyzer.report();
+  EXPECT_NE(report.find("(10+2)/(17+3)"), std::string::npos);
+  EXPECT_NE(report.find("57600 disks"), std::string::npos);
+  EXPECT_NE(report.find("R_MIN"), std::string::npos);
+  EXPECT_NE(report.find("durability"), std::string::npos);
+}
+
+TEST(Analyzer, NumbersAgreeWithUnderlyingModels) {
+  SystemSpec spec;
+  spec.scheme = MlecScheme::kCD;
+  spec.repair = RepairMethod::kRepairHybrid;
+  const MlecAnalyzer analyzer(spec);
+
+  EXPECT_NEAR(analyzer.repair_bandwidth().single_disk_mbps, 264.0, 1.0);
+  EXPECT_NEAR(analyzer.single_disk_repair_hours(), 21.0, 0.1);
+  EXPECT_NEAR(analyzer.catastrophic_repair_hours(), 2666.7, 1.0);
+  EXPECT_NEAR(analyzer.injection_traffic().cross_rack_tb(), 3.11, 0.05);
+  EXPECT_GT(analyzer.durability().nines, 25.0);
+  EXPECT_GT(analyzer.method_repair_time().local_hours, 0.0);
+}
+
+TEST(Analyzer, BurstPdlDelegates) {
+  const MlecAnalyzer analyzer{SystemSpec{}};
+  EXPECT_EQ(analyzer.burst_pdl(1, 60, 50), 0.0);  // p_n racks always survive
+}
+
+TEST(Analyzer, AnnualTrafficIsTiny) {
+  SystemSpec spec;
+  spec.scheme = MlecScheme::kCD;
+  const MlecAnalyzer analyzer(spec);
+  // "A few TB every thousand of years" (paper §5.1.4).
+  EXPECT_LT(analyzer.annual_traffic().cross_rack_tb_per_year, 0.1);
+}
+
+TEST(Analyzer, SplittingPathAccepted) {
+  const MlecAnalyzer analyzer{SystemSpec{}};
+  LocalPoolStats stage1;
+  stage1.cat_rate_per_pool_year = 1e-7;
+  stage1.lost_stripe_fraction = 0.4;
+  const auto r = analyzer.durability(stage1);
+  EXPECT_NEAR(r.stage1.cat_rate_per_pool_year, 1e-7, 1e-15);
+}
+
+TEST(Analyzer, InvalidSpecRejected) {
+  SystemSpec spec;
+  spec.afr = 0.0;
+  EXPECT_THROW(MlecAnalyzer{spec}, PreconditionError);
+  spec = {};
+  spec.code.local = {16, 3};  // 120 % 19 != 0 under C/C
+  EXPECT_THROW(MlecAnalyzer{spec}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,97 @@
+#include "topology/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+BandwidthModel paper_model() { return BandwidthModel(BandwidthConfig::paper_default()); }
+
+TEST(BandwidthConfig, EffectiveRates) {
+  const auto bw = BandwidthConfig::paper_default();
+  EXPECT_DOUBLE_EQ(bw.effective_disk_mbps(), 40.0);    // 200 MB/s * 20%
+  EXPECT_DOUBLE_EQ(bw.effective_rack_mbps(), 250.0);   // 10 Gbps * 20%
+}
+
+TEST(BandwidthConfig, ValidationRejectsBadFraction) {
+  BandwidthConfig bw;
+  bw.repair_fraction = 0.0;
+  EXPECT_THROW(bw.validate(), PreconditionError);
+  bw.repair_fraction = 1.5;
+  EXPECT_THROW(bw.validate(), PreconditionError);
+}
+
+// The four Table 2 bandwidths, derived from first principles in the paper.
+TEST(BandwidthModel, Table2SingleDiskClustered) {
+  // 19 readers at amp 17, one spare writer: write-bound at 40 MB/s.
+  RepairFlow flow;
+  flow.read_amp = 17;
+  flow.write_amp = 1;
+  flow.read_only_disks = 19;
+  flow.write_only_disks = 1;
+  EXPECT_NEAR(paper_model().available_repair_mbps(flow), 40.0, 1e-9);
+}
+
+TEST(BandwidthModel, Table2SingleDiskDeclustered) {
+  // 119 shared read/write disks, (17+1) IO bytes per repaired byte.
+  RepairFlow flow;
+  flow.read_amp = 17;
+  flow.write_amp = 1;
+  flow.shared_disks = 119;
+  EXPECT_NEAR(paper_model().available_repair_mbps(flow), 119.0 * 40 / 18, 1e-9);  // ~264
+}
+
+TEST(BandwidthModel, Table2PoolClustered) {
+  // 10 source racks, 1 target rack: ingress-bound at 250 MB/s.
+  RepairFlow flow;
+  flow.read_amp = 10;
+  flow.write_amp = 1;
+  flow.read_only_disks = 200;
+  flow.write_only_disks = 20;
+  flow.cross_rack = true;
+  flow.read_only_racks = 10;
+  flow.write_only_racks = 1;
+  EXPECT_NEAR(paper_model().available_repair_mbps(flow), 250.0, 1e-9);
+}
+
+TEST(BandwidthModel, Table2PoolDeclustered) {
+  // All 60 racks shared, 11 network bytes per repaired byte: ~1363 MB/s.
+  RepairFlow flow;
+  flow.read_amp = 10;
+  flow.write_amp = 1;
+  flow.shared_disks = 57000;
+  flow.cross_rack = true;
+  flow.shared_racks = 60;
+  EXPECT_NEAR(paper_model().available_repair_mbps(flow), 60.0 * 250 / 11, 1e-9);  // ~1363.6
+}
+
+TEST(BandwidthModel, PicksTheTightestBottleneck) {
+  RepairFlow flow;
+  flow.read_amp = 1;
+  flow.write_amp = 1;
+  flow.read_only_disks = 100;  // 4000 MB/s
+  flow.write_only_disks = 1;   // 40 MB/s  <- bottleneck
+  EXPECT_NEAR(paper_model().available_repair_mbps(flow), 40.0, 1e-9);
+}
+
+TEST(BandwidthModel, RepairHours) {
+  RepairFlow flow;
+  flow.read_amp = 17;
+  flow.write_amp = 1;
+  flow.read_only_disks = 19;
+  flow.write_only_disks = 1;
+  // 20 TB at 40 MB/s = 138.9 hours (Figure 6a).
+  EXPECT_NEAR(paper_model().repair_hours(20.0, flow), 138.888, 0.01);
+  EXPECT_DOUBLE_EQ(paper_model().repair_hours(0.0, flow), 0.0);
+}
+
+TEST(BandwidthModel, RequiresParticipants) {
+  RepairFlow flow;  // no disks at all
+  EXPECT_THROW(paper_model().available_repair_mbps(flow), PreconditionError);
+  flow.read_only_disks = 1;
+  flow.cross_rack = true;  // but no racks
+  EXPECT_THROW(paper_model().available_repair_mbps(flow), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,246 @@
+#include "analysis/burst_pdl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "placement/stripe_map.hpp"
+#include "sim/failure_gen.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(Helpers, SaturatingLoss) {
+  EXPECT_DOUBLE_EQ(saturating_loss(0.0, 1e10), 0.0);
+  EXPECT_DOUBLE_EQ(saturating_loss(1.0, 5.0), 1.0);
+  EXPECT_NEAR(saturating_loss(0.5, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(saturating_loss(1e-10, 1e10), 1.0 - std::exp(-1.0), 1e-3);
+  EXPECT_NEAR(saturating_loss(1e-15, 1e5), 1e-10, 1e-13);
+}
+
+// Exhaustive check of the no-pool-over-threshold DP against enumeration.
+double brute_no_pool_reaches(std::size_t pools, std::size_t pool_size, std::size_t failures,
+                             std::size_t threshold) {
+  const std::size_t disks = pools * pool_size;
+  // Enumerate all C(disks, failures) subsets via bitmask (small cases only).
+  double ok = 0, total = 0;
+  for (std::size_t mask = 0; mask < (1u << disks); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != failures) continue;
+    total += 1;
+    bool fine = true;
+    for (std::size_t pool = 0; pool < pools && fine; ++pool) {
+      std::size_t count = 0;
+      for (std::size_t d = 0; d < pool_size; ++d)
+        count += (mask >> (pool * pool_size + d)) & 1;
+      fine = count < threshold;
+    }
+    ok += fine ? 1 : 0;
+  }
+  return ok / total;
+}
+
+TEST(Helpers, ProbNoPoolReachesMatchesEnumeration) {
+  for (std::size_t f = 1; f <= 6; ++f)
+    for (std::size_t t = 1; t <= 3; ++t)
+      EXPECT_NEAR(prob_no_pool_reaches(4, 3, f, t), brute_no_pool_reaches(4, 3, f, t), 1e-9)
+          << "f=" << f << " t=" << t;
+}
+
+TEST(Helpers, ProbNoPoolReachesEdges) {
+  EXPECT_DOUBLE_EQ(prob_no_pool_reaches(5, 4, 0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(prob_no_pool_reaches(5, 4, 3, 0), 0.0);
+  // All disks failed: every pool is saturated.
+  EXPECT_DOUBLE_EQ(prob_no_pool_reaches(2, 3, 6, 3), 0.0);
+}
+
+// Brute-force the random-rack-choice tail by enumerating rack subsets and
+// loss outcomes.
+double brute_rack_choice(const std::vector<double>& prob, std::size_t total, std::size_t choose,
+                         std::size_t threshold) {
+  const std::size_t a = prob.size();
+  std::vector<std::size_t> racks(total);
+  double acc = 0, subsets = 0;
+  // Enumerate chosen subsets via bitmask over `total` racks.
+  for (std::size_t mask = 0; mask < (1u << total); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(mask)) != choose) continue;
+    subsets += 1;
+    // Enumerate loss outcomes of the chosen affected racks.
+    std::vector<std::size_t> affected;
+    for (std::size_t r = 0; r < a; ++r)
+      if (mask & (1u << r)) affected.push_back(r);
+    for (std::size_t lm = 0; lm < (1u << affected.size()); ++lm) {
+      double p = 1.0;
+      std::size_t losses = 0;
+      for (std::size_t i = 0; i < affected.size(); ++i) {
+        if (lm & (1u << i)) {
+          p *= prob[affected[i]];
+          ++losses;
+        } else {
+          p *= 1.0 - prob[affected[i]];
+        }
+      }
+      if (losses >= threshold) acc += p;
+    }
+  }
+  return acc / subsets;
+}
+
+TEST(Helpers, RandomRackChoiceTailMatchesEnumeration) {
+  const std::vector<double> probs{0.9, 0.4, 0.15, 0.7};
+  for (std::size_t choose = 1; choose <= 6; ++choose)
+    for (std::size_t t = 1; t <= 3; ++t)
+      EXPECT_NEAR(random_rack_choice_tail(probs, 8, choose, t),
+                  brute_rack_choice(probs, 8, choose, t), 1e-9)
+          << "choose=" << choose << " t=" << t;
+}
+
+TEST(Helpers, RandomRackChoiceEdges) {
+  EXPECT_DOUBLE_EQ(random_rack_choice_tail({1.0, 1.0}, 4, 3, 4), 0.0);  // t > choose
+  EXPECT_DOUBLE_EQ(random_rack_choice_tail({0.5}, 4, 2, 0), 1.0);
+  // All racks affected with certain loss: tail is 1 when t <= choose.
+  EXPECT_NEAR(random_rack_choice_tail({1, 1, 1, 1}, 4, 2, 2), 1.0, 1e-12);
+}
+
+// --- engine-level properties on the paper topology ---
+
+class MlecBurstSchemes : public ::testing::TestWithParam<MlecScheme> {};
+
+TEST_P(MlecBurstSchemes, PaperFinding3ZeroCells) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 50;
+  const BurstPdlEngine engine(cfg);
+  const auto code = MlecCode::paper_default();
+  // F#3: any p_n = 2 full rack failures are survivable...
+  EXPECT_EQ(engine.mlec_cell(code, GetParam(), 1, 60), 0.0);
+  EXPECT_EQ(engine.mlec_cell(code, GetParam(), 2, 120), 0.0);
+  // ...and x+2*(p_l+1)... at most p_n catastrophic pools with x+8 failures
+  // over x racks (each needs p_l+1 = 4 in one rack).
+  EXPECT_EQ(engine.mlec_cell(code, GetParam(), 10, 18), 0.0);
+}
+
+TEST_P(MlecBurstSchemes, InfeasibleCellsReportZero) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 10;
+  const BurstPdlEngine engine(cfg);
+  EXPECT_EQ(engine.mlec_cell(MlecCode::paper_default(), GetParam(), 10, 5), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MlecBurstSchemes, ::testing::ValuesIn(kAllMlecSchemes));
+
+TEST(MlecBurst, Finding4ConcentrationAtPnPlus1Racks) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 400;
+  const BurstPdlEngine engine(cfg);
+  const auto code = MlecCode::paper_default();
+  // F#2/F#4: for D/D, 60 failures in 3 racks beat 60 failures in 30 racks.
+  const double concentrated = engine.mlec_cell(code, MlecScheme::kDD, 3, 60);
+  const double scattered = engine.mlec_cell(code, MlecScheme::kDD, 30, 60);
+  EXPECT_GT(concentrated, scattered * 10);
+}
+
+TEST(MlecBurst, Finding7DDWorstAtHotCell) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 400;
+  const BurstPdlEngine engine(cfg);
+  const auto code = MlecCode::paper_default();
+  const double dd = engine.mlec_cell(code, MlecScheme::kDD, 3, 60);
+  const double cc = engine.mlec_cell(code, MlecScheme::kCC, 3, 60);
+  const double dc = engine.mlec_cell(code, MlecScheme::kDC, 3, 60);
+  EXPECT_GT(dd, dc);
+  EXPECT_GT(dc, cc);
+}
+
+TEST(SlecBurst, PaperSection513Patterns) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 300;
+  const BurstPdlEngine engine(cfg);
+  const SlecCode code{7, 3};
+
+  // Net-Cp survives anything confined to <= p racks.
+  EXPECT_EQ(engine.slec_cell(code, {SlecDomain::kNetwork, Placement::kClustered}, 3, 60), 0.0);
+  // Local SLEC is hit by localized bursts; network SLEC by scattered ones.
+  const double loc_localized =
+      engine.slec_cell(code, {SlecDomain::kLocal, Placement::kClustered}, 1, 60);
+  const double loc_scattered =
+      engine.slec_cell(code, {SlecDomain::kLocal, Placement::kClustered}, 60, 60);
+  EXPECT_GT(loc_localized, loc_scattered);
+  const double net_scattered =
+      engine.slec_cell(code, {SlecDomain::kNetwork, Placement::kDeclustered}, 60, 60);
+  const double net_localized =
+      engine.slec_cell(code, {SlecDomain::kNetwork, Placement::kDeclustered}, 4, 60);
+  EXPECT_GT(net_scattered, net_localized);
+}
+
+TEST(LrcBurst, ScatteredWorseThanLocalized) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 200;
+  const BurstPdlEngine engine(cfg);
+  const LrcCode code{14, 2, 4};
+  const double scattered = engine.lrc_cell(code, 50, 60);
+  const double localized = engine.lrc_cell(code, 3, 60);
+  EXPECT_GT(scattered, localized);
+}
+
+TEST(Heatmaps, SweepShapesAndLabels) {
+  BurstPdlConfig cfg;
+  cfg.trials_per_cell = 5;
+  const BurstPdlEngine engine(cfg);
+  const auto map = engine.mlec_heatmap(MlecCode::paper_default(), MlecScheme::kCC, 20, 60, 60,
+                                       &global_pool());
+  // x: 1..5 (always included so the hot p_n+1 column is visible) + 20,40,60.
+  ASSERT_EQ(map.x_labels.size(), 8u);
+  EXPECT_EQ(map.x_labels.front(), 1);
+  EXPECT_EQ(map.x_labels.back(), 60);
+  ASSERT_EQ(map.y_labels.size(), 3u);
+  EXPECT_EQ(map.y_labels.front(), 60);  // descending rows like the paper
+  EXPECT_EQ(map.values.size(), 3u);
+  for (const auto& row : map.values) EXPECT_EQ(row.size(), 8u);
+}
+
+// Cross-validation against brute-force chunk-level assessment on a toy
+// system where raw Monte Carlo converges.
+TEST(CrossValidation, EngineMatchesChunkLevelMonteCarlo) {
+  DataCenterConfig dc;
+  dc.racks = 6;
+  dc.enclosures_per_rack = 2;
+  dc.disks_per_enclosure = 6;
+  dc.disk_capacity_tb = 1.28e-6;  // 10 chunks/disk keeps stripe counts real
+  dc.chunk_kb = 128.0;
+  const MlecCode code{{2, 1}, {2, 1}};
+
+  BurstPdlConfig cfg;
+  cfg.dc = dc;
+  cfg.trials_per_cell = 4000;
+  const BurstPdlEngine engine(cfg);
+
+  const Topology topo(dc);
+  Rng rng(2024);
+  for (const auto scheme : kAllMlecSchemes) {
+    const std::size_t racks = 3, failures = 6;
+    const double analytic = engine.mlec_cell(code, scheme, racks, failures);
+
+    // Brute force: fresh random placement + burst each trial, materializing
+    // the full chunk density (total chunks / chunks per network stripe,
+    // spread over the scheme's network pools).
+    const std::size_t trials = 4000;
+    std::size_t losses = 0;
+    const PoolLayout layout(dc, code, scheme);
+    const std::size_t density = static_cast<std::size_t>(
+        layout.total_network_stripes() / static_cast<double>(layout.network_pools()) + 0.5);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const StripeMap map(topo, code, scheme, density, rng());
+      const auto burst = generate_burst(topo, racks, failures, 0.0, rng);
+      std::vector<DiskId> failed;
+      for (const auto& ev : burst) failed.push_back(ev.disk);
+      losses += assess_failures(map, failed).data_loss() ? 1 : 0;
+    }
+    const double brute = static_cast<double>(losses) / trials;
+    // Agreement within Monte Carlo error plus the engine's independence
+    // approximations: generous band, but both must be the same magnitude.
+    const double tol = std::max(0.3 * std::max(analytic, brute), 0.012);
+    EXPECT_NEAR(analytic, brute, tol) << to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace mlec

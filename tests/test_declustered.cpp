@@ -1,0 +1,97 @@
+#include "placement/declustered.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlec {
+namespace {
+
+const std::array<DeclusterStrategy, 3> kStrategies = {DeclusterStrategy::kRoundRobin,
+                                                      DeclusterStrategy::kPseudorandom,
+                                                      DeclusterStrategy::kLowOverlap};
+
+class LayoutStrategies : public ::testing::TestWithParam<DeclusterStrategy> {};
+
+TEST_P(LayoutStrategies, StripesUseDistinctDisksInRange) {
+  const auto layout = make_declustered_layout(24, 6, 100, GetParam());
+  ASSERT_EQ(layout.stripes.size(), 100u);
+  for (const auto& stripe : layout.stripes) {
+    ASSERT_EQ(stripe.size(), 6u);
+    const std::set<std::uint32_t> uniq(stripe.begin(), stripe.end());
+    EXPECT_EQ(uniq.size(), 6u);
+    for (auto d : stripe) EXPECT_LT(d, 24u);
+  }
+}
+
+TEST_P(LayoutStrategies, CapacityStaysRoughlyBalanced) {
+  const auto layout = make_declustered_layout(20, 5, 400, GetParam());
+  const auto q = analyze_layout(layout);
+  // 400 stripes * 5 chunks over 20 disks = 100 per disk on average.
+  EXPECT_NEAR(q.mean_stripes_per_disk, 100.0, 1e-9);
+  EXPECT_LT(q.max_stripes_per_disk, 140.0);
+}
+
+TEST_P(LayoutStrategies, FullWidthStripeDegeneratesToClustered) {
+  // width == pool: every stripe spans every disk, fan-out n-1, overlap = S.
+  const auto layout = make_declustered_layout(6, 6, 10, GetParam());
+  const auto q = analyze_layout(layout);
+  EXPECT_DOUBLE_EQ(q.mean_rebuild_fanout, 5.0);
+  EXPECT_EQ(q.max_pair_overlap, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, LayoutStrategies, ::testing::ValuesIn(kStrategies));
+
+TEST(DeclusteredLayout, WideEnoughPoolsReachFullFanout) {
+  // Plenty of pseudorandom stripes: every survivor participates in every
+  // rebuild (the paper's "all the surviving disks participate").
+  const auto layout =
+      make_declustered_layout(24, 6, 600, DeclusterStrategy::kPseudorandom, 3);
+  const auto q = analyze_layout(layout);
+  EXPECT_DOUBLE_EQ(q.min_rebuild_fanout, 23.0);
+}
+
+TEST(DeclusteredLayout, LowOverlapBeatsRandomOnOverlap) {
+  // With few stripes the greedy layout should achieve single overlap while
+  // random placement collides.
+  const auto greedy = make_declustered_layout(30, 5, 30, DeclusterStrategy::kLowOverlap, 5);
+  const auto random = make_declustered_layout(30, 5, 30, DeclusterStrategy::kPseudorandom, 5);
+  const auto qg = analyze_layout(greedy);
+  const auto qr = analyze_layout(random);
+  EXPECT_LE(qg.max_pair_overlap, qr.max_pair_overlap);
+  EXPECT_LE(qg.max_pair_overlap, 2u);
+}
+
+TEST(DeclusteredLayout, RebuildBandwidthMatchesTable2Ideal) {
+  // A balanced 120-disk (17+3) layout should approach the paper's 264 MB/s
+  // declustered rebuild rate ((n-1) * 40 / (k+1)).
+  const auto layout =
+      make_declustered_layout(120, 20, 4000, DeclusterStrategy::kPseudorandom, 9);
+  const double mbps = layout_rebuild_mbps(layout, 17, 40.0);
+  const double ideal = 119.0 * 40.0 / 18.0;  // 264.4
+  EXPECT_GT(mbps, 0.75 * ideal);
+  EXPECT_LE(mbps, ideal * 1.001);
+}
+
+TEST(DeclusteredLayout, ClusteredPoolIsWriteBound) {
+  // width == pool keeps every read on the k survivors: the rate collapses
+  // toward the clustered regime.
+  const auto clustered = make_declustered_layout(20, 20, 200, DeclusterStrategy::kRoundRobin);
+  const auto declustered =
+      make_declustered_layout(120, 20, 1200, DeclusterStrategy::kPseudorandom, 2);
+  EXPECT_LT(layout_rebuild_mbps(clustered, 17, 40.0),
+            layout_rebuild_mbps(declustered, 17, 40.0));
+}
+
+TEST(DeclusteredLayout, InvalidArgumentsRejected) {
+  EXPECT_THROW(make_declustered_layout(4, 5, 1, DeclusterStrategy::kPseudorandom),
+               PreconditionError);
+  EXPECT_THROW(make_declustered_layout(4, 2, 0, DeclusterStrategy::kPseudorandom),
+               PreconditionError);
+  const auto layout = make_declustered_layout(6, 3, 5, DeclusterStrategy::kPseudorandom);
+  EXPECT_THROW(layout_rebuild_mbps(layout, 3, 40.0), PreconditionError);  // k == width
+  EXPECT_THROW(layout_rebuild_mbps(layout, 2, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

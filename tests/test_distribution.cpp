@@ -1,0 +1,74 @@
+#include "math/distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(DiscreteDist, DeltaAndTail) {
+  const auto d = DiscreteDist::delta(3);
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.pmf(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.tail_geq(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.tail_geq(4), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(DiscreteDist, PmfOutOfRangeIsZero) {
+  const DiscreteDist d(std::vector<double>{0.5, 0.5});
+  EXPECT_DOUBLE_EQ(d.pmf(7), 0.0);
+}
+
+TEST(DiscreteDist, RejectsNegativeMass) {
+  EXPECT_THROW(DiscreteDist(std::vector<double>{0.5, -0.1}), PreconditionError);
+}
+
+TEST(DiscreteDist, ConvolveMatchesDiceSum) {
+  std::vector<double> pmf(7, 1.0 / 6.0);
+  pmf[0] = 0.0;
+  const DiscreteDist d(pmf);
+  const auto sum = d.convolve(d);
+  // P(sum of two dice = 7) = 6/36.
+  EXPECT_NEAR(sum.pmf(7), 6.0 / 36.0, 1e-12);
+  EXPECT_NEAR(sum.pmf(2), 1.0 / 36.0, 1e-12);
+  EXPECT_NEAR(sum.pmf(12), 1.0 / 36.0, 1e-12);
+  EXPECT_NEAR(sum.total_mass(), 1.0, 1e-12);
+}
+
+TEST(DiscreteDist, SaturatingConvolveLumpsMass) {
+  const DiscreteDist d(std::vector<double>{0.5, 0.5});  // fair coin
+  auto sum = d.convolve(d, 1);                          // cap at 1
+  ASSERT_EQ(sum.size(), 2u);
+  EXPECT_NEAR(sum.pmf(0), 0.25, 1e-12);
+  EXPECT_NEAR(sum.pmf(1), 0.75, 1e-12);  // P(X+Y >= 1)
+}
+
+TEST(DiscreteDist, NormalizeRequiresMass) {
+  DiscreteDist zero(std::vector<double>{0.0, 0.0});
+  EXPECT_THROW(zero.normalize(), PreconditionError);
+}
+
+TEST(DiscreteDist, SamplerMatchesDistribution) {
+  DiscreteDist d(std::vector<double>{0.2, 0.5, 0.3});
+  const DiscreteDist::Sampler sampler(d);
+  Rng rng(77);
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[sampler(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(DiscreteDist, DirectSampleAgrees) {
+  DiscreteDist d(std::vector<double>{0.7, 0.3});
+  Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += d.sample(rng) == 1 ? 1 : 0;
+  EXPECT_NEAR(ones / 10000.0, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,183 @@
+#include "analysis/fleet_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/durability.hpp"
+#include "sim/system_sim.hpp"
+#include "util/units.hpp"
+
+namespace mlec {
+namespace {
+
+/// A hot, shrunken fleet where a one-year mission sees real action:
+/// 6 racks x 2 enclosures x 20 disks, (2+1)/(3+1), AFR 40%.
+FleetSimConfig hot_fleet(MlecScheme scheme) {
+  FleetSimConfig cfg;
+  cfg.dc.racks = 6;
+  cfg.dc.enclosures_per_rack = 2;
+  cfg.dc.disks_per_enclosure = 20;
+  cfg.dc.disk_capacity_tb = 20.0;
+  cfg.code = {{2, 1}, {3, 1}};
+  cfg.scheme = scheme;
+  cfg.failures.afr = 0.4;
+  return cfg;
+}
+
+TEST(FleetSim, NoFailuresNothingHappens) {
+  auto cfg = hot_fleet(MlecScheme::kCC);
+  cfg.failures.afr = 1e-12;
+  const auto r = simulate_fleet(cfg, 50, 1);
+  EXPECT_EQ(r.data_loss_missions, 0u);
+  EXPECT_EQ(r.catastrophic_pool_events, 0u);
+  EXPECT_EQ(r.cross_rack_tb, 0.0);
+}
+
+TEST(FleetSim, FailureCountMatchesPoissonRate) {
+  auto cfg = hot_fleet(MlecScheme::kCC);
+  const auto r = simulate_fleet(cfg, 200, 2);
+  // 240 disks * 0.4/yr * 1 yr = 96 per mission.
+  const double per_mission = static_cast<double>(r.disk_failures) / 200.0;
+  EXPECT_NEAR(per_mission, 96.0, 5.0);
+}
+
+class FleetSchemes : public ::testing::TestWithParam<MlecScheme> {};
+
+TEST_P(FleetSchemes, CatastrophesAndTrafficAccumulate) {
+  auto cfg = hot_fleet(GetParam());
+  cfg.method = RepairMethod::kRepairFailedOnly;
+  const auto r = simulate_fleet(cfg, 300, 3);
+  EXPECT_GT(r.catastrophic_pool_events, 10u);
+  EXPECT_GT(r.cross_rack_tb, 0.0);
+  EXPECT_GT(r.catastrophe_exposure_hours.mean(), cfg.detection_hours);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FleetSchemes, ::testing::ValuesIn(kAllMlecSchemes));
+
+TEST(FleetSim, RepairAllMovesMoreBytesThanRepairMin) {
+  auto cfg = hot_fleet(MlecScheme::kCC);
+  cfg.method = RepairMethod::kRepairAll;
+  const auto rall = simulate_fleet(cfg, 200, 4);
+  cfg.method = RepairMethod::kRepairMinimum;
+  const auto rmin = simulate_fleet(cfg, 200, 4);
+  ASSERT_GT(rall.catastrophic_pool_events, 0u);
+  const double per_event_all =
+      rall.cross_rack_tb / static_cast<double>(rall.catastrophic_pool_events);
+  const double per_event_min =
+      rmin.cross_rack_tb / static_cast<double>(rmin.catastrophic_pool_events);
+  EXPECT_GT(per_event_all, per_event_min * 3.0);
+}
+
+TEST(FleetSim, MatchesDurabilityPipelineAtHighRates) {
+  // The count-level simulator and the splitting/Markov pipeline should
+  // agree on the catastrophic-pool rate in a regime hot enough to sample.
+  auto cfg = hot_fleet(MlecScheme::kCC);
+  const auto sim = simulate_fleet(cfg, 400, 5);
+
+  DurabilityEnv env;
+  env.dc = cfg.dc;
+  env.afr = cfg.failures.afr;
+  const auto stage1 = local_pool_stats(env, cfg.code.local, Placement::kClustered,
+                                       cfg.code.local_width());
+  const PoolLayout layout(cfg.dc, cfg.code, cfg.scheme);
+  const double expected =
+      stage1.cat_rate_per_pool_year * static_cast<double>(layout.total_local_pools());
+  const double simulated = sim.catastrophes_per_system_year(cfg.mission_hours);
+  EXPECT_GT(simulated, expected / 2.5);
+  EXPECT_LT(simulated, expected * 2.5);
+}
+
+TEST(FleetSim, InjectedBurstMatchesBurstEngine) {
+  // Inject one paper-style burst per mission; the resulting PDL should
+  // match the conditional-MC burst engine's cell value.
+  FleetSimConfig cfg;
+  cfg.dc.racks = 12;
+  cfg.dc.enclosures_per_rack = 2;
+  cfg.dc.disks_per_enclosure = 12;
+  cfg.dc.disk_capacity_tb = 0.00000128;  // 10 chunks/disk
+  cfg.code = {{2, 1}, {2, 1}};
+  cfg.scheme = MlecScheme::kDD;
+  cfg.failures.afr = 1e-12;  // burst only
+  cfg.mission_hours = 10.0;
+
+  BurstPdlConfig engine_cfg;
+  engine_cfg.dc = cfg.dc;
+  engine_cfg.trials_per_cell = 6000;
+  const BurstPdlEngine engine(engine_cfg);
+  const std::size_t racks = 2, failures = 10;
+  const double expected = engine.mlec_cell(cfg.code, cfg.scheme, racks, failures);
+  ASSERT_GT(expected, 0.01);  // the cell must be hot for MC comparison
+
+  const Topology topo(cfg.dc);
+  Rng rng(6);
+  std::uint64_t losses = 0;
+  const std::uint64_t missions = 4000;
+  for (std::uint64_t m = 0; m < missions; ++m) {
+    cfg.injected_events = generate_burst(topo, racks, failures, 1.0, rng);
+    losses += simulate_fleet(cfg, 1, m).data_loss_missions;
+  }
+  const double simulated = static_cast<double>(losses) / static_cast<double>(missions);
+  EXPECT_NEAR(simulated, expected, std::max(0.35 * expected, 0.02));
+}
+
+TEST(FleetSim, ParallelShardingMatchesSerialStatistically) {
+  auto cfg = hot_fleet(MlecScheme::kCD);
+  const auto serial = simulate_fleet(cfg, 300, 7);
+  const auto parallel = simulate_fleet(cfg, 300, 8, &global_pool());
+  EXPECT_EQ(serial.missions, parallel.missions);
+  // Different seeds/sharding: rates agree within Monte Carlo noise.
+  const double a = static_cast<double>(serial.catastrophic_pool_events);
+  const double b = static_cast<double>(parallel.catastrophic_pool_events);
+  EXPECT_NEAR(a, b, 4.0 * std::sqrt(a + b) + 5.0);
+}
+
+TEST(FleetSim, StopOnLossVersusCounting) {
+  auto cfg = hot_fleet(MlecScheme::kDC);
+  cfg.code = {{2, 1}, {3, 1}};
+  cfg.failures.afr = 0.8;
+  cfg.method = RepairMethod::kRepairAll;
+  cfg.stop_on_loss = false;
+  const auto counting = simulate_fleet(cfg, 150, 9);
+  EXPECT_GE(counting.data_loss_events, counting.data_loss_missions);
+}
+
+TEST(FleetSim, AgreesWithChunkExactSimulator) {
+  // The count-level fleet simulator and the chunk-exact system simulator
+  // model the same physics; on a toy C/C deployment their PDLs must land in
+  // the same range.
+  SystemSimConfig chunk_cfg;
+  chunk_cfg.dc.racks = 6;
+  chunk_cfg.dc.enclosures_per_rack = 2;
+  chunk_cfg.dc.disks_per_enclosure = 6;
+  chunk_cfg.dc.disk_capacity_tb = 30.0;
+  chunk_cfg.code = {{2, 1}, {2, 1}};
+  chunk_cfg.scheme = MlecScheme::kCC;
+  chunk_cfg.method = RepairMethod::kRepairAll;
+  chunk_cfg.failures.afr = 0.8;
+  chunk_cfg.stripes_per_network_pool = 4;
+  const auto chunk = simulate_system(chunk_cfg, 1500, 10);
+
+  FleetSimConfig fleet_cfg;
+  fleet_cfg.dc = chunk_cfg.dc;
+  fleet_cfg.code = chunk_cfg.code;
+  fleet_cfg.scheme = chunk_cfg.scheme;
+  fleet_cfg.method = chunk_cfg.method;
+  fleet_cfg.failures = chunk_cfg.failures;
+  const auto fleet = simulate_fleet(fleet_cfg, 1500, 11);
+
+  ASSERT_GT(chunk.data_loss_missions + fleet.data_loss_missions, 20u);
+  const double ratio = std::max(fleet.pdl(), 1e-4) / std::max(chunk.pdl(), 1e-4);
+  EXPECT_GT(ratio, 1.0 / 4.0);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(FleetSim, ValidatesConfig) {
+  FleetSimConfig cfg;
+  cfg.mission_hours = 0.0;
+  EXPECT_THROW(simulate_fleet(cfg, 1, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,136 @@
+#include "gf/gf256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mlec::gf {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(add(0x57, 0x83), 0x57 ^ 0x83);
+  EXPECT_EQ(add(0xff, 0xff), 0);
+}
+
+TEST(Gf256, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<byte_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<byte_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<byte_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, KnownProducts) {
+  // x * x^7 = x^8 reduces to x^4+x^3+x^2+1 = 0x1d under the 0x11d polynomial.
+  EXPECT_EQ(mul(2, 128), 0x1d);
+  EXPECT_EQ(mul(2, 2), 4);
+  EXPECT_EQ(mul(4, 4), 16);
+}
+
+TEST(Gf256, MulIsCommutativeAndAssociative) {
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<byte_t>(rng.uniform_below(256));
+    const auto b = static_cast<byte_t>(rng.uniform_below(256));
+    const auto c = static_cast<byte_t>(rng.uniform_below(256));
+    EXPECT_EQ(mul(a, b), mul(b, a));
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<byte_t>(rng.uniform_below(256));
+    const auto b = static_cast<byte_t>(rng.uniform_below(256));
+    const auto c = static_cast<byte_t>(rng.uniform_below(256));
+    EXPECT_EQ(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+  }
+}
+
+TEST(Gf256, EveryNonzeroHasInverse) {
+  for (unsigned a = 1; a < 256; ++a)
+    EXPECT_EQ(mul(static_cast<byte_t>(a), inv(static_cast<byte_t>(a))), 1) << "a=" << a;
+}
+
+TEST(Gf256, ZeroHasNoInverse) { EXPECT_THROW(inv(0), PreconditionError); }
+
+TEST(Gf256, DivisionInvertsMultiplication) {
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<byte_t>(rng.uniform_below(256));
+    const auto b = static_cast<byte_t>(1 + rng.uniform_below(255));
+    EXPECT_EQ(div(mul(a, b), b), a);
+  }
+  EXPECT_THROW(div(5, 0), PreconditionError);
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  for (unsigned a : {0u, 1u, 2u, 3u, 0x53u, 0xffu}) {
+    byte_t acc = 1;
+    for (unsigned n = 0; n < 300; ++n) {
+      EXPECT_EQ(pow(static_cast<byte_t>(a), n), acc) << "a=" << a << " n=" << n;
+      acc = mul(acc, static_cast<byte_t>(a));
+    }
+  }
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // kGenerator must generate all 255 nonzero elements.
+  std::vector<bool> seen(256, false);
+  byte_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]);
+    seen[x] = true;
+    x = mul(x, kGenerator);
+  }
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Gf256, MulTablesMatchScalar) {
+  Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const auto c = static_cast<byte_t>(rng.uniform_below(256));
+    const auto table = make_mul_table(c);
+    std::vector<byte_t> src(257), dst(257), acc(257);
+    for (auto& b : src) b = static_cast<byte_t>(rng.uniform_below(256));
+    for (auto& b : acc) b = static_cast<byte_t>(rng.uniform_below(256));
+    auto acc_orig = acc;
+
+    mul_assign(table, src, dst);
+    mul_acc(table, src, acc);
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      EXPECT_EQ(dst[i], mul(c, src[i]));
+      EXPECT_EQ(acc[i], add(acc_orig[i], mul(c, src[i])));
+    }
+  }
+}
+
+TEST(Gf256, FullTablesMatchNibbleTables) {
+  Rng rng(8);
+  for (int round = 0; round < 20; ++round) {
+    const auto c = static_cast<byte_t>(rng.uniform_below(256));
+    const auto full = make_full_table(c);
+    std::vector<byte_t> src(123), a(123), b(123);
+    for (auto& x : src) x = static_cast<byte_t>(rng.uniform_below(256));
+    mul_assign(make_mul_table(c), src, a);
+    mul_assign(full, src, b);
+    EXPECT_EQ(a, b);
+    auto acc_a = a, acc_b = b;
+    mul_acc(make_mul_table(c), src, acc_a);
+    mul_acc(full, src, acc_b);
+    EXPECT_EQ(acc_a, acc_b);
+  }
+}
+
+TEST(Gf256, MulAccSizeMismatchRejected) {
+  const auto table = make_mul_table(3);
+  std::vector<byte_t> a(4), b(5);
+  EXPECT_THROW(mul_acc(table, a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec::gf

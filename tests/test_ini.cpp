@@ -1,0 +1,67 @@
+#include "util/ini.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto ini = IniFile::parse_string(
+      "top = 1\n"
+      "[alpha]\n"
+      "name = hello world  \n"
+      "count = 42\n"
+      "\n"
+      "# comment\n"
+      "; also a comment\n"
+      "[beta]\n"
+      "ratio = 0.25\n");
+  EXPECT_EQ(ini.entries(), 4u);
+  EXPECT_EQ(ini.get_string("", "top", "?"), "1");
+  EXPECT_EQ(ini.get_string("alpha", "name", "?"), "hello world");
+  EXPECT_EQ(ini.get_size("alpha", "count", 0), 42u);
+  EXPECT_DOUBLE_EQ(ini.get_double("beta", "ratio", 0.0), 0.25);
+}
+
+TEST(Ini, FallbacksWhenAbsent) {
+  const auto ini = IniFile::parse_string("[s]\nk = v\n");
+  EXPECT_FALSE(ini.has("s", "missing"));
+  EXPECT_EQ(ini.get_string("s", "missing", "fb"), "fb");
+  EXPECT_DOUBLE_EQ(ini.get_double("s", "missing", 2.5), 2.5);
+  EXPECT_EQ(ini.get_size("other", "k", 7), 7u);
+  EXPECT_TRUE(ini.get_bool("s", "missing", true));
+}
+
+TEST(Ini, BooleanSpellings) {
+  const auto ini = IniFile::parse_string(
+      "[b]\na = true\nb = Yes\nc = 1\nd = off\ne = FALSE\n");
+  EXPECT_TRUE(ini.get_bool("b", "a", false));
+  EXPECT_TRUE(ini.get_bool("b", "b", false));
+  EXPECT_TRUE(ini.get_bool("b", "c", false));
+  EXPECT_FALSE(ini.get_bool("b", "d", true));
+  EXPECT_FALSE(ini.get_bool("b", "e", true));
+}
+
+TEST(Ini, LaterDuplicatesWin) {
+  const auto ini = IniFile::parse_string("[s]\nk = 1\nk = 2\n");
+  EXPECT_EQ(ini.get_size("s", "k", 0), 2u);
+}
+
+TEST(Ini, MalformedInputRejected) {
+  EXPECT_THROW(IniFile::parse_string("not a pair\n"), PreconditionError);
+  EXPECT_THROW(IniFile::parse_string("[unclosed\n"), PreconditionError);
+  EXPECT_THROW(IniFile::parse_string("[]\n"), PreconditionError);
+  EXPECT_THROW(IniFile::parse_string("= value\n"), PreconditionError);
+}
+
+TEST(Ini, MalformedValuesRejectedOnAccess) {
+  const auto ini = IniFile::parse_string("[s]\nnum = abc\nint = 2.5\nflag = maybe\n");
+  EXPECT_THROW(ini.get_double("s", "num", 0.0), PreconditionError);
+  EXPECT_THROW(ini.get_size("s", "int", 0), PreconditionError);
+  EXPECT_THROW(ini.get_bool("s", "flag", false), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

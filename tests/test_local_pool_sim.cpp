@@ -1,0 +1,116 @@
+#include "sim/local_pool_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "math/markov.hpp"
+#include "util/units.hpp"
+
+namespace mlec {
+namespace {
+
+// Elevated AFR so Monte Carlo converges; the rate is then cross-checked
+// against the Markov closed form under the same assumptions.
+LocalPoolSimConfig clustered_cfg(double afr) {
+  LocalPoolSimConfig cfg;
+  cfg.code = {4, 2};
+  cfg.placement = Placement::kClustered;
+  cfg.pool_disks = 6;
+  cfg.afr = afr;
+  cfg.disk_capacity_tb = 60.0;  // long repairs keep overlaps frequent enough to sample
+  return cfg;
+}
+
+TEST(LocalPoolSim, ClusteredRateMatchesMarkov) {
+  const auto cfg = clustered_cfg(0.9);
+  Rng rng(11);
+  const auto result = simulate_local_pool(cfg, 4000, rng);
+  ASSERT_GT(result.catastrophes, 50u);
+
+  const double lambda = cfg.afr / units::kHoursPerYear;
+  const double repair_hours =
+      cfg.detection_hours + units::hours_to_move(cfg.disk_capacity_tb,
+                                                 cfg.bandwidth.effective_disk_mbps());
+  const double mttdl =
+      erasure_set_mttdl(cfg.code.k, cfg.code.p, lambda, 1.0 / repair_hours, true);
+  const double markov_rate = units::kHoursPerYear / mttdl;
+  // Markov assumes exponential repairs; the simulator's are deterministic
+  // and this regime is hot (lambda*T ~ 0.25), so expect the same magnitude
+  // rather than equality: within a factor of two.
+  EXPECT_GT(result.catastrophe_rate_per_year(), markov_rate / 2.0);
+  EXPECT_LT(result.catastrophe_rate_per_year(), markov_rate * 2.0);
+}
+
+TEST(LocalPoolSim, RateScalesSteeplyWithAfr) {
+  Rng rng1(3), rng2(4);
+  const auto lo = simulate_local_pool(clustered_cfg(0.3), 6000, rng1);
+  const auto hi = simulate_local_pool(clustered_cfg(0.9), 6000, rng2);
+  ASSERT_GT(hi.catastrophes, 0u);
+  // p+1 = 3 overlapping failures: rate ~ afr^3 -> 27x; allow a wide band.
+  EXPECT_GT(hi.catastrophe_rate_per_year(),
+            8.0 * std::max(lo.catastrophe_rate_per_year(), 1e-9));
+}
+
+TEST(LocalPoolSim, DeclusteredPriorityBeatsNoPriority) {
+  LocalPoolSimConfig cfg;
+  cfg.code = {4, 2};
+  cfg.placement = Placement::kDeclustered;
+  cfg.pool_disks = 24;
+  cfg.afr = 0.9;
+  cfg.disk_capacity_tb = 30.0;
+
+  Rng rng1(5), rng2(6);
+  cfg.priority_repair = false;
+  const auto without = simulate_local_pool(cfg, 3000, rng1);
+  cfg.priority_repair = true;
+  const auto with = simulate_local_pool(cfg, 3000, rng2);
+  ASSERT_GT(without.catastrophes, 20u);
+  EXPECT_LT(with.catastrophe_rate_per_year(), without.catastrophe_rate_per_year());
+}
+
+TEST(LocalPoolSim, SamplesDescribeCatastrophes) {
+  Rng rng(7);
+  const auto result = simulate_local_pool(clustered_cfg(0.9), 3000, rng);
+  ASSERT_FALSE(result.samples.empty());
+  for (const auto& s : result.samples) {
+    EXPECT_GE(s.concurrent_failures, 3u);  // p+1
+    EXPECT_GE(s.lost_stripe_fraction, 0.0);
+    EXPECT_LE(s.lost_stripe_fraction, 1.0);
+    EXPECT_GT(s.unrebuilt_tb, 0.0);
+    EXPECT_GE(s.time_hours, 0.0);
+    EXPECT_LE(s.time_hours, 8766.0);
+  }
+}
+
+TEST(LocalPoolSim, RepairDurationsObserved) {
+  Rng rng(8);
+  const auto result = simulate_local_pool(clustered_cfg(0.5), 2000, rng);
+  ASSERT_GT(result.single_disk_repair_hours.count(), 100u);
+  const double expected = 0.5 + units::hours_to_move(60.0, 40.0);
+  EXPECT_NEAR(result.single_disk_repair_hours.mean(), expected, 5.0);
+}
+
+TEST(LocalPoolSim, MergeAccumulates) {
+  Rng rng(9);
+  auto a = simulate_local_pool(clustered_cfg(0.9), 500, rng);
+  auto b = simulate_local_pool(clustered_cfg(0.9), 500, rng);
+  const auto a_cat = a.catastrophes;
+  const auto b_cat = b.catastrophes;
+  const auto merged = merge_results({std::move(a), std::move(b)});
+  EXPECT_EQ(merged.missions, 1000u);
+  EXPECT_EQ(merged.catastrophes, a_cat + b_cat);
+  EXPECT_NEAR(merged.pool_years, 1000.0, 1e-9);
+}
+
+TEST(LocalPoolSim, ConfigValidation) {
+  LocalPoolSimConfig cfg;
+  cfg.pool_disks = 5;  // smaller than (17+3)
+  Rng rng(1);
+  EXPECT_THROW(simulate_local_pool(cfg, 1, rng), PreconditionError);
+  cfg = {};
+  cfg.placement = Placement::kClustered;
+  cfg.pool_disks = 21;  // clustered pool must be exactly k+p
+  EXPECT_THROW(simulate_local_pool(cfg, 1, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

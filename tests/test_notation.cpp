@@ -1,0 +1,53 @@
+#include "placement/notation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(Notation, SlecRoundTrip) {
+  for (const SlecCode code : {SlecCode{10, 2}, SlecCode{17, 3}, SlecCode{1, 0}}) {
+    EXPECT_EQ(parse_slec_code(code.notation()), code);
+  }
+  EXPECT_EQ(parse_slec_code("7+3"), (SlecCode{7, 3}));
+  EXPECT_EQ(parse_slec_code(" ( 7 + 3 ) "), (SlecCode{7, 3}));
+}
+
+TEST(Notation, MlecRoundTrip) {
+  const auto code = MlecCode::paper_default();
+  EXPECT_EQ(parse_mlec_code(code.notation()), code);
+  EXPECT_EQ(parse_mlec_code("2+1/2+1"), (MlecCode{{2, 1}, {2, 1}}));
+}
+
+TEST(Notation, LrcRoundTrip) {
+  const LrcCode code{14, 2, 4};
+  EXPECT_EQ(parse_lrc_code(code.notation()), code);
+  EXPECT_EQ(parse_lrc_code("4, 2, 2"), (LrcCode{4, 2, 2}));
+}
+
+TEST(Notation, SchemesAndMethods) {
+  EXPECT_EQ(parse_mlec_scheme("C/C"), MlecScheme::kCC);
+  EXPECT_EQ(parse_mlec_scheme("c/d"), MlecScheme::kCD);
+  EXPECT_EQ(parse_mlec_scheme("DC"), MlecScheme::kDC);
+  for (auto scheme : kAllMlecSchemes)
+    EXPECT_EQ(parse_mlec_scheme(to_string(scheme)), scheme);
+  for (auto method : kAllRepairMethods)
+    EXPECT_EQ(parse_repair_method(to_string(method)), method);
+  EXPECT_EQ(parse_repair_method("rmin"), RepairMethod::kRepairMinimum);
+  EXPECT_EQ(parse_repair_method("RepairAll"), RepairMethod::kRepairAll);
+}
+
+TEST(Notation, GarbageRejected) {
+  EXPECT_THROW(parse_slec_code("(10-2)"), PreconditionError);
+  EXPECT_THROW(parse_slec_code("(ten+2)"), PreconditionError);
+  EXPECT_THROW(parse_mlec_code("(10+2)"), PreconditionError);
+  EXPECT_THROW(parse_lrc_code("(14,2)"), PreconditionError);
+  EXPECT_THROW(parse_lrc_code("(15,2,4)"), PreconditionError);  // 15 % 2 != 0
+  EXPECT_THROW(parse_mlec_scheme("E/F"), PreconditionError);
+  EXPECT_THROW(parse_repair_method("R_MAX"), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

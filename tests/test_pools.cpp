@@ -1,0 +1,94 @@
+#include "placement/pools.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+const DataCenterConfig kDc = DataCenterConfig::paper_default();
+const MlecCode kCode = MlecCode::paper_default();
+
+TEST(PoolLayout, PaperGeometryCC) {
+  const PoolLayout layout(kDc, kCode, MlecScheme::kCC);
+  EXPECT_EQ(layout.local_pool_disks(), 20u);
+  EXPECT_EQ(layout.local_pools_per_enclosure(), 6u);
+  EXPECT_EQ(layout.local_pools_per_rack(), 48u);
+  EXPECT_EQ(layout.total_local_pools(), 2880u);
+  EXPECT_DOUBLE_EQ(layout.local_pool_capacity_tb(), 400.0);
+  EXPECT_EQ(layout.rack_groups(), 5u);       // 60 racks / 12
+  EXPECT_EQ(layout.network_pools(), 240u);   // 5 groups * 48 positions
+  EXPECT_EQ(layout.network_pool_members(), 12u);
+}
+
+TEST(PoolLayout, PaperGeometryCD) {
+  const PoolLayout layout(kDc, kCode, MlecScheme::kCD);
+  EXPECT_EQ(layout.local_pool_disks(), 120u);
+  EXPECT_EQ(layout.local_pools_per_enclosure(), 1u);
+  EXPECT_EQ(layout.total_local_pools(), 480u);
+  EXPECT_DOUBLE_EQ(layout.local_pool_capacity_tb(), 2400.0);
+  EXPECT_EQ(layout.network_pools(), 40u);  // 5 groups * 8 enclosure positions
+}
+
+TEST(PoolLayout, PaperGeometryDeclusteredNetwork) {
+  const PoolLayout dc_layout(kDc, kCode, MlecScheme::kDC);
+  EXPECT_EQ(dc_layout.network_pools(), 1u);
+  EXPECT_EQ(dc_layout.network_pool_racks(), 60u);
+  EXPECT_EQ(dc_layout.network_pool_members(), 2880u);
+
+  const PoolLayout dd_layout(kDc, kCode, MlecScheme::kDD);
+  EXPECT_EQ(dd_layout.network_pool_members(), 480u);
+}
+
+TEST(PoolLayout, StripeCounts) {
+  const PoolLayout layout(kDc, kCode, MlecScheme::kCC);
+  // Total chunks / 240 chunks per network stripe.
+  const double chunks = 57600.0 * (20e12 / 128e3);
+  EXPECT_NEAR(layout.total_network_stripes(), chunks / 240.0, 1.0);
+  EXPECT_NEAR(layout.network_stripes_per_pool(), chunks / 240.0 / 240.0, 1.0);
+  // A 20-disk Cp pool at one chunk column per stripe.
+  EXPECT_NEAR(layout.local_stripes_per_pool(), 20e12 / 128e3, 1.0);
+}
+
+TEST(PoolLayout, DivisibilityViolationsThrow) {
+  // (16+3) local: 120 % 19 != 0 under clustered local placement.
+  EXPECT_THROW(PoolLayout(kDc, MlecCode{{10, 2}, {16, 3}}, MlecScheme::kCC),
+               PreconditionError);
+  // (10+3) network: 60 % 13 != 0 under clustered network placement.
+  EXPECT_THROW(PoolLayout(kDc, MlecCode{{10, 3}, {17, 3}}, MlecScheme::kCC),
+               PreconditionError);
+  // Same codes are fine declustered.
+  EXPECT_NO_THROW(PoolLayout(kDc, MlecCode{{10, 3}, {16, 3}}, MlecScheme::kDD));
+}
+
+TEST(PoolLayout, DeclusteredPoolMustFitStripe) {
+  DataCenterConfig small = kDc;
+  small.disks_per_enclosure = 10;  // narrower than (17+3)
+  EXPECT_THROW(PoolLayout(small, kCode, MlecScheme::kCD), PreconditionError);
+}
+
+TEST(SlecLayout, PaperGeometry) {
+  const SlecCode code{7, 3};
+  const SlecLayout loc_cp(kDc, code, {SlecDomain::kLocal, Placement::kClustered});
+  EXPECT_EQ(loc_cp.pool_disks(), 10u);
+  EXPECT_EQ(loc_cp.total_pools(), 5760u);
+
+  const SlecLayout loc_dp(kDc, code, {SlecDomain::kLocal, Placement::kDeclustered});
+  EXPECT_EQ(loc_dp.pool_disks(), 120u);
+  EXPECT_EQ(loc_dp.total_pools(), 480u);
+
+  const SlecLayout net_cp(kDc, code, {SlecDomain::kNetwork, Placement::kClustered});
+  EXPECT_EQ(net_cp.total_pools(), 5760u);
+
+  const SlecLayout net_dp(kDc, code, {SlecDomain::kNetwork, Placement::kDeclustered});
+  EXPECT_EQ(net_dp.total_pools(), 1u);
+  EXPECT_EQ(net_dp.pool_disks(), 57600u);
+}
+
+TEST(SlecLayout, StripeCountConsistency) {
+  const SlecCode code{7, 3};
+  const SlecLayout layout(kDc, code, {SlecDomain::kLocal, Placement::kDeclustered});
+  EXPECT_NEAR(layout.total_stripes() / layout.total_pools(), layout.stripes_per_pool(), 1e-6);
+}
+
+}  // namespace
+}  // namespace mlec

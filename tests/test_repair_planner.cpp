@@ -1,0 +1,138 @@
+#include "sim/repair_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/traffic.hpp"
+
+namespace mlec {
+namespace {
+
+DataCenterConfig toy_dc() {
+  DataCenterConfig dc;
+  dc.racks = 6;
+  dc.enclosures_per_rack = 2;
+  dc.disks_per_enclosure = 6;
+  dc.disk_capacity_tb = 1.28e-6;  // 10 chunks per disk
+  dc.chunk_kb = 128.0;
+  return dc;
+}
+
+const MlecCode kToyCode{{2, 1}, {2, 1}};
+
+TEST(RepairPlanner, NoFailuresNoTraffic) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 4);
+  for (auto method : kAllRepairMethods) {
+    const auto plan = plan_repair(map, {}, method);
+    EXPECT_EQ(plan.network_chunks(), 0.0);
+    EXPECT_EQ(plan.local_chunks(), 0.0);
+    EXPECT_EQ(plan.catastrophic_pools, 0u);
+  }
+}
+
+TEST(RepairPlanner, SingleFailureRepairsLocally) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 4);
+  const auto& stripe = map.stripes().front();
+  for (auto method : kAllRepairMethods) {
+    const auto plan = plan_repair(map, {stripe.locals[0].disks[0]}, method);
+    EXPECT_EQ(plan.network_chunks(), 0.0) << to_string(method);
+    EXPECT_GT(plan.local_chunks(), 0.0) << to_string(method);
+  }
+}
+
+TEST(RepairPlanner, CatastrophicPoolHandGradedCounts) {
+  // One network stripe per pool keeps the arithmetic inspectable.
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 1);
+  const auto& stripe = map.stripes().front();
+  // Kill p_l+1 = 2 chunks of one local stripe: its pool is catastrophic.
+  const std::vector<DiskId> failed{stripe.locals[0].disks[0], stripe.locals[0].disks[1]};
+
+  // The pool hosts exactly the stripes materialized in it. Count them.
+  const LocalPoolId pool = stripe.locals[0].pool;
+  double pool_stripes = 0, pool_failed_chunks = 0;
+  for (const auto& s : map.stripes())
+    for (const auto& l : s.locals)
+      if (l.pool == pool) {
+        pool_stripes += 1;
+        for (DiskId d : l.disks)
+          pool_failed_chunks += (d == failed[0] || d == failed[1]) ? 1 : 0;
+      }
+
+  // R_ALL: every chunk of the pool over the network, k_n reads + 1 write.
+  const auto rall = plan_repair(map, failed, RepairMethod::kRepairAll);
+  EXPECT_DOUBLE_EQ(rall.network_write_chunks, pool_stripes * 3);
+  EXPECT_DOUBLE_EQ(rall.network_read_chunks, pool_stripes * 3 * 2);
+  EXPECT_EQ(rall.catastrophic_pools, 1u);
+
+  // R_FCO: only failed chunks in the pool, still over the network.
+  const auto rfco = plan_repair(map, failed, RepairMethod::kRepairFailedOnly);
+  EXPECT_DOUBLE_EQ(rfco.network_write_chunks, pool_failed_chunks);
+  EXPECT_DOUBLE_EQ(rfco.network_read_chunks, pool_failed_chunks * 2);
+
+  // R_MIN: one network chunk per lost stripe (2 failures - p_l = 1), rest local.
+  const auto rmin = plan_repair(map, failed, RepairMethod::kRepairMinimum);
+  EXPECT_DOUBLE_EQ(rmin.network_write_chunks, static_cast<double>(rmin.lost_local_stripes));
+  EXPECT_GT(rmin.local_chunks(), 0.0);
+}
+
+class PlannerOrdering : public ::testing::TestWithParam<MlecScheme> {};
+
+TEST_P(PlannerOrdering, MethodsAreMonotoneInNetworkTraffic) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, GetParam(), 5);
+  Rng rng(42 + static_cast<int>(GetParam()));
+  for (int round = 0; round < 20; ++round) {
+    // Random failures concentrated in one enclosure to trigger catastrophes.
+    const std::size_t count = 2 + rng.uniform_below(3);
+    std::vector<DiskId> failed;
+    const auto base = static_cast<DiskId>(rng.uniform_below(12) * 6);
+    for (auto pos : rng.sample_without_replacement(6, count))
+      failed.push_back(base + static_cast<DiskId>(pos));
+
+    const auto rall = plan_repair(map, failed, RepairMethod::kRepairAll);
+    const auto rfco = plan_repair(map, failed, RepairMethod::kRepairFailedOnly);
+    const auto rhyb = plan_repair(map, failed, RepairMethod::kRepairHybrid);
+    const auto rmin = plan_repair(map, failed, RepairMethod::kRepairMinimum);
+    EXPECT_GE(rall.network_chunks(), rfco.network_chunks());
+    EXPECT_GE(rfco.network_chunks(), rhyb.network_chunks());
+    EXPECT_GE(rhyb.network_chunks(), rmin.network_chunks());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PlannerOrdering, ::testing::ValuesIn(kAllMlecSchemes));
+
+TEST(RepairPlanner, MatchesClosedFormOnInjection) {
+  // Inject p_l+1 failures into one clustered pool and compare the planner's
+  // chunk counts against the analytic Figure 8 model, scaled to this
+  // topology's chunk density.
+  const auto dc = toy_dc();
+  const Topology topo(dc);
+  // Stripe density: a (2+1) Cp pool of 3 disks holds 10 local stripes at
+  // full density; materialize exactly that many per network pool.
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 10);
+  const auto pool_disks = map.pool_disks(0);
+  const std::vector<DiskId> failed{pool_disks[0], pool_disks[1]};
+
+  for (auto method : kAllRepairMethods) {
+    const auto plan = plan_repair(map, failed, method);
+    const auto model = catastrophic_injection_traffic(dc, kToyCode, MlecScheme::kCC, method);
+    const double plan_tb = plan.network_tb(dc.chunk_kb);
+    EXPECT_NEAR(plan_tb, model.cross_rack_tb(), model.cross_rack_tb() * 0.05 + 1e-12)
+        << to_string(method);
+  }
+}
+
+TEST(RepairPlanner, ReportsUnrecoverableStripes) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 1);
+  const auto& stripe = map.stripes().front();
+  const std::vector<DiskId> failed{stripe.locals[0].disks[0], stripe.locals[0].disks[1],
+                                   stripe.locals[1].disks[0], stripe.locals[1].disks[1]};
+  const auto plan = plan_repair(map, failed, RepairMethod::kRepairFailedOnly);
+  EXPECT_GE(plan.unrecoverable_network_stripes, 1u);
+}
+
+}  // namespace
+}  // namespace mlec

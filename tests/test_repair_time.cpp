@@ -1,0 +1,112 @@
+#include "analysis/repair_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+RepairTimeModel paper_model() {
+  return RepairTimeModel(DataCenterConfig::paper_default(), BandwidthConfig::paper_default(),
+                         MlecCode::paper_default());
+}
+
+TEST(RepairTime, Table2RowsMatchPaper) {
+  const auto model = paper_model();
+
+  const auto cc = model.table2_row(MlecScheme::kCC);
+  EXPECT_DOUBLE_EQ(cc.disk_size_tb, 20.0);
+  EXPECT_NEAR(cc.single_disk_mbps, 40.0, 0.5);
+  EXPECT_DOUBLE_EQ(cc.pool_size_tb, 400.0);
+  EXPECT_NEAR(cc.pool_mbps, 250.0, 0.5);
+
+  const auto cd = model.table2_row(MlecScheme::kCD);
+  EXPECT_NEAR(cd.single_disk_mbps, 264.0, 1.0);
+  EXPECT_DOUBLE_EQ(cd.pool_size_tb, 2400.0);
+  EXPECT_NEAR(cd.pool_mbps, 250.0, 0.5);
+
+  const auto dc = model.table2_row(MlecScheme::kDC);
+  EXPECT_NEAR(dc.single_disk_mbps, 40.0, 0.5);
+  EXPECT_NEAR(dc.pool_mbps, 1363.0, 2.0);
+
+  const auto dd = model.table2_row(MlecScheme::kDD);
+  EXPECT_NEAR(dd.single_disk_mbps, 264.0, 1.0);
+  EXPECT_NEAR(dd.pool_mbps, 1363.0, 2.0);
+}
+
+TEST(RepairTime, Figure6aSingleDisk) {
+  const auto model = paper_model();
+  // Declustered local repair ~6x faster (paper F#1).
+  const double cp = model.single_disk_repair_hours(MlecScheme::kCC);
+  const double dp = model.single_disk_repair_hours(MlecScheme::kCD);
+  EXPECT_NEAR(cp, 138.9, 0.2);
+  EXPECT_NEAR(cp / dp, 6.6, 0.2);
+  EXPECT_DOUBLE_EQ(model.single_disk_repair_hours(MlecScheme::kDC), cp);
+  EXPECT_DOUBLE_EQ(model.single_disk_repair_hours(MlecScheme::kDD), dp);
+}
+
+TEST(RepairTime, Figure6bCatastrophicPool) {
+  const auto model = paper_model();
+  const double cc = model.catastrophic_repair_hours(MlecScheme::kCC);
+  const double cd = model.catastrophic_repair_hours(MlecScheme::kCD);
+  const double dc = model.catastrophic_repair_hours(MlecScheme::kDC);
+  const double dd = model.catastrophic_repair_hours(MlecScheme::kDD);
+  EXPECT_NEAR(cc, 444.4, 0.5);
+  EXPECT_NEAR(cd, 2666.7, 1.0);   // paper: ~3K hours, the slowest (F#2)
+  EXPECT_NEAR(dc, 81.5, 0.5);     // the fastest (F#3)
+  EXPECT_NEAR(dd, 488.9, 0.5);    // slightly slower than C/C (F#4)
+  EXPECT_LT(dc, cc);
+  EXPECT_LT(cc, dd);
+  EXPECT_LT(dd, cd);
+}
+
+TEST(RepairTime, Figure9MethodOrderingPerScheme) {
+  const auto model = paper_model();
+  for (auto scheme : kAllMlecSchemes) {
+    const auto rall = model.method_repair_time(scheme, RepairMethod::kRepairAll);
+    const auto rfco = model.method_repair_time(scheme, RepairMethod::kRepairFailedOnly);
+    const auto rhyb = model.method_repair_time(scheme, RepairMethod::kRepairHybrid);
+    const auto rmin = model.method_repair_time(scheme, RepairMethod::kRepairMinimum);
+
+    // Network time strictly shrinks down the method ladder (paper F#1-3).
+    EXPECT_GE(rall.network_hours, rfco.network_hours) << to_string(scheme);
+    EXPECT_GE(rfco.network_hours, rhyb.network_hours) << to_string(scheme);
+    EXPECT_GE(rhyb.network_hours, rmin.network_hours) << to_string(scheme);
+    // R_ALL and R_FCO are pure network repairs.
+    EXPECT_EQ(rall.local_hours, 0.0);
+    EXPECT_EQ(rfco.local_hours, 0.0);
+    // R_MIN trades network time for local time (paper F#3).
+    EXPECT_GT(rmin.local_hours, 0.0) << to_string(scheme);
+  }
+}
+
+TEST(RepairTime, Figure9PaperAnchors) {
+  const auto model = paper_model();
+  // R_FCO reduces network repair 5-30x vs R_ALL (paper F#1).
+  for (auto scheme : kAllMlecSchemes) {
+    const double ratio =
+        model.method_repair_time(scheme, RepairMethod::kRepairAll).network_hours /
+        model.method_repair_time(scheme, RepairMethod::kRepairFailedOnly).network_hours;
+    EXPECT_GE(ratio, 3.0) << to_string(scheme);
+    EXPECT_LE(ratio, 32.0) << to_string(scheme);
+  }
+  // On C/D, R_HYB's total is similar to R_FCO's (paper F#2).
+  const double fco = model.method_repair_time(MlecScheme::kCD, RepairMethod::kRepairFailedOnly)
+                         .total_hours();
+  const double hyb =
+      model.method_repair_time(MlecScheme::kCD, RepairMethod::kRepairHybrid).total_hours();
+  EXPECT_NEAR(hyb / fco, 1.0, 0.15);
+}
+
+TEST(RepairTime, FlowsAreWellFormed) {
+  const auto model = paper_model();
+  const BandwidthModel bw(BandwidthConfig::paper_default());
+  for (auto scheme : kAllMlecSchemes) {
+    EXPECT_GT(bw.available_repair_mbps(model.single_disk_flow(scheme)), 0.0);
+    EXPECT_GT(bw.available_repair_mbps(model.local_stage_flow(scheme)), 0.0);
+    for (auto method : kAllRepairMethods)
+      EXPECT_GT(bw.available_repair_mbps(model.network_stage_flow(scheme, method)), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,119 @@
+#include "gf/rs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace mlec::gf {
+namespace {
+
+std::vector<std::vector<byte_t>> random_shards(std::size_t count, std::size_t len, Rng& rng) {
+  std::vector<std::vector<byte_t>> shards(count);
+  for (auto& s : shards) {
+    s.resize(len);
+    for (auto& b : s) b = static_cast<byte_t>(rng.uniform_below(256));
+  }
+  return shards;
+}
+
+/// (k, p) pairs exercised by the round-trip property suite — includes the
+/// paper's local (17+3) and network (10+2) codes.
+class RsRoundTrip : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RsRoundTrip, AnyErasurePatternDecodes) {
+  const auto [k, p] = GetParam();
+  const RsCode code(k, p);
+  Rng rng(1000 + k * 31 + p);
+  const std::size_t len = 257;  // odd size to catch stride bugs
+
+  auto data = random_shards(k, len, rng);
+  std::vector<std::vector<byte_t>> parity(p, std::vector<byte_t>(len, 0));
+  code.encode(data, parity);
+
+  // All shards together.
+  std::vector<std::vector<byte_t>> shards = data;
+  shards.insert(shards.end(), parity.begin(), parity.end());
+
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t losses = 1 + rng.uniform_below(p);
+    auto lost = rng.sample_without_replacement(k + p, losses);
+    auto damaged = shards;
+    std::vector<std::size_t> lost_idx(lost.begin(), lost.end());
+    for (auto idx : lost_idx) std::fill(damaged[idx].begin(), damaged[idx].end(), 0xAA);
+
+    code.decode(damaged, lost_idx);
+    for (std::size_t i = 0; i < k + p; ++i)
+      ASSERT_EQ(damaged[i], shards[i]) << "k=" << k << " p=" << p << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CodeShapes, RsRoundTrip,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{2, 1},
+                                           std::pair<std::size_t, std::size_t>{4, 2},
+                                           std::pair<std::size_t, std::size_t>{10, 2},
+                                           std::pair<std::size_t, std::size_t>{17, 3},
+                                           std::pair<std::size_t, std::size_t>{14, 6},
+                                           std::pair<std::size_t, std::size_t>{50, 10},
+                                           std::pair<std::size_t, std::size_t>{1, 4}));
+
+TEST(RsCode, ParityIsDeterministic) {
+  const RsCode code(5, 3);
+  Rng rng(7);
+  auto data = random_shards(5, 64, rng);
+  std::vector<std::vector<byte_t>> p1(3, std::vector<byte_t>(64, 0));
+  std::vector<std::vector<byte_t>> p2(3, std::vector<byte_t>(64, 1));
+  code.encode(data, p1);
+  code.encode(data, p2);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(RsCode, SingleParityIsNotPlainXorButStillDecodes) {
+  // With the Cauchy construction p=1 is a weighted XOR; the decode contract
+  // is what matters.
+  const RsCode code(3, 1);
+  Rng rng(8);
+  auto data = random_shards(3, 32, rng);
+  std::vector<std::vector<byte_t>> parity(1, std::vector<byte_t>(32, 0));
+  code.encode(data, parity);
+
+  std::vector<std::vector<byte_t>> shards = data;
+  shards.push_back(parity[0]);
+  auto expected = shards[1];
+  std::fill(shards[1].begin(), shards[1].end(), 0);
+  const std::size_t lost[] = {1};
+  code.decode(shards, lost);
+  EXPECT_EQ(shards[1], expected);
+}
+
+TEST(RsCode, TooManyLossesRejected) {
+  const RsCode code(4, 2);
+  std::vector<std::vector<byte_t>> shards(6, std::vector<byte_t>(8, 0));
+  const std::size_t lost[] = {0, 1, 2};
+  EXPECT_THROW(code.decode(shards, lost), PreconditionError);
+}
+
+TEST(RsCode, DuplicateLostIndexRejected) {
+  const RsCode code(4, 2);
+  std::vector<std::vector<byte_t>> shards(6, std::vector<byte_t>(8, 0));
+  const std::size_t lost[] = {1, 1};
+  EXPECT_THROW(code.decode(shards, lost), PreconditionError);
+}
+
+TEST(RsCode, ShardLimitEnforced) {
+  EXPECT_THROW(RsCode(250, 10), PreconditionError);
+  EXPECT_NO_THROW(RsCode(246, 10));
+}
+
+TEST(RsCode, EmptyLostIsNoop) {
+  const RsCode code(2, 1);
+  std::vector<std::vector<byte_t>> shards(3, std::vector<byte_t>(4, 9));
+  code.decode(shards, {});
+  for (const auto& s : shards)
+    for (auto b : s) EXPECT_EQ(b, 9);
+}
+
+}  // namespace
+}  // namespace mlec::gf

@@ -1,0 +1,68 @@
+#include "placement/schemes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "placement/codes.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(Schemes, NamesMatchPaperNotation) {
+  EXPECT_EQ(to_string(MlecScheme::kCC), "C/C");
+  EXPECT_EQ(to_string(MlecScheme::kCD), "C/D");
+  EXPECT_EQ(to_string(MlecScheme::kDC), "D/C");
+  EXPECT_EQ(to_string(MlecScheme::kDD), "D/D");
+}
+
+TEST(Schemes, PlacementDecomposition) {
+  for (auto scheme : kAllMlecSchemes) {
+    EXPECT_EQ(make_scheme(network_placement(scheme), local_placement(scheme)), scheme);
+  }
+  EXPECT_EQ(network_placement(MlecScheme::kCD), Placement::kClustered);
+  EXPECT_EQ(local_placement(MlecScheme::kCD), Placement::kDeclustered);
+}
+
+TEST(Schemes, SlecNames) {
+  EXPECT_EQ(to_string(SlecScheme{SlecDomain::kLocal, Placement::kClustered}), "Loc-Cp");
+  EXPECT_EQ(to_string(SlecScheme{SlecDomain::kNetwork, Placement::kDeclustered}), "Net-Dp");
+}
+
+TEST(Schemes, RepairMethodNames) {
+  EXPECT_EQ(to_string(RepairMethod::kRepairAll), "R_ALL");
+  EXPECT_EQ(to_string(RepairMethod::kRepairFailedOnly), "R_FCO");
+  EXPECT_EQ(to_string(RepairMethod::kRepairHybrid), "R_HYB");
+  EXPECT_EQ(to_string(RepairMethod::kRepairMinimum), "R_MIN");
+}
+
+TEST(Codes, SlecNotationAndOverhead) {
+  const SlecCode c{10, 2};
+  EXPECT_EQ(c.notation(), "(10+2)");
+  EXPECT_EQ(c.width(), 12u);
+  EXPECT_NEAR(c.overhead(), 2.0 / 12.0, 1e-12);
+}
+
+TEST(Codes, MlecPaperDefault) {
+  const auto code = MlecCode::paper_default();
+  EXPECT_EQ(code.notation(), "(10+2)/(17+3)");
+  EXPECT_EQ(code.stripe_chunks(), 240u);
+  // 1 - (10*17)/(12*20) = 1 - 170/240.
+  EXPECT_NEAR(code.overhead(), 1.0 - 170.0 / 240.0, 1e-12);
+}
+
+TEST(Codes, LrcNotationAndGroups) {
+  const LrcCode c{14, 2, 4};
+  EXPECT_EQ(c.notation(), "(14,2,4)");
+  EXPECT_EQ(c.width(), 20u);
+  EXPECT_EQ(c.group_data_chunks(), 7u);
+  EXPECT_EQ(c.group_width(), 8u);
+  EXPECT_NEAR(c.overhead(), 6.0 / 20.0, 1e-12);
+}
+
+TEST(Codes, ValidationFailures) {
+  EXPECT_THROW((SlecCode{0, 2}.validate()), PreconditionError);
+  EXPECT_THROW((LrcCode{15, 2, 4}.validate()), PreconditionError);  // 15 % 2 != 0
+  EXPECT_THROW((LrcCode{4, 0, 1}.validate()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

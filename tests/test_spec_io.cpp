@@ -1,0 +1,75 @@
+#include "core/spec_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+TEST(SpecIo, EmptyFileGivesPaperDefaults) {
+  const auto spec = load_spec(IniFile::parse_string(""));
+  EXPECT_EQ(spec.dc.total_disks(), 57600u);
+  EXPECT_EQ(spec.code, MlecCode::paper_default());
+  EXPECT_DOUBLE_EQ(spec.afr, 0.01);
+  EXPECT_DOUBLE_EQ(spec.detection_hours, 0.5);
+}
+
+TEST(SpecIo, OverridesApply) {
+  const auto spec = load_spec(IniFile::parse_string(R"(
+[datacenter]
+racks = 30
+disk_capacity_tb = 16
+
+[code]
+mlec = (4+2)/(8+2)
+scheme = D/D
+repair = R_HYB
+
+[failures]
+afr = 0.02
+)"));
+  EXPECT_EQ(spec.dc.racks, 30u);
+  EXPECT_DOUBLE_EQ(spec.dc.disk_capacity_tb, 16.0);
+  EXPECT_EQ(spec.code, (MlecCode{{4, 2}, {8, 2}}));
+  EXPECT_EQ(spec.scheme, MlecScheme::kDD);
+  EXPECT_EQ(spec.repair, RepairMethod::kRepairHybrid);
+  EXPECT_DOUBLE_EQ(spec.afr, 0.02);
+}
+
+TEST(SpecIo, FormatParsesBack) {
+  SystemSpec spec;
+  spec.scheme = MlecScheme::kDC;
+  spec.repair = RepairMethod::kRepairFailedOnly;
+  spec.afr = 0.03;
+  spec.dc.racks = 24;
+  const auto reparsed = load_spec(IniFile::parse_string(format_spec(spec)));
+  EXPECT_EQ(reparsed.scheme, spec.scheme);
+  EXPECT_EQ(reparsed.repair, spec.repair);
+  EXPECT_DOUBLE_EQ(reparsed.afr, spec.afr);
+  EXPECT_EQ(reparsed.dc.racks, spec.dc.racks);
+  EXPECT_EQ(reparsed.code, spec.code);
+}
+
+TEST(SpecIo, ExampleSpecParsesToDefaults) {
+  const auto spec = load_spec(IniFile::parse_string(example_spec()));
+  EXPECT_EQ(spec.dc.total_disks(), 57600u);
+  EXPECT_EQ(spec.code, MlecCode::paper_default());
+  // The example picks C/D + R_MIN (the paper's best combination).
+  EXPECT_EQ(spec.scheme, MlecScheme::kCD);
+  EXPECT_EQ(spec.repair, RepairMethod::kRepairMinimum);
+}
+
+TEST(SpecIo, LoadedSpecDrivesTheAnalyzer) {
+  const auto spec = load_spec(IniFile::parse_string("[code]\nscheme = C/D\n"));
+  const MlecAnalyzer analyzer(spec);
+  EXPECT_NEAR(analyzer.repair_bandwidth().single_disk_mbps, 264.4, 0.5);
+}
+
+TEST(SpecIo, BadValuesSurfaceAsErrors) {
+  EXPECT_THROW(load_spec(IniFile::parse_string("[code]\nmlec = banana\n")),
+               PreconditionError);
+  EXPECT_THROW(load_spec(IniFile::parse_string("[failures]\nafr = lots\n")),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,127 @@
+#include "placement/stripe_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mlec {
+namespace {
+
+DataCenterConfig toy_dc() {
+  DataCenterConfig dc;
+  dc.racks = 6;
+  dc.enclosures_per_rack = 2;
+  dc.disks_per_enclosure = 6;
+  dc.disk_capacity_tb = 1.28e-6;  // 10 chunks per disk at 128 KB
+  dc.chunk_kb = 128.0;
+  return dc;
+}
+
+const MlecCode kToyCode{{2, 1}, {2, 1}};
+
+class StripeMapSchemes : public ::testing::TestWithParam<MlecScheme> {};
+
+TEST_P(StripeMapSchemes, PlacementInvariantsHold) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, GetParam(), 4);
+  ASSERT_FALSE(map.stripes().empty());
+
+  for (const auto& stripe : map.stripes()) {
+    ASSERT_EQ(stripe.locals.size(), 3u);  // k_n + p_n
+
+    // Local stripes of one network stripe sit in distinct racks.
+    std::set<RackId> racks;
+    for (const auto& local : stripe.locals) racks.insert(map.pool_rack(local.pool));
+    EXPECT_EQ(racks.size(), 3u);
+
+    for (const auto& local : stripe.locals) {
+      ASSERT_EQ(local.disks.size(), 3u);  // k_l + p_l
+      // No two chunks of a local stripe on the same disk.
+      const std::set<DiskId> disks(local.disks.begin(), local.disks.end());
+      EXPECT_EQ(disks.size(), 3u);
+      // Every chunk stays inside the stripe's pool.
+      const auto pool_disks = map.pool_disks(local.pool);
+      const std::set<DiskId> pool_set(pool_disks.begin(), pool_disks.end());
+      for (DiskId d : local.disks) EXPECT_TRUE(pool_set.contains(d));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, StripeMapSchemes,
+                         ::testing::ValuesIn(kAllMlecSchemes),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MlecScheme::kCC: return "CC";
+                             case MlecScheme::kCD: return "CD";
+                             case MlecScheme::kDC: return "DC";
+                             case MlecScheme::kDD: return "DD";
+                           }
+                           return "unknown";
+                         });
+
+TEST(StripeMap, ClusteredNetworkStripesShareGroupAndPosition) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 2);
+  const std::size_t pools_per_rack = map.layout().local_pools_per_rack();
+  for (const auto& stripe : map.stripes()) {
+    std::set<std::size_t> positions, groups;
+    for (const auto& local : stripe.locals) {
+      positions.insert(local.pool % pools_per_rack);
+      groups.insert(map.pool_rack(local.pool) / 3);  // k_n+p_n = 3 racks per group
+    }
+    EXPECT_EQ(positions.size(), 1u);  // same pool position across the group
+    EXPECT_EQ(groups.size(), 1u);
+  }
+}
+
+TEST(StripeMap, PoolOfDiskIsConsistent) {
+  const Topology topo(toy_dc());
+  for (auto scheme : kAllMlecSchemes) {
+    const StripeMap map(topo, kToyCode, scheme, 2);
+    for (LocalPoolId pool = 0; pool < map.total_pools(); ++pool)
+      for (DiskId d : map.pool_disks(pool)) EXPECT_EQ(map.pool_of_disk(d), pool);
+  }
+}
+
+TEST(AssessFailures, Table1Classification) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 1);
+
+  // No failures: everything clean.
+  const auto clean = assess_failures(map, {});
+  EXPECT_EQ(clean.affected_local_stripes, 0u);
+  EXPECT_FALSE(clean.data_loss());
+
+  // One failed chunk in a stripe: affected + locally recoverable.
+  const auto& stripe = map.stripes().front();
+  const auto one = assess_failures(map, {stripe.locals[0].disks[0]});
+  EXPECT_GE(one.affected_local_stripes, 1u);
+  EXPECT_EQ(one.lost_local_stripes, 0u);
+  EXPECT_EQ(one.catastrophic_local_pools, 0u);
+  EXPECT_FALSE(one.data_loss());
+
+  // p_l+1 = 2 failed chunks in one local stripe: a lost local stripe and a
+  // catastrophic pool, recoverable at the network level.
+  const auto lost =
+      assess_failures(map, {stripe.locals[0].disks[0], stripe.locals[0].disks[1]});
+  EXPECT_GE(lost.lost_local_stripes, 1u);
+  EXPECT_GE(lost.catastrophic_local_pools, 1u);
+  EXPECT_GE(lost.recoverable_network_stripes, 1u);
+  EXPECT_FALSE(lost.data_loss());
+
+  // Losing p_n+1 = 2 local stripes of one network stripe: data loss.
+  const auto fatal = assess_failures(
+      map, {stripe.locals[0].disks[0], stripe.locals[0].disks[1], stripe.locals[1].disks[0],
+            stripe.locals[1].disks[1]});
+  EXPECT_TRUE(fatal.data_loss());
+  EXPECT_GE(fatal.lost_network_stripes, 1u);
+}
+
+TEST(AssessFailures, OutOfRangeDiskRejected) {
+  const Topology topo(toy_dc());
+  const StripeMap map(topo, kToyCode, MlecScheme::kCC, 1);
+  EXPECT_THROW(assess_failures(map, {99999}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

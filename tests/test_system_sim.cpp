@@ -1,0 +1,112 @@
+#include "sim/system_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/markov.hpp"
+#include "util/units.hpp"
+
+namespace mlec {
+namespace {
+
+SystemSimConfig toy_config() {
+  SystemSimConfig cfg;
+  cfg.dc.racks = 6;
+  cfg.dc.enclosures_per_rack = 2;
+  cfg.dc.disks_per_enclosure = 6;
+  cfg.dc.disk_capacity_tb = 2.0;
+  cfg.code = {{2, 1}, {2, 1}};
+  cfg.scheme = MlecScheme::kCC;
+  cfg.stripes_per_network_pool = 4;
+  return cfg;
+}
+
+TEST(SystemSim, NoFailuresNoLoss) {
+  auto cfg = toy_config();
+  cfg.failures.afr = 1e-9;
+  const auto result = simulate_system(cfg, 20, 1);
+  EXPECT_EQ(result.data_loss_missions, 0u);
+  EXPECT_EQ(result.pdl(), 0.0);
+}
+
+TEST(SystemSim, ExtremeAfrAlwaysLoses) {
+  auto cfg = toy_config();
+  cfg.failures.afr = 0.999;  // ~everything dies many times over a year
+  cfg.dc.disk_capacity_tb = 2000.0;  // repairs far too slow to help
+  const auto result = simulate_system(cfg, 20, 2);
+  EXPECT_EQ(result.data_loss_missions, 20u);
+  EXPECT_DOUBLE_EQ(result.pdl(), 1.0);
+  EXPECT_GT(result.loss_time_hours.count(), 0u);
+}
+
+TEST(SystemSim, PdlIncreasesWithAfr) {
+  auto cfg = toy_config();
+  cfg.failures.afr = 0.3;
+  const auto lo = simulate_system(cfg, 300, 3);
+  cfg.failures.afr = 0.9;
+  const auto hi = simulate_system(cfg, 300, 3);
+  EXPECT_GE(hi.pdl(), lo.pdl());
+  EXPECT_GT(hi.catastrophic_pool_events, 0u);
+}
+
+TEST(SystemSim, BetterRepairMethodsDoNotHurt) {
+  auto cfg = toy_config();
+  cfg.failures.afr = 0.8;
+  cfg.method = RepairMethod::kRepairAll;
+  const auto rall = simulate_system(cfg, 400, 4);
+  cfg.method = RepairMethod::kRepairMinimum;
+  const auto rmin = simulate_system(cfg, 400, 4);
+  // R_MIN's catastrophic repair exposure is shorter, so its PDL should not
+  // exceed R_ALL's beyond Monte Carlo noise (~3 sigma of a 400-trial binomial).
+  const double sigma = std::sqrt(rall.pdl() * (1 - rall.pdl()) / 400.0);
+  EXPECT_LE(rmin.pdl(), rall.pdl() + 3 * sigma + 0.01);
+}
+
+TEST(SystemSim, CatastrophicRepairHoursOrdered) {
+  const auto cfg = toy_config();
+  const double rall = cfg.catastrophic_repair_hours(RepairMethod::kRepairAll);
+  const double rfco = cfg.catastrophic_repair_hours(RepairMethod::kRepairFailedOnly);
+  const double rmin = cfg.catastrophic_repair_hours(RepairMethod::kRepairMinimum);
+  EXPECT_GE(rall, rfco);
+  EXPECT_GE(rfco, rmin);
+  EXPECT_GT(rmin, cfg.detection_hours);
+}
+
+TEST(SystemSim, MatchesMarkovForRepairAll) {
+  // Single network pool of 3 one-stripe pools: the two-level Markov model
+  // applies almost exactly. Use a hot AFR so both converge.
+  SystemSimConfig cfg;
+  cfg.dc.racks = 3;
+  cfg.dc.enclosures_per_rack = 1;
+  cfg.dc.disks_per_enclosure = 3;
+  cfg.dc.disk_capacity_tb = 50.0;  // slow repairs so losses are observable
+  cfg.code = {{2, 1}, {2, 1}};  // one network pool over the 3 racks
+  cfg.scheme = MlecScheme::kCC;
+  cfg.stripes_per_network_pool = 2;
+  cfg.failures.afr = 0.9;
+  cfg.method = RepairMethod::kRepairAll;
+
+  const auto sim = simulate_system(cfg, 3000, 7);
+
+  MlecMarkovParams params;
+  params.kn = 2;
+  params.pn = 1;
+  params.kl = 2;
+  params.pl = 1;
+  params.local_pool_disks = 3;
+  params.disk_fail_rate = cfg.failures.afr / units::kHoursPerYear;
+  params.disk_repair_rate = 1.0 / cfg.single_disk_repair_hours();
+  params.pool_repair_rate = 1.0 / cfg.catastrophic_repair_hours(RepairMethod::kRepairAll);
+  params.network_pools = 1;
+  const auto markov = mlec_markov_mttdl(params);
+  const double markov_pdl = pdl_over_mission(markov.system_mttdl_hours, cfg.mission_hours);
+
+  // Order-of-magnitude agreement: the models differ in repair-time
+  // distribution and the sim's exact stripe accounting.
+  EXPECT_GT(sim.pdl(), markov_pdl / 6.0);
+  EXPECT_LT(sim.pdl(), std::min(1.0, markov_pdl * 6.0));
+}
+
+}  // namespace
+}  // namespace mlec

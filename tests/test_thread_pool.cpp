@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallel_chunks(10, 110, 7, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    std::scoped_lock lock(m);
+    ranges.emplace_back(lo, hi);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_EQ(ranges.size(), 7u);
+  EXPECT_EQ(ranges.front().first, 10u);
+  EXPECT_EQ(ranges.back().second, 110u);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    EXPECT_EQ(ranges[i].first, ranges[i - 1].second);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 10, [](std::size_t) { throw std::runtime_error("x"); });
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SumIsCorrectUnderContention) {
+  ThreadPool pool;
+  std::atomic<long long> total{0};
+  pool.parallel_for(1, 10001, [&](std::size_t i) { total.fetch_add(static_cast<long long>(i)); });
+  EXPECT_EQ(total.load(), 50005000LL);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mlec

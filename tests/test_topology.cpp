@@ -1,0 +1,65 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+TEST(DataCenterConfig, PaperDefaults) {
+  const auto dc = DataCenterConfig::paper_default();
+  EXPECT_EQ(dc.racks, 60u);
+  EXPECT_EQ(dc.total_disks(), 57600u);
+  EXPECT_EQ(dc.disks_per_rack(), 960u);
+  EXPECT_EQ(dc.total_enclosures(), 480u);
+  EXPECT_DOUBLE_EQ(dc.total_capacity_tb(), 57600.0 * 20.0);
+  // 20 TB / 128 KB chunks.
+  EXPECT_DOUBLE_EQ(dc.chunks_per_disk(), 20e12 / 128e3);
+}
+
+TEST(DataCenterConfig, ValidationCatchesZeroes) {
+  DataCenterConfig dc;
+  dc.racks = 0;
+  EXPECT_THROW(dc.validate(), PreconditionError);
+  dc = {};
+  dc.disk_capacity_tb = 0;
+  EXPECT_THROW(dc.validate(), PreconditionError);
+}
+
+TEST(Topology, AddressRoundTrip) {
+  const Topology topo(DataCenterConfig::paper_default());
+  for (RackId rack : {0u, 7u, 59u}) {
+    for (std::size_t enc : {0u, 3u, 7u}) {
+      for (std::size_t pos : {0u, 42u, 119u}) {
+        const DiskId disk = topo.disk_at(rack, enc, pos);
+        EXPECT_EQ(topo.rack_of(disk), rack);
+        EXPECT_EQ(topo.enclosure_position(topo.enclosure_of(disk)), enc);
+        EXPECT_EQ(topo.disk_position(disk), pos);
+        EXPECT_EQ(topo.rack_of_enclosure(topo.enclosure_of(disk)), rack);
+      }
+    }
+  }
+}
+
+TEST(Topology, EnclosureNumbering) {
+  const Topology topo(DataCenterConfig::paper_default());
+  EXPECT_EQ(topo.enclosure_at(0, 0), 0u);
+  EXPECT_EQ(topo.enclosure_at(1, 0), 8u);
+  EXPECT_EQ(topo.enclosure_at(59, 7), 479u);
+}
+
+TEST(Topology, DescribeIsHumanReadable) {
+  const Topology topo(DataCenterConfig::paper_default());
+  EXPECT_EQ(topo.describe(0), "R1E1D1");
+  EXPECT_EQ(topo.describe(topo.disk_at(2, 1, 5)), "R3E2D6");
+}
+
+TEST(Topology, OutOfRangeRejected) {
+  const Topology topo(DataCenterConfig::paper_default());
+  EXPECT_THROW(topo.disk_at(60, 0, 0), PreconditionError);
+  EXPECT_THROW(topo.disk_at(0, 8, 0), PreconditionError);
+  EXPECT_THROW(topo.disk_at(0, 0, 120), PreconditionError);
+  EXPECT_THROW(topo.describe(57600), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

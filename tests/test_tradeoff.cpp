@@ -1,0 +1,66 @@
+#include "analysis/tradeoff.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+const DurabilityEnv kEnv{};
+const OverheadBand kBand{};  // the paper's ~30%
+
+TEST(Tradeoff, MlecPointsRespectBandAndFit) {
+  const auto points = mlec_tradeoff(kEnv, MlecScheme::kCC, RepairMethod::kRepairMinimum, kBand,
+                                    /*measure_encoding=*/false);
+  ASSERT_FALSE(points.empty());
+  for (const auto& pt : points) {
+    EXPECT_TRUE(kBand.contains(pt.overhead)) << pt.label;
+    EXPECT_GT(pt.nines, 0.0) << pt.label;
+    EXPECT_NE(pt.label.find('/'), std::string::npos);
+  }
+  // Sorted by durability.
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_LE(points[i - 1].nines, points[i].nines);
+}
+
+TEST(Tradeoff, PaperDefaultConfigAppears) {
+  // (10+2)/(17+3) has 29.2% overhead — inside the band, C/C-constructible.
+  const auto points = mlec_tradeoff(kEnv, MlecScheme::kCC, RepairMethod::kRepairMinimum, kBand,
+                                    false);
+  const bool found = std::any_of(points.begin(), points.end(), [](const TradeoffPoint& pt) {
+    return pt.label == "(10+2)/(17+3)";
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(Tradeoff, SlecPointsForAllPlacements) {
+  for (auto scheme : kAllSlecSchemes) {
+    const auto points = slec_tradeoff(kEnv, scheme, kBand, false);
+    ASSERT_FALSE(points.empty()) << to_string(scheme);
+    for (const auto& pt : points) EXPECT_TRUE(kBand.contains(pt.overhead)) << pt.label;
+  }
+}
+
+TEST(Tradeoff, LrcPointsIncludePaperConfig) {
+  const auto points = lrc_tradeoff(kEnv, kBand, false);
+  ASSERT_FALSE(points.empty());
+  const bool found = std::any_of(points.begin(), points.end(), [](const TradeoffPoint& pt) {
+    return pt.label == "(14,2,4)";
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(Tradeoff, Figure12HighDurabilityRegimeFavorsMlec) {
+  // The paper's F#2: beyond ~20 nines MLEC sustains durability growth that
+  // SLEC can only buy with ever-wider stripes. Compare the best point of
+  // each family at the band.
+  const auto mlec = mlec_tradeoff(kEnv, MlecScheme::kCC, RepairMethod::kRepairMinimum, kBand,
+                                  false);
+  const auto slec = slec_tradeoff(kEnv, {SlecDomain::kLocal, Placement::kClustered}, kBand,
+                                  false);
+  ASSERT_FALSE(mlec.empty());
+  ASSERT_FALSE(slec.empty());
+  EXPECT_GT(mlec.back().nines, slec.back().nines);
+}
+
+}  // namespace
+}  // namespace mlec

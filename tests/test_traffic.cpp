@@ -1,0 +1,119 @@
+#include "analysis/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec {
+namespace {
+
+const DataCenterConfig kDc = DataCenterConfig::paper_default();
+const MlecCode kCode = MlecCode::paper_default();
+
+TEST(LostChunkFraction, ClusteredIsTotal) {
+  EXPECT_DOUBLE_EQ(lost_chunk_fraction(20, 20, 3, 4), 1.0);
+}
+
+TEST(LostChunkFraction, DeclusteredMatchesPaper) {
+  // (19*18*17)/(119*118*117) — the paper's 3.1 TB effect for (17+3) in 120.
+  const double expected = (19.0 * 18 * 17) / (119.0 * 118 * 117);
+  EXPECT_NEAR(lost_chunk_fraction(120, 20, 3, 4), expected, 1e-15);
+}
+
+TEST(LostChunkFraction, BelowToleranceIsZero) {
+  EXPECT_DOUBLE_EQ(lost_chunk_fraction(120, 20, 3, 3), 0.0);
+  EXPECT_DOUBLE_EQ(lost_chunk_fraction(120, 20, 3, 0), 0.0);
+}
+
+// The paper's Figure 8 values, reproduced exactly by the closed forms.
+TEST(InjectionTraffic, Figure8RepairAll) {
+  EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, MlecScheme::kCC,
+                                             RepairMethod::kRepairAll)
+                  .cross_rack_tb(),
+              4400.0, 0.1);
+  EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, MlecScheme::kCD,
+                                             RepairMethod::kRepairAll)
+                  .cross_rack_tb(),
+              26400.0, 0.1);
+}
+
+TEST(InjectionTraffic, Figure8FailedChunksOnly) {
+  for (auto scheme : kAllMlecSchemes) {
+    EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, scheme,
+                                               RepairMethod::kRepairFailedOnly)
+                    .cross_rack_tb(),
+                880.0, 0.1)
+        << to_string(scheme);
+  }
+}
+
+TEST(InjectionTraffic, Figure8Hybrid) {
+  // C/D and D/D: ~3.1 TB; C/C and D/C: same as R_FCO (injection has no
+  // partially repaired stripes).
+  EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, MlecScheme::kCD,
+                                             RepairMethod::kRepairHybrid)
+                  .cross_rack_tb(),
+              3.11, 0.05);
+  EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, MlecScheme::kCC,
+                                             RepairMethod::kRepairHybrid)
+                  .cross_rack_tb(),
+              880.0, 0.1);
+}
+
+TEST(InjectionTraffic, Figure8Minimum) {
+  // >= 4x below R_HYB for every scheme (paper F#4).
+  for (auto scheme : kAllMlecSchemes) {
+    const double hyb = catastrophic_injection_traffic(kDc, kCode, scheme,
+                                                      RepairMethod::kRepairHybrid)
+                           .cross_rack_tb();
+    const double min = catastrophic_injection_traffic(kDc, kCode, scheme,
+                                                      RepairMethod::kRepairMinimum)
+                           .cross_rack_tb();
+    EXPECT_GE(hyb / min, 4.0) << to_string(scheme);
+  }
+  EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, MlecScheme::kCD,
+                                             RepairMethod::kRepairMinimum)
+                  .cross_rack_tb(),
+              0.778, 0.01);
+  EXPECT_NEAR(catastrophic_injection_traffic(kDc, kCode, MlecScheme::kCC,
+                                             RepairMethod::kRepairMinimum)
+                  .cross_rack_tb(),
+              220.0, 0.1);
+}
+
+TEST(InjectionTraffic, LocalTrafficOnlyForHybridAndMinimum) {
+  for (auto scheme : kAllMlecSchemes) {
+    EXPECT_EQ(catastrophic_injection_traffic(kDc, kCode, scheme, RepairMethod::kRepairAll)
+                  .local_tb(),
+              0.0);
+    EXPECT_GT(catastrophic_injection_traffic(kDc, kCode, scheme, RepairMethod::kRepairMinimum)
+                  .local_tb(),
+              0.0);
+  }
+}
+
+TEST(AnnualTraffic, NetworkSlecIsHundredsOfTbPerDay) {
+  // (7+3) network SLEC at 1% AFR (paper §5.1.4).
+  const auto t = slec_network_annual_traffic(kDc, {7, 3}, 0.01);
+  EXPECT_NEAR(t.failures_per_year, 576.0, 1e-9);
+  EXPECT_GT(t.cross_rack_tb_per_day(), 100.0);
+  EXPECT_LT(t.cross_rack_tb_per_day(), 1000.0);
+}
+
+TEST(AnnualTraffic, LrcBelowComparableSlec) {
+  // (14,2,4) LRC repairs most failures from a 7-chunk group; a (14+6)
+  // network SLEC at the same stripe width reads 14 per chunk (paper §5.2.4).
+  const auto lrc = lrc_annual_traffic(kDc, {14, 2, 4}, 0.01);
+  const auto slec = slec_network_annual_traffic(kDc, {14, 6}, 0.01);
+  EXPECT_LT(lrc.cross_rack_tb_per_year, slec.cross_rack_tb_per_year);
+}
+
+TEST(AnnualTraffic, MlecOrdersOfMagnitudeBelowBoth) {
+  // Catastrophes arrive ~1e-5/yr system-wide; with R_MIN each moves <1 TB.
+  const auto mlec = mlec_annual_traffic(kDc, kCode, MlecScheme::kCD,
+                                        RepairMethod::kRepairMinimum, 1e-5);
+  const auto slec = slec_network_annual_traffic(kDc, {7, 3}, 0.01);
+  EXPECT_LT(mlec.cross_rack_tb_per_year, 1.0);
+  EXPECT_GT(slec.cross_rack_tb_per_year / std::max(mlec.cross_rack_tb_per_year, 1e-12), 1e6);
+}
+
+}  // namespace
+}  // namespace mlec

@@ -1,0 +1,24 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec::units {
+namespace {
+
+TEST(Units, GbpsToMbps) {
+  // 10 Gbps = 1250 MB/s decimal.
+  EXPECT_DOUBLE_EQ(gbps_to_mbps(10.0), 1250.0);
+}
+
+TEST(Units, TbToMb) { EXPECT_DOUBLE_EQ(tb_to_mb(2.0), 2e6); }
+
+TEST(Units, HoursToMove) {
+  // 20 TB at 40 MB/s: 5e5 seconds = 138.888... hours (the paper's Cp disk
+  // rebuild).
+  EXPECT_NEAR(hours_to_move(20.0, 40.0), 138.888, 0.01);
+}
+
+TEST(Units, YearHasQuarterDay) { EXPECT_DOUBLE_EQ(kHoursPerYear, 8766.0); }
+
+}  // namespace
+}  // namespace mlec::units

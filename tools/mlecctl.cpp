@@ -1,0 +1,250 @@
+// mlecctl — command-line front end for the MLEC analysis library.
+//
+//   mlecctl <command> [--config FILE] [overrides...]
+//
+// Commands:
+//   analyze      full deployment report (Table 2, traffic, durability)
+//   durability   nines for every scheme x repair method (Figure 10 view)
+//   burst X Y    PDL of Y simultaneous failures over X racks (Figure 5 cell)
+//   traffic      catastrophic-repair traffic per method (Figure 8 view)
+//   repair       repair bandwidth and times (Table 2 / Figures 6, 9)
+//   tradeoff     ~30%-overhead durability/throughput sweep (Figure 12 view)
+//   simulate N   fleet Monte Carlo over N mission-years
+//   advise       apply the paper's §6.1 takeaways to a site profile
+//   spec         print an annotated deployment-file template
+//
+// Overrides (apply after --config): --code "(10+2)/(17+3)", --scheme C/D,
+// --repair R_MIN, --afr 0.01, --detection-min 30, --racks N,
+// --disks-per-enclosure N, --enclosures-per-rack N, --disk-tb N.
+// Site profile flags for advise: --bursts, --devops, --nines N,
+// --throughput-critical.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/fleet_sim.hpp"
+#include "analysis/tradeoff.hpp"
+#include "core/advisor.hpp"
+#include "core/analyzer.hpp"
+#include "core/spec_io.hpp"
+#include "placement/notation.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mlec;
+
+[[noreturn]] void usage(const char* message = nullptr) {
+  if (message != nullptr) std::cerr << "mlecctl: " << message << "\n\n";
+  std::cerr <<
+      "usage: mlecctl <analyze|durability|burst|traffic|repair|tradeoff|simulate|advise|spec>\n"
+      "               [--config FILE] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
+      "               [--repair R_MIN] [--afr F] [--detection-min M] [--racks N]\n"
+      "               [--enclosures-per-rack N] [--disks-per-enclosure N] [--disk-tb N]\n"
+      "               [--bursts] [--devops] [--nines N] [--throughput-critical]\n";
+  std::exit(2);
+}
+
+struct Options {
+  SystemSpec spec;
+  DeploymentProfile profile;
+  std::vector<std::string> positional;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  opt.profile.required_nines = 25.0;
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage("missing value after flag");
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--config") {
+        const std::string path = need_value(i);
+        std::ifstream in(path);
+        if (!in) usage(("cannot open config file " + path).c_str());
+        opt.spec = load_spec(IniFile::parse(in));
+      } else if (arg == "--code") {
+        opt.spec.code = parse_mlec_code(need_value(i));
+      } else if (arg == "--scheme") {
+        opt.spec.scheme = parse_mlec_scheme(need_value(i));
+      } else if (arg == "--repair") {
+        opt.spec.repair = parse_repair_method(need_value(i));
+      } else if (arg == "--afr") {
+        opt.spec.afr = std::stod(need_value(i));
+      } else if (arg == "--detection-min") {
+        opt.spec.detection_hours = std::stod(need_value(i)) / 60.0;
+      } else if (arg == "--racks") {
+        opt.spec.dc.racks = std::stoul(need_value(i));
+      } else if (arg == "--enclosures-per-rack") {
+        opt.spec.dc.enclosures_per_rack = std::stoul(need_value(i));
+      } else if (arg == "--disks-per-enclosure") {
+        opt.spec.dc.disks_per_enclosure = std::stoul(need_value(i));
+      } else if (arg == "--disk-tb") {
+        opt.spec.dc.disk_capacity_tb = std::stod(need_value(i));
+      } else if (arg == "--bursts") {
+        opt.profile.frequent_failure_bursts = true;
+      } else if (arg == "--devops") {
+        opt.profile.has_devops_team = true;
+      } else if (arg == "--throughput-critical") {
+        opt.profile.throughput_critical = true;
+      } else if (arg == "--nines") {
+        opt.profile.required_nines = std::stod(need_value(i));
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage(("unknown flag " + arg).c_str());
+      } else {
+        opt.positional.push_back(arg);
+      }
+    } catch (const std::exception& e) {
+      usage(e.what());
+    }
+  }
+  return opt;
+}
+
+int cmd_analyze(const Options& opt) {
+  std::cout << MlecAnalyzer(opt.spec).report();
+  return 0;
+}
+
+int cmd_durability(const Options& opt) {
+  Table t({"scheme", "R_ALL", "R_FCO", "R_HYB", "R_MIN"});
+  const auto env = opt.spec.durability_env();
+  for (auto scheme : kAllMlecSchemes) {
+    std::vector<std::string> row{to_string(scheme)};
+    for (auto method : kAllRepairMethods) {
+      try {
+        row.push_back(Table::num(mlec_durability(env, opt.spec.code, scheme, method).nines, 1));
+      } catch (const PreconditionError&) {
+        row.push_back("n/a");  // placement constraints unmet for this scheme
+      }
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_ascii("durability (nines over the mission), " + opt.spec.code.notation());
+  return 0;
+}
+
+int cmd_burst(const Options& opt) {
+  if (opt.positional.size() != 2) usage("burst needs: mlecctl burst <racks> <failures>");
+  const auto racks = static_cast<std::size_t>(std::stoul(opt.positional[0]));
+  const auto failures = static_cast<std::size_t>(std::stoul(opt.positional[1]));
+  BurstPdlConfig cfg;
+  cfg.dc = opt.spec.dc;
+  cfg.trials_per_cell = 4000;
+  const BurstPdlEngine engine(cfg);
+  const double pdl = engine.mlec_cell(opt.spec.code, opt.spec.scheme, racks, failures);
+  std::cout << "PDL(" << failures << " failures over " << racks << " racks, "
+            << to_string(opt.spec.scheme) << " " << opt.spec.code.notation()
+            << ") = " << Table::num(pdl, 4) << '\n';
+  return 0;
+}
+
+int cmd_traffic(const Options& opt) {
+  Table t({"method", "cross_rack_TB", "local_TB"});
+  for (auto method : kAllRepairMethods) {
+    const auto traffic =
+        catastrophic_injection_traffic(opt.spec.dc, opt.spec.code, opt.spec.scheme, method);
+    t.add_row({to_string(method), Table::num(traffic.cross_rack_tb(), 2),
+               Table::num(traffic.local_tb(), 2)});
+  }
+  std::cout << t.to_ascii("catastrophic local pool repair traffic, " +
+                          to_string(opt.spec.scheme) + " " + opt.spec.code.notation());
+  return 0;
+}
+
+int cmd_repair(const Options& opt) {
+  const RepairTimeModel model(opt.spec.dc, opt.spec.bandwidth, opt.spec.code);
+  const auto row = model.table2_row(opt.spec.scheme);
+  Table t({"quantity", "value"});
+  t.add_row({"single-disk repair bandwidth (MB/s)", Table::num(row.single_disk_mbps, 0)});
+  t.add_row({"single-disk repair time (h)",
+             Table::num(model.single_disk_repair_hours(opt.spec.scheme), 1)});
+  t.add_row({"pool size (TB)", Table::num(row.pool_size_tb)});
+  t.add_row({"pool repair bandwidth (MB/s)", Table::num(row.pool_mbps, 0)});
+  t.add_row({"pool repair time, R_ALL (h)",
+             Table::num(model.catastrophic_repair_hours(opt.spec.scheme), 1)});
+  const auto mt = model.method_repair_time(opt.spec.scheme, opt.spec.repair);
+  t.add_row({"catastrophe repair w/ " + to_string(opt.spec.repair) + " (h, net+local)",
+             Table::num(mt.network_hours, 1) + " + " + Table::num(mt.local_hours, 1)});
+  std::cout << t.to_ascii("repair profile, " + to_string(opt.spec.scheme) + " " +
+                          opt.spec.code.notation());
+  return 0;
+}
+
+int cmd_tradeoff(const Options& opt) {
+  const auto points = mlec_tradeoff(opt.spec.durability_env(), opt.spec.scheme, opt.spec.repair,
+                                    OverheadBand{}, /*measure_encoding=*/true);
+  Table t({"config", "overhead_%", "nines", "encode_GBps"});
+  for (const auto& pt : points)
+    t.add_row({pt.label, Table::num(100 * pt.overhead, 1), Table::num(pt.nines, 1),
+               Table::num(pt.encode_gbps, 2)});
+  std::cout << t.to_ascii("~30% overhead sweep, " + to_string(opt.spec.scheme) + " with " +
+                          to_string(opt.spec.repair));
+  return 0;
+}
+
+int cmd_simulate(const Options& opt) {
+  const std::uint64_t missions =
+      opt.positional.empty() ? 100 : std::stoull(opt.positional[0]);
+  FleetSimConfig cfg;
+  cfg.dc = opt.spec.dc;
+  cfg.code = opt.spec.code;
+  cfg.scheme = opt.spec.scheme;
+  cfg.method = opt.spec.repair;
+  cfg.bandwidth = opt.spec.bandwidth;
+  cfg.failures.afr = opt.spec.afr;
+  cfg.detection_hours = opt.spec.detection_hours;
+  cfg.mission_hours = opt.spec.mission_hours;
+  const auto r = simulate_fleet(cfg, missions, 1, &global_pool());
+  Table t({"quantity", "value"});
+  t.add_row({"missions", std::to_string(r.missions)});
+  t.add_row({"disk failures", std::to_string(r.disk_failures)});
+  t.add_row({"catastrophic pool events", std::to_string(r.catastrophic_pool_events)});
+  t.add_row({"data-loss missions", std::to_string(r.data_loss_missions)});
+  t.add_row({"PDL", Table::num(r.pdl(), 4)});
+  const auto ci = r.pdl_interval();
+  t.add_row({"PDL 95% CI", Table::num(ci.lo, 4) + " .. " + Table::num(ci.hi, 4)});
+  t.add_row({"cross-rack repair TB (total)", Table::num(r.cross_rack_tb, 2)});
+  std::cout << t.to_ascii("fleet Monte Carlo, " + to_string(opt.spec.scheme) + " " +
+                          opt.spec.code.notation() + ", " + to_string(opt.spec.repair));
+  return 0;
+}
+
+int cmd_advise(const Options& opt) {
+  const auto rec = advise(opt.profile);
+  std::cout << "recommendation: " << rec.summary() << '\n';
+  for (const auto& line : rec.rationale) std::cout << "  - " << line << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  try {
+    const Options opt = parse_options(argc, argv);
+    if (command == "analyze") return cmd_analyze(opt);
+    if (command == "durability") return cmd_durability(opt);
+    if (command == "burst") return cmd_burst(opt);
+    if (command == "traffic") return cmd_traffic(opt);
+    if (command == "repair") return cmd_repair(opt);
+    if (command == "tradeoff") return cmd_tradeoff(opt);
+    if (command == "simulate") return cmd_simulate(opt);
+    if (command == "advise") return cmd_advise(opt);
+    if (command == "spec") {
+      std::cout << example_spec();
+      return 0;
+    }
+    usage(("unknown command " + command).c_str());
+  } catch (const std::exception& e) {
+    std::cerr << "mlecctl: " << e.what() << '\n';
+    return 1;
+  }
+}
