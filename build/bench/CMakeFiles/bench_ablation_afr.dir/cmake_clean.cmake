@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_afr.dir/bench_ablation_afr.cpp.o"
+  "CMakeFiles/bench_ablation_afr.dir/bench_ablation_afr.cpp.o.d"
+  "bench_ablation_afr"
+  "bench_ablation_afr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_afr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bursts.dir/bench_ablation_bursts.cpp.o"
+  "CMakeFiles/bench_ablation_bursts.dir/bench_ablation_bursts.cpp.o.d"
+  "bench_ablation_bursts"
+  "bench_ablation_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

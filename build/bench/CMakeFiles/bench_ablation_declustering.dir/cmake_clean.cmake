@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_declustering.dir/bench_ablation_declustering.cpp.o"
+  "CMakeFiles/bench_ablation_declustering.dir/bench_ablation_declustering.cpp.o.d"
+  "bench_ablation_declustering"
+  "bench_ablation_declustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_declustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ure.dir/bench_ablation_ure.cpp.o"
+  "CMakeFiles/bench_ablation_ure.dir/bench_ablation_ure.cpp.o.d"
+  "bench_ablation_ure"
+  "bench_ablation_ure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_mlec_vs_slec.dir/bench_fig12_mlec_vs_slec.cpp.o"
+  "CMakeFiles/bench_fig12_mlec_vs_slec.dir/bench_fig12_mlec_vs_slec.cpp.o.d"
+  "bench_fig12_mlec_vs_slec"
+  "bench_fig12_mlec_vs_slec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mlec_vs_slec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_lrc_burst_pdl.dir/bench_fig16_lrc_burst_pdl.cpp.o"
+  "CMakeFiles/bench_fig16_lrc_burst_pdl.dir/bench_fig16_lrc_burst_pdl.cpp.o.d"
+  "bench_fig16_lrc_burst_pdl"
+  "bench_fig16_lrc_burst_pdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_lrc_burst_pdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

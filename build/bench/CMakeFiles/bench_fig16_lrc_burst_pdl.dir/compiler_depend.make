@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig16_lrc_burst_pdl.
+# This may be replaced when dependencies are built.

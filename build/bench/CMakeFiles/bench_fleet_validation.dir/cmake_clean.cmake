@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fleet_validation.dir/bench_fleet_validation.cpp.o"
+  "CMakeFiles/bench_fleet_validation.dir/bench_fleet_validation.cpp.o.d"
+  "bench_fleet_validation"
+  "bench_fleet_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fleet_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_markov_validation.dir/bench_markov_validation.cpp.o"
+  "CMakeFiles/bench_markov_validation.dir/bench_markov_validation.cpp.o.d"
+  "bench_markov_validation"
+  "bench_markov_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_markov_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

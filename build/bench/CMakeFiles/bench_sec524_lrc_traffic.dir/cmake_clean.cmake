@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec524_lrc_traffic.dir/bench_sec524_lrc_traffic.cpp.o"
+  "CMakeFiles/bench_sec524_lrc_traffic.dir/bench_sec524_lrc_traffic.cpp.o.d"
+  "bench_sec524_lrc_traffic"
+  "bench_sec524_lrc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec524_lrc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

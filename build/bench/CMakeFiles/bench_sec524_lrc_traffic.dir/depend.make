@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec524_lrc_traffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repair_drill.dir/repair_drill.cpp.o"
+  "CMakeFiles/repair_drill.dir/repair_drill.cpp.o.d"
+  "repair_drill"
+  "repair_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repair_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

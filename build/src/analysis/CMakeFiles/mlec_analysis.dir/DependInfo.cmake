@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/burst_pdl.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/burst_pdl.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/burst_pdl.cpp.o.d"
+  "/root/repo/src/analysis/durability.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/durability.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/durability.cpp.o.d"
+  "/root/repo/src/analysis/encoding.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/encoding.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/encoding.cpp.o.d"
+  "/root/repo/src/analysis/fleet_sim.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/fleet_sim.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/fleet_sim.cpp.o.d"
+  "/root/repo/src/analysis/repair_time.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/repair_time.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/repair_time.cpp.o.d"
+  "/root/repo/src/analysis/tradeoff.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/tradeoff.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/tradeoff.cpp.o.d"
+  "/root/repo/src/analysis/traffic.cpp" "src/analysis/CMakeFiles/mlec_analysis.dir/traffic.cpp.o" "gcc" "src/analysis/CMakeFiles/mlec_analysis.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/mlec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlec_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/mlec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlec_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

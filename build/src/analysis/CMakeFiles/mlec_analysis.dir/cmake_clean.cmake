@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_analysis.dir/burst_pdl.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/burst_pdl.cpp.o.d"
+  "CMakeFiles/mlec_analysis.dir/durability.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/durability.cpp.o.d"
+  "CMakeFiles/mlec_analysis.dir/encoding.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/encoding.cpp.o.d"
+  "CMakeFiles/mlec_analysis.dir/fleet_sim.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/fleet_sim.cpp.o.d"
+  "CMakeFiles/mlec_analysis.dir/repair_time.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/repair_time.cpp.o.d"
+  "CMakeFiles/mlec_analysis.dir/tradeoff.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/tradeoff.cpp.o.d"
+  "CMakeFiles/mlec_analysis.dir/traffic.cpp.o"
+  "CMakeFiles/mlec_analysis.dir/traffic.cpp.o.d"
+  "libmlec_analysis.a"
+  "libmlec_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_core.dir/advisor.cpp.o"
+  "CMakeFiles/mlec_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/mlec_core.dir/analyzer.cpp.o"
+  "CMakeFiles/mlec_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/mlec_core.dir/spec_io.cpp.o"
+  "CMakeFiles/mlec_core.dir/spec_io.cpp.o.d"
+  "libmlec_core.a"
+  "libmlec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

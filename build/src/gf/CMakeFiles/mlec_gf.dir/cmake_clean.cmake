@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_gf.dir/gf256.cpp.o"
+  "CMakeFiles/mlec_gf.dir/gf256.cpp.o.d"
+  "CMakeFiles/mlec_gf.dir/matrix.cpp.o"
+  "CMakeFiles/mlec_gf.dir/matrix.cpp.o.d"
+  "CMakeFiles/mlec_gf.dir/rs.cpp.o"
+  "CMakeFiles/mlec_gf.dir/rs.cpp.o.d"
+  "libmlec_gf.a"
+  "libmlec_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

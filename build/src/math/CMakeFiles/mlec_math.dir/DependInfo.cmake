@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/allocation.cpp" "src/math/CMakeFiles/mlec_math.dir/allocation.cpp.o" "gcc" "src/math/CMakeFiles/mlec_math.dir/allocation.cpp.o.d"
+  "/root/repo/src/math/combin.cpp" "src/math/CMakeFiles/mlec_math.dir/combin.cpp.o" "gcc" "src/math/CMakeFiles/mlec_math.dir/combin.cpp.o.d"
+  "/root/repo/src/math/distribution.cpp" "src/math/CMakeFiles/mlec_math.dir/distribution.cpp.o" "gcc" "src/math/CMakeFiles/mlec_math.dir/distribution.cpp.o.d"
+  "/root/repo/src/math/markov.cpp" "src/math/CMakeFiles/mlec_math.dir/markov.cpp.o" "gcc" "src/math/CMakeFiles/mlec_math.dir/markov.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

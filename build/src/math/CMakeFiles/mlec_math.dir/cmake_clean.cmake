@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_math.dir/allocation.cpp.o"
+  "CMakeFiles/mlec_math.dir/allocation.cpp.o.d"
+  "CMakeFiles/mlec_math.dir/combin.cpp.o"
+  "CMakeFiles/mlec_math.dir/combin.cpp.o.d"
+  "CMakeFiles/mlec_math.dir/distribution.cpp.o"
+  "CMakeFiles/mlec_math.dir/distribution.cpp.o.d"
+  "CMakeFiles/mlec_math.dir/markov.cpp.o"
+  "CMakeFiles/mlec_math.dir/markov.cpp.o.d"
+  "libmlec_math.a"
+  "libmlec_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/declustered.cpp" "src/placement/CMakeFiles/mlec_placement.dir/declustered.cpp.o" "gcc" "src/placement/CMakeFiles/mlec_placement.dir/declustered.cpp.o.d"
+  "/root/repo/src/placement/lrc.cpp" "src/placement/CMakeFiles/mlec_placement.dir/lrc.cpp.o" "gcc" "src/placement/CMakeFiles/mlec_placement.dir/lrc.cpp.o.d"
+  "/root/repo/src/placement/notation.cpp" "src/placement/CMakeFiles/mlec_placement.dir/notation.cpp.o" "gcc" "src/placement/CMakeFiles/mlec_placement.dir/notation.cpp.o.d"
+  "/root/repo/src/placement/pools.cpp" "src/placement/CMakeFiles/mlec_placement.dir/pools.cpp.o" "gcc" "src/placement/CMakeFiles/mlec_placement.dir/pools.cpp.o.d"
+  "/root/repo/src/placement/schemes.cpp" "src/placement/CMakeFiles/mlec_placement.dir/schemes.cpp.o" "gcc" "src/placement/CMakeFiles/mlec_placement.dir/schemes.cpp.o.d"
+  "/root/repo/src/placement/stripe_map.cpp" "src/placement/CMakeFiles/mlec_placement.dir/stripe_map.cpp.o" "gcc" "src/placement/CMakeFiles/mlec_placement.dir/stripe_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlec_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_placement.dir/declustered.cpp.o"
+  "CMakeFiles/mlec_placement.dir/declustered.cpp.o.d"
+  "CMakeFiles/mlec_placement.dir/lrc.cpp.o"
+  "CMakeFiles/mlec_placement.dir/lrc.cpp.o.d"
+  "CMakeFiles/mlec_placement.dir/notation.cpp.o"
+  "CMakeFiles/mlec_placement.dir/notation.cpp.o.d"
+  "CMakeFiles/mlec_placement.dir/pools.cpp.o"
+  "CMakeFiles/mlec_placement.dir/pools.cpp.o.d"
+  "CMakeFiles/mlec_placement.dir/schemes.cpp.o"
+  "CMakeFiles/mlec_placement.dir/schemes.cpp.o.d"
+  "CMakeFiles/mlec_placement.dir/stripe_map.cpp.o"
+  "CMakeFiles/mlec_placement.dir/stripe_map.cpp.o.d"
+  "libmlec_placement.a"
+  "libmlec_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/failure_gen.cpp" "src/sim/CMakeFiles/mlec_sim.dir/failure_gen.cpp.o" "gcc" "src/sim/CMakeFiles/mlec_sim.dir/failure_gen.cpp.o.d"
+  "/root/repo/src/sim/local_pool_sim.cpp" "src/sim/CMakeFiles/mlec_sim.dir/local_pool_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mlec_sim.dir/local_pool_sim.cpp.o.d"
+  "/root/repo/src/sim/repair_executor.cpp" "src/sim/CMakeFiles/mlec_sim.dir/repair_executor.cpp.o" "gcc" "src/sim/CMakeFiles/mlec_sim.dir/repair_executor.cpp.o.d"
+  "/root/repo/src/sim/repair_planner.cpp" "src/sim/CMakeFiles/mlec_sim.dir/repair_planner.cpp.o" "gcc" "src/sim/CMakeFiles/mlec_sim.dir/repair_planner.cpp.o.d"
+  "/root/repo/src/sim/system_sim.cpp" "src/sim/CMakeFiles/mlec_sim.dir/system_sim.cpp.o" "gcc" "src/sim/CMakeFiles/mlec_sim.dir/system_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mlec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/mlec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlec_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/mlec_placement.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

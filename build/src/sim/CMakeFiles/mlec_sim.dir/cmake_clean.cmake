@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_sim.dir/failure_gen.cpp.o"
+  "CMakeFiles/mlec_sim.dir/failure_gen.cpp.o.d"
+  "CMakeFiles/mlec_sim.dir/local_pool_sim.cpp.o"
+  "CMakeFiles/mlec_sim.dir/local_pool_sim.cpp.o.d"
+  "CMakeFiles/mlec_sim.dir/repair_executor.cpp.o"
+  "CMakeFiles/mlec_sim.dir/repair_executor.cpp.o.d"
+  "CMakeFiles/mlec_sim.dir/repair_planner.cpp.o"
+  "CMakeFiles/mlec_sim.dir/repair_planner.cpp.o.d"
+  "CMakeFiles/mlec_sim.dir/system_sim.cpp.o"
+  "CMakeFiles/mlec_sim.dir/system_sim.cpp.o.d"
+  "libmlec_sim.a"
+  "libmlec_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

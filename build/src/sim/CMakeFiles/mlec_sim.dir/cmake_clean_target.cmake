@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlec_sim.a"
+)

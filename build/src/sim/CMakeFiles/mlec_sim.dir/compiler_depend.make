@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mlec_sim.
+# This may be replaced when dependencies are built.

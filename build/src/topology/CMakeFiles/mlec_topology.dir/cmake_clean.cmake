@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_topology.dir/bandwidth.cpp.o"
+  "CMakeFiles/mlec_topology.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/mlec_topology.dir/topology.cpp.o"
+  "CMakeFiles/mlec_topology.dir/topology.cpp.o.d"
+  "libmlec_topology.a"
+  "libmlec_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlec_util.dir/ini.cpp.o"
+  "CMakeFiles/mlec_util.dir/ini.cpp.o.d"
+  "CMakeFiles/mlec_util.dir/progress.cpp.o"
+  "CMakeFiles/mlec_util.dir/progress.cpp.o.d"
+  "CMakeFiles/mlec_util.dir/rng.cpp.o"
+  "CMakeFiles/mlec_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mlec_util.dir/stats.cpp.o"
+  "CMakeFiles/mlec_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mlec_util.dir/table.cpp.o"
+  "CMakeFiles/mlec_util.dir/table.cpp.o.d"
+  "CMakeFiles/mlec_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mlec_util.dir/thread_pool.cpp.o.d"
+  "libmlec_util.a"
+  "libmlec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combin.dir/test_combin.cpp.o"
+  "CMakeFiles/test_combin.dir/test_combin.cpp.o.d"
+  "test_combin"
+  "test_combin.pdb"
+  "test_combin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_declustered.dir/test_declustered.cpp.o"
+  "CMakeFiles/test_declustered.dir/test_declustered.cpp.o.d"
+  "test_declustered"
+  "test_declustered.pdb"
+  "test_declustered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_declustered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_durability.dir/test_durability.cpp.o"
+  "CMakeFiles/test_durability.dir/test_durability.cpp.o.d"
+  "test_durability"
+  "test_durability.pdb"
+  "test_durability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

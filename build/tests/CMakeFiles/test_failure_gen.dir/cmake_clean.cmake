@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_gen.dir/test_failure_gen.cpp.o"
+  "CMakeFiles/test_failure_gen.dir/test_failure_gen.cpp.o.d"
+  "test_failure_gen"
+  "test_failure_gen.pdb"
+  "test_failure_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fleet_sim.dir/test_fleet_sim.cpp.o"
+  "CMakeFiles/test_fleet_sim.dir/test_fleet_sim.cpp.o.d"
+  "test_fleet_sim"
+  "test_fleet_sim.pdb"
+  "test_fleet_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fleet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

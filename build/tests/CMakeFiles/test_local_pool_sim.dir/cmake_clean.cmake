@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_pool_sim.dir/test_local_pool_sim.cpp.o"
+  "CMakeFiles/test_local_pool_sim.dir/test_local_pool_sim.cpp.o.d"
+  "test_local_pool_sim"
+  "test_local_pool_sim.pdb"
+  "test_local_pool_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_pool_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrc.dir/test_lrc.cpp.o"
+  "CMakeFiles/test_lrc.dir/test_lrc.cpp.o.d"
+  "test_lrc"
+  "test_lrc.pdb"
+  "test_lrc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_notation.dir/test_notation.cpp.o"
+  "CMakeFiles/test_notation.dir/test_notation.cpp.o.d"
+  "test_notation"
+  "test_notation.pdb"
+  "test_notation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_notation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pools.dir/test_pools.cpp.o"
+  "CMakeFiles/test_pools.dir/test_pools.cpp.o.d"
+  "test_pools"
+  "test_pools.pdb"
+  "test_pools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

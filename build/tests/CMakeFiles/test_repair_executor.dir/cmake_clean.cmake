@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair_executor.dir/test_repair_executor.cpp.o"
+  "CMakeFiles/test_repair_executor.dir/test_repair_executor.cpp.o.d"
+  "test_repair_executor"
+  "test_repair_executor.pdb"
+  "test_repair_executor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

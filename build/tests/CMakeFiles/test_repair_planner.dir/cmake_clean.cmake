@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair_planner.dir/test_repair_planner.cpp.o"
+  "CMakeFiles/test_repair_planner.dir/test_repair_planner.cpp.o.d"
+  "test_repair_planner"
+  "test_repair_planner.pdb"
+  "test_repair_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

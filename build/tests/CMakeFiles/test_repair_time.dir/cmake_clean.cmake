@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repair_time.dir/test_repair_time.cpp.o"
+  "CMakeFiles/test_repair_time.dir/test_repair_time.cpp.o.d"
+  "test_repair_time"
+  "test_repair_time.pdb"
+  "test_repair_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repair_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

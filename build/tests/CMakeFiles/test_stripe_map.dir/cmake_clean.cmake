@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stripe_map.dir/test_stripe_map.cpp.o"
+  "CMakeFiles/test_stripe_map.dir/test_stripe_map.cpp.o.d"
+  "test_stripe_map"
+  "test_stripe_map.pdb"
+  "test_stripe_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stripe_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_system_sim.cpp" "tests/CMakeFiles/test_system_sim.dir/test_system_sim.cpp.o" "gcc" "tests/CMakeFiles/test_system_sim.dir/test_system_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mlec_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mlec_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/mlec_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/mlec_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/mlec_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mlec_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mlec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

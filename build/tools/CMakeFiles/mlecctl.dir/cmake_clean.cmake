@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlecctl.dir/mlecctl.cpp.o"
+  "CMakeFiles/mlecctl.dir/mlecctl.cpp.o.d"
+  "mlecctl"
+  "mlecctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlecctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
