@@ -449,7 +449,7 @@ double BurstPdlEngine::lrc_cell(const LrcCode& code, std::size_t racks,
 template <typename CellFn>
 BurstHeatmap BurstPdlEngine::sweep(std::size_t step, std::size_t max_racks,
                                    std::size_t max_failures, ThreadPool* pool,
-                                   CellFn&& cell) const {
+                                   StopToken stop, CellFn&& cell) const {
   MLEC_REQUIRE(step >= 1, "step must be positive");
   BurstHeatmap map;
   // Always include the smallest rack counts: the paper's hottest column sits
@@ -464,13 +464,17 @@ BurstHeatmap BurstPdlEngine::sweep(std::size_t step, std::size_t max_racks,
 
   const std::size_t cells = map.x_labels.size() * map.y_labels.size();
   auto run_cell = [&](std::size_t i) {
+    if (stop.stop_requested()) {
+      map.truncated = true;  // benign write race: only ever set to true
+      return;
+    }
     const std::size_t yi = i / map.x_labels.size();
     const std::size_t xi = i % map.x_labels.size();
     map.values[yi][xi] = cell(static_cast<std::size_t>(map.x_labels[xi]),
                               static_cast<std::size_t>(map.y_labels[yi]));
   };
   if (pool != nullptr) {
-    pool->parallel_for(0, cells, run_cell);
+    pool->parallel_for(0, cells, run_cell, stop);
   } else {
     for (std::size_t i = 0; i < cells; ++i) run_cell(i);
   }
@@ -479,22 +483,24 @@ BurstHeatmap BurstPdlEngine::sweep(std::size_t step, std::size_t max_racks,
 
 BurstHeatmap BurstPdlEngine::mlec_heatmap(const MlecCode& code, MlecScheme scheme,
                                           std::size_t step, std::size_t max_racks,
-                                          std::size_t max_failures, ThreadPool* pool) const {
-  return sweep(step, max_racks, max_failures, pool,
+                                          std::size_t max_failures, ThreadPool* pool,
+                                          StopToken stop) const {
+  return sweep(step, max_racks, max_failures, pool, std::move(stop),
                [&](std::size_t x, std::size_t y) { return mlec_cell(code, scheme, x, y); });
 }
 
 BurstHeatmap BurstPdlEngine::slec_heatmap(const SlecCode& code, SlecScheme scheme,
                                           std::size_t step, std::size_t max_racks,
-                                          std::size_t max_failures, ThreadPool* pool) const {
-  return sweep(step, max_racks, max_failures, pool,
+                                          std::size_t max_failures, ThreadPool* pool,
+                                          StopToken stop) const {
+  return sweep(step, max_racks, max_failures, pool, std::move(stop),
                [&](std::size_t x, std::size_t y) { return slec_cell(code, scheme, x, y); });
 }
 
 BurstHeatmap BurstPdlEngine::lrc_heatmap(const LrcCode& code, std::size_t step,
                                          std::size_t max_racks, std::size_t max_failures,
-                                         ThreadPool* pool) const {
-  return sweep(step, max_racks, max_failures, pool,
+                                         ThreadPool* pool, StopToken stop) const {
+  return sweep(step, max_racks, max_failures, pool, std::move(stop),
                [&](std::size_t x, std::size_t y) { return lrc_cell(code, x, y); });
 }
 

@@ -27,6 +27,7 @@
 #include "placement/pools.hpp"
 #include "placement/schemes.hpp"
 #include "topology/topology.hpp"
+#include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mlec {
@@ -43,6 +44,8 @@ struct BurstHeatmap {
   std::vector<int> x_labels;
   std::vector<int> y_labels;
   std::vector<std::vector<double>> values;
+  /// True when a stop token skipped cells; skipped cells read 0.
+  bool truncated = false;
 };
 
 class BurstPdlEngine {
@@ -62,21 +65,24 @@ class BurstPdlEngine {
 
   /// Sweep a full grid (cells with failures < racks are infeasible and
   /// report 0). x/y run over {step, 2*step, ..., max} like the paper's axes.
+  /// A fired `stop` token skips remaining cells and flags the heatmap
+  /// `truncated`.
   BurstHeatmap mlec_heatmap(const MlecCode& code, MlecScheme scheme, std::size_t step,
                             std::size_t max_racks, std::size_t max_failures,
-                            ThreadPool* pool = nullptr) const;
+                            ThreadPool* pool = nullptr, StopToken stop = {}) const;
   BurstHeatmap slec_heatmap(const SlecCode& code, SlecScheme scheme, std::size_t step,
                             std::size_t max_racks, std::size_t max_failures,
-                            ThreadPool* pool = nullptr) const;
+                            ThreadPool* pool = nullptr, StopToken stop = {}) const;
   BurstHeatmap lrc_heatmap(const LrcCode& code, std::size_t step, std::size_t max_racks,
-                           std::size_t max_failures, ThreadPool* pool = nullptr) const;
+                           std::size_t max_failures, ThreadPool* pool = nullptr,
+                           StopToken stop = {}) const;
 
   const BurstPdlConfig& config() const { return config_; }
 
  private:
   template <typename CellFn>
   BurstHeatmap sweep(std::size_t step, std::size_t max_racks, std::size_t max_failures,
-                     ThreadPool* pool, CellFn&& cell) const;
+                     ThreadPool* pool, StopToken stop, CellFn&& cell) const;
 
   BurstPdlConfig config_;
 };

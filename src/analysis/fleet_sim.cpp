@@ -82,6 +82,11 @@ struct RunContext {
   explicit RunContext(const FleetSimConfig& config)
       : cfg(config), layout(config.dc, config.code, config.scheme) {
     cfg.validate();
+    MLEC_REQUIRE(std::is_sorted(cfg.injected_events.begin(), cfg.injected_events.end(),
+                                [](const FailureEvent& a, const FailureEvent& b) {
+                                  return a.time_hours < b.time_hours;
+                                }),
+                 "injected events must be time-sorted");
     local_clustered = local_placement(cfg.scheme) == Placement::kClustered;
     network_clustered = network_placement(cfg.scheme) == Placement::kClustered;
     pool_disks = layout.local_pool_disks();
@@ -174,12 +179,14 @@ struct RunContext {
 
 class MissionRunner {
  public:
-  MissionRunner(const RunContext& ctx, Rng rng) : ctx_(ctx), rng_(std::move(rng)) {}
+  explicit MissionRunner(const RunContext& ctx) : ctx_(ctx) {}
 
-  void run(FleetSimResult& result) {
+  void run(Rng& rng, FleetSimResult& result) {
+    rng_ = &rng;
+    ++result.missions;
     const double mission = ctx_.cfg.mission_hours;
     double t = 0.0;
-    double next_fail = rng_.exponential(ctx_.fleet_rate);
+    double next_fail = rng_->exponential(ctx_.fleet_rate);
     std::size_t injected_idx = 0;
     pools_.clear();
     cats_.clear();
@@ -224,8 +231,8 @@ class MissionRunner {
         disk = injected[injected_idx].disk;
         ++injected_idx;
       } else {
-        disk = static_cast<DiskId>(rng_.uniform_below(ctx_.cfg.dc.total_disks()));
-        next_fail = next_event + rng_.exponential(ctx_.fleet_rate);
+        disk = static_cast<DiskId>(rng_->uniform_below(ctx_.cfg.dc.total_disks()));
+        next_fail = next_event + rng_->exponential(ctx_.fleet_rate);
       }
       t = next_event;
       ++result.disk_failures;
@@ -438,7 +445,7 @@ class MissionRunner {
             prev_frac >= 0.0 && ctx_.cfg.method != RepairMethod::kRepairAll
                 ? coverage_of(prev_frac)
                 : (prev_frac >= 0.0 ? cov_new : 0.0);
-        if (cov_new >= 1.0 && cov_old < 1.0) return rng_.bernoulli(1.0);
+        if (cov_new >= 1.0 && cov_old < 1.0) return rng_->bernoulli(1.0);
         if (cov_new > cov_old)
           log_no_cover += std::log1p(-cov_new) - std::log1p(-cov_old);
       }
@@ -459,11 +466,11 @@ class MissionRunner {
       }
       if (pos > idx.size()) break;
     }
-    return rng_.bernoulli(-std::expm1(log_no_cover));
+    return rng_->bernoulli(-std::expm1(log_no_cover));
   }
 
   const RunContext& ctx_;
-  Rng rng_;
+  Rng* rng_ = nullptr;  ///< caller-owned, bound for the duration of run()
   std::unordered_map<std::uint32_t, PoolState> pools_;
   std::vector<Catastrophe> cats_;
   std::priority_queue<PoolEvent, std::vector<PoolEvent>, std::greater<>> events_;
@@ -471,25 +478,42 @@ class MissionRunner {
 
 }  // namespace
 
+struct FleetMissionEngine::Impl {
+  RunContext ctx;
+  MissionRunner runner;
+
+  explicit Impl(const FleetSimConfig& config) : ctx(config), runner(ctx) {}
+};
+
+FleetMissionEngine::FleetMissionEngine(const FleetSimConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+FleetMissionEngine::~FleetMissionEngine() = default;
+FleetMissionEngine::FleetMissionEngine(FleetMissionEngine&&) noexcept = default;
+FleetMissionEngine& FleetMissionEngine::operator=(FleetMissionEngine&&) noexcept = default;
+
+void FleetMissionEngine::run_mission(Rng& rng, FleetSimResult& into) {
+  impl_->runner.run(rng, into);
+}
+
 FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missions,
-                              std::uint64_t seed, ThreadPool* pool) {
+                              std::uint64_t seed, ThreadPool* pool, StopToken stop) {
   const RunContext ctx(config);
-  MLEC_REQUIRE(std::is_sorted(config.injected_events.begin(), config.injected_events.end(),
-                              [](const FailureEvent& a, const FailureEvent& b) {
-                                return a.time_hours < b.time_hours;
-                              }),
-               "injected events must be time-sorted");
 
   const std::size_t shards =
       pool != nullptr ? std::min<std::size_t>(pool->size() * 2, missions) : 1;
   std::vector<FleetSimResult> partial(shards);
 
   auto run_shard = [&](std::size_t shard, std::uint64_t count) {
-    Rng rng(splitmix64(seed) ^ (0x9e3779b97f4a7c15ULL * (shard + 1)));
-    MissionRunner runner(ctx, rng.split());
+    Rng rng = Rng::for_substream(seed, shard);
+    MissionRunner runner(ctx);
     auto& result = partial[shard];
-    result.missions = count;
-    for (std::uint64_t m = 0; m < count; ++m) runner.run(result);
+    for (std::uint64_t m = 0; m < count; ++m) {
+      if (stop.stop_requested()) {
+        result.truncated = true;
+        break;
+      }
+      runner.run(rng, result);
+    }
   };
 
   if (pool != nullptr && shards > 1) {
@@ -511,6 +535,7 @@ FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missio
     merged.loss_time_hours.merge(part.loss_time_hours);
     merged.catastrophe_exposure_hours.merge(part.catastrophe_exposure_hours);
     merged.cross_rack_tb += part.cross_rack_tb;
+    merged.truncated = merged.truncated || part.truncated;
   }
   return merged;
 }

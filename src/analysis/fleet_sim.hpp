@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "placement/codes.hpp"
@@ -26,6 +27,7 @@
 #include "topology/bandwidth.hpp"
 #include "topology/topology.hpp"
 #include "util/stats.hpp"
+#include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mlec {
@@ -59,6 +61,10 @@ struct FleetSimResult {
   RunningStats catastrophe_exposure_hours;
   /// Cross-rack repair traffic accumulated over all missions (TB).
   double cross_rack_tb = 0;
+  /// True when a stop token ended the sweep before all requested missions
+  /// ran; `missions` then counts only the completed ones, so the PDL
+  /// estimate and its interval remain valid (just wider).
+  bool truncated = false;
 
   double pdl() const {
     return missions ? static_cast<double>(data_loss_missions) / static_cast<double>(missions)
@@ -69,8 +75,31 @@ struct FleetSimResult {
 };
 
 /// Run `missions` independent missions. When `pool` is provided, missions
-/// are sharded across its workers (deterministic per-shard seeding).
+/// are sharded across its workers (deterministic per-shard seeding via
+/// Rng::for_substream). A fired `stop` token ends each shard at its next
+/// mission boundary and flags the merged result `truncated`.
 FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missions,
-                              std::uint64_t seed, ThreadPool* pool = nullptr);
+                              std::uint64_t seed, ThreadPool* pool = nullptr,
+                              StopToken stop = {});
+
+/// One-mission-at-a-time view of the fleet simulator, exposed for the
+/// campaign runner: the engine owns the precomputed per-run constants and
+/// per-shard mutable pool state; the caller owns the Rng (so its state can
+/// be journaled between missions for bit-identical resume).
+class FleetMissionEngine {
+ public:
+  explicit FleetMissionEngine(const FleetSimConfig& config);
+  ~FleetMissionEngine();
+  FleetMissionEngine(FleetMissionEngine&&) noexcept;
+  FleetMissionEngine& operator=(FleetMissionEngine&&) noexcept;
+
+  /// Simulate one mission, accumulating into `into` (missions counter
+  /// included).
+  void run_mission(Rng& rng, FleetSimResult& into);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace mlec

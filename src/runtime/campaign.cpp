@@ -1,0 +1,243 @@
+#include "runtime/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <thread>
+
+#include "runtime/journal.hpp"
+#include "util/error.hpp"
+
+namespace mlec {
+
+void CampaignConfig::validate() const {
+  MLEC_REQUIRE(total_units > 0, "campaign needs at least one unit of work");
+  MLEC_REQUIRE(checkpoint_every > 0, "checkpoint interval must be positive");
+  MLEC_REQUIRE(max_attempts >= 1, "at least one attempt per shard required");
+  MLEC_REQUIRE(retry_backoff_ms >= 0.0, "retry backoff must be non-negative");
+  MLEC_REQUIRE(target_rse >= 0.0, "target RSE must be non-negative");
+}
+
+std::size_t CampaignReport::quarantined() const {
+  return static_cast<std::size_t>(
+      std::count_if(shards.begin(), shards.end(),
+                    [](const ShardOutcome& s) { return s.quarantined; }));
+}
+
+double bernoulli_rse(std::uint64_t successes, std::uint64_t trials) {
+  if (successes == 0 || trials == 0) return std::numeric_limits<double>::infinity();
+  const double p = static_cast<double>(successes) / static_cast<double>(trials);
+  return std::sqrt((1.0 - p) / static_cast<double>(successes));
+}
+
+struct CampaignRunner::ShardState {
+  std::uint64_t assigned = 0;
+  std::uint64_t done = 0;
+  std::uint32_t attempt = 0;  ///< 0-based index of the current/last attempt
+  /// rng_state (and acc) hold a committed checkpoint of the current attempt.
+  bool has_checkpoint = false;
+  std::array<std::uint64_t, 4> rng_state{};
+  CampaignAccumulator acc;
+  bool finished = false;
+  bool quarantined = false;
+  std::string error;
+};
+
+CampaignRunner::CampaignRunner(CampaignConfig config, WorkerFactory factory, RseEstimator rse)
+    : config_(std::move(config)), factory_(std::move(factory)), rse_(std::move(rse)) {
+  config_.validate();
+  MLEC_REQUIRE(factory_ != nullptr, "campaign needs a worker factory");
+}
+
+CampaignRunner::~CampaignRunner() = default;
+
+bool CampaignRunner::should_stop() {
+  if (converged_.load(std::memory_order_relaxed)) return true;
+  if (config_.stop.stop_requested() ||
+      (config_.unit_budget > 0 &&
+       invocation_units_.load(std::memory_order_relaxed) >= config_.unit_budget)) {
+    truncated_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+CampaignAccumulator CampaignRunner::merged_locked() const {
+  CampaignAccumulator merged;
+  for (const auto& st : states_)
+    if (!st.quarantined) merged.merge(st.acc);
+  return merged;
+}
+
+void CampaignRunner::write_journal_locked() {
+  if (config_.checkpoint_path.empty()) return;
+  CampaignJournal journal;
+  journal.seed = config_.seed;
+  journal.total_units = config_.total_units;
+  journal.shards = static_cast<std::uint32_t>(states_.size());
+  journal.fingerprint = fingerprint_of(config_.fingerprint);
+  journal.records.reserve(states_.size());
+  for (std::uint32_t s = 0; s < states_.size(); ++s) {
+    const auto& st = states_[s];
+    ShardRecord rec;
+    rec.shard = s;
+    rec.attempt = st.attempt;
+    rec.quarantined = st.quarantined;
+    rec.assigned = st.assigned;
+    rec.done = st.done;
+    rec.rng_state = st.rng_state;
+    rec.acc = st.acc;
+    journal.records.push_back(std::move(rec));
+  }
+  journal.save_file(config_.checkpoint_path);
+}
+
+void CampaignRunner::restore_from_journal() {
+  const auto journal = CampaignJournal::load_file(config_.checkpoint_path);
+  MLEC_REQUIRE(journal.seed == config_.seed, "campaign journal seed mismatch");
+  MLEC_REQUIRE(journal.total_units == config_.total_units,
+               "campaign journal total-unit mismatch");
+  MLEC_REQUIRE(journal.shards == states_.size(), "campaign journal shard-count mismatch");
+  MLEC_REQUIRE(journal.fingerprint == fingerprint_of(config_.fingerprint),
+               "campaign journal belongs to a different workload configuration");
+  for (const auto& rec : journal.records) {
+    MLEC_REQUIRE(rec.shard < states_.size(), "campaign journal shard id out of range");
+    auto& st = states_[rec.shard];
+    MLEC_REQUIRE(rec.assigned == st.assigned, "campaign journal shard partition mismatch");
+    st.done = rec.done;
+    st.attempt = rec.attempt;
+    st.quarantined = rec.quarantined;
+    st.acc = rec.acc;
+    st.rng_state = rec.rng_state;
+    st.has_checkpoint = rec.done > 0;
+    st.finished = rec.done == rec.assigned;
+  }
+  resumed_ = true;
+}
+
+void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
+                            const Rng& rng, std::uint64_t done, std::uint32_t attempt) {
+  std::scoped_lock lock(mutex_);
+  auto& st = states_[shard];
+  invocation_units_.fetch_add(done - st.done, std::memory_order_relaxed);
+  st.acc = acc;
+  st.rng_state = rng.state();
+  st.done = done;
+  st.attempt = attempt;
+  st.has_checkpoint = true;
+  write_journal_locked();
+  if (config_.target_rse > 0.0 && rse_ != nullptr) {
+    const double rse = rse_(merged_locked());
+    if (rse <= config_.target_rse) converged_.store(true, std::memory_order_relaxed);
+  }
+}
+
+void CampaignRunner::run_shard(std::uint32_t shard) {
+  auto& st = states_[shard];
+  while (!st.finished && !st.quarantined) {
+    const std::uint64_t stream =
+        static_cast<std::uint64_t>(shard) | (static_cast<std::uint64_t>(st.attempt) << 32);
+    Rng rng = Rng::for_substream(config_.seed, stream);
+    CampaignAccumulator acc;
+    std::uint64_t done;
+    {
+      std::scoped_lock lock(mutex_);
+      if (st.has_checkpoint) rng.set_state(st.rng_state);
+      acc = st.acc;
+      done = st.done;
+    }
+    try {
+      auto worker = factory_(shard, rng);
+      MLEC_REQUIRE(worker != nullptr, "campaign worker factory returned null");
+      while (done < st.assigned) {
+        if (should_stop()) return;  // progress up to `done` is committed
+        const std::uint64_t batch = std::min(config_.checkpoint_every, st.assigned - done);
+        for (std::uint64_t u = 0; u < batch; ++u) worker(acc);
+        done += batch;
+        commit(shard, acc, rng, done, st.attempt);
+      }
+      st.finished = true;
+      return;
+    } catch (const std::exception& e) {
+      std::scoped_lock lock(mutex_);
+      st.error = e.what();
+      // Retry from scratch on a fresh substream: the failed attempt's partial
+      // accumulation (committed or not) is discarded so a mid-stream fault
+      // cannot bias the surviving statistics.
+      st.done = 0;
+      st.acc = CampaignAccumulator{};
+      st.has_checkpoint = false;
+      if (st.attempt + 1 >= config_.max_attempts) {
+        st.quarantined = true;
+        write_journal_locked();
+        return;
+      }
+      ++st.attempt;
+      if (config_.retry_backoff_ms > 0.0) {
+        const double factor = std::pow(2.0, static_cast<double>(st.attempt - 1));
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            config_.retry_backoff_ms * factor));
+      }
+    }
+  }
+}
+
+std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* pool) {
+  std::size_t shard_count = config_.shards;
+  if (shard_count == 0) shard_count = pool != nullptr ? pool->size() * 2 : 1;
+  shard_count = std::clamp<std::size_t>(shard_count, 1, config_.total_units);
+
+  states_.assign(shard_count, ShardState{});
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::uint64_t lo = config_.total_units * s / shard_count;
+    const std::uint64_t hi = config_.total_units * (s + 1) / shard_count;
+    states_[s].assigned = hi - lo;
+  }
+
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      std::filesystem::exists(config_.checkpoint_path))
+    restore_from_journal();
+
+  if (pool != nullptr && shard_count > 1) {
+    pool->parallel_chunks(0, shard_count, shard_count,
+                          [&](std::size_t shard, std::size_t, std::size_t) {
+                            run_shard(static_cast<std::uint32_t>(shard));
+                          });
+  } else {
+    for (std::size_t s = 0; s < shard_count; ++s)
+      run_shard(static_cast<std::uint32_t>(s));
+  }
+
+  std::scoped_lock lock(mutex_);
+  write_journal_locked();
+
+  CampaignReport report;
+  report.units_requested = config_.total_units;
+  report.resumed = resumed_;
+  report.shards.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    const auto& st = states_[s];
+    ShardOutcome outcome;
+    outcome.shard = s;
+    outcome.attempts = st.attempt + 1;
+    outcome.assigned = st.assigned;
+    outcome.done = st.done;
+    outcome.quarantined = st.quarantined;
+    outcome.error = st.error;
+    report.shards.push_back(std::move(outcome));
+    report.units_done += st.done;
+  }
+  report.converged = converged_.load();
+  report.truncated = truncated_.load() && !report.converged && !report.complete();
+
+  CampaignAccumulator merged = merged_locked();
+  if (rse_ != nullptr) {
+    const double rse = rse_(merged);
+    report.achieved_rse = std::isfinite(rse) ? rse : 0.0;
+  }
+  return {std::move(merged), std::move(report)};
+}
+
+}  // namespace mlec

@@ -1,0 +1,55 @@
+// Campaign-runner adapter for the fleet Monte-Carlo simulator: resumable,
+// cancellable, fault-isolated mission sweeps with adaptive PDL stopping.
+//
+// One campaign unit = one mission. Shard s / attempt a draws from
+// Rng::for_substream(seed, s | a << 32); with the same seed, shard count,
+// and checkpoint file, a run killed mid-flight and resumed produces
+// bit-identical FleetSimResult statistics to an uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/fleet_sim.hpp"
+#include "runtime/campaign.hpp"
+
+namespace mlec {
+
+struct FleetCampaignOptions {
+  /// Journal file; empty runs in-memory (no persistence).
+  std::string checkpoint_path;
+  /// Resume from checkpoint_path if it exists (see CampaignConfig::resume).
+  bool resume = false;
+  std::uint64_t checkpoint_every = 256;
+  std::size_t shards = 0;  ///< 0 = derive from the pool
+  std::size_t max_attempts = 3;
+  double retry_backoff_ms = 100.0;
+  /// Stop early once the PDL estimate's relative standard error drops below
+  /// this (0 disables adaptive stopping).
+  double target_rse = 0.0;
+  /// Max missions to run this invocation (0 = unlimited); deterministic
+  /// stand-in for a wall-clock budget.
+  std::uint64_t unit_budget = 0;
+  StopToken stop{};
+};
+
+struct FleetCampaignResult {
+  FleetSimResult result;
+  CampaignReport report;
+};
+
+/// Translate a FleetSimResult into campaign accumulator slots (and back).
+/// Exposed so other sweeps can reuse the fleet slot layout.
+void accumulate_fleet_result(const FleetSimResult& result, CampaignAccumulator& acc);
+FleetSimResult fleet_result_from(const CampaignAccumulator& acc);
+
+/// Identity string folded into the journal fingerprint: any change to the
+/// physics configuration invalidates old checkpoints.
+std::string fleet_campaign_fingerprint(const FleetSimConfig& config);
+
+FleetCampaignResult run_fleet_campaign(const FleetSimConfig& config, std::uint64_t missions,
+                                       std::uint64_t seed,
+                                       const FleetCampaignOptions& options = {},
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace mlec

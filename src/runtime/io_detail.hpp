@@ -1,0 +1,82 @@
+// Little-endian binary primitives for the campaign journal format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlec::campaign_io {
+
+inline void write_u64(std::ostream& out, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+inline void write_u32(std::ostream& out, std::uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+inline void write_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+inline void write_f64(std::ostream& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  write_u64(out, bits);
+}
+
+inline void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::uint64_t read_u64(std::istream& in) {
+  unsigned char buf[8];
+  in.read(reinterpret_cast<char*>(buf), 8);
+  MLEC_REQUIRE(in.good(), "campaign journal truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint32_t read_u32(std::istream& in) {
+  unsigned char buf[4];
+  in.read(reinterpret_cast<char*>(buf), 4);
+  MLEC_REQUIRE(in.good(), "campaign journal truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint8_t read_u8(std::istream& in) {
+  const int c = in.get();
+  MLEC_REQUIRE(c != std::char_traits<char>::eof(), "campaign journal truncated");
+  return static_cast<std::uint8_t>(c);
+}
+
+inline double read_f64(std::istream& in) {
+  const std::uint64_t bits = read_u64(in);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+inline std::string read_string(std::istream& in) {
+  const std::uint32_t size = read_u32(in);
+  MLEC_REQUIRE(size <= 1 << 20, "campaign journal string implausibly large");
+  std::string s(size, '\0');
+  in.read(s.data(), static_cast<std::streamsize>(size));
+  MLEC_REQUIRE(in.good() || (in.eof() && in.gcount() == static_cast<std::streamsize>(size)),
+               "campaign journal truncated");
+  return s;
+}
+
+}  // namespace mlec::campaign_io

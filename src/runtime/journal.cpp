@@ -1,0 +1,96 @@
+#include "runtime/journal.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "runtime/io_detail.hpp"
+#include "util/error.hpp"
+
+namespace mlec {
+
+namespace {
+constexpr char kMagic[8] = {'M', 'L', 'E', 'C', 'C', 'A', 'M', 'P'};
+constexpr std::uint8_t kFlagQuarantined = 1;
+}  // namespace
+
+std::uint64_t fingerprint_of(const std::string& identity) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : identity) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void CampaignJournal::save(std::ostream& out) const {
+  using namespace campaign_io;
+  out.write(kMagic, sizeof kMagic);
+  write_u32(out, kCampaignJournalVersion);
+  write_u64(out, seed);
+  write_u64(out, total_units);
+  write_u32(out, shards);
+  write_u64(out, fingerprint);
+  write_u32(out, static_cast<std::uint32_t>(records.size()));
+  for (const auto& rec : records) {
+    write_u32(out, rec.shard);
+    write_u32(out, rec.attempt);
+    write_u8(out, rec.quarantined ? kFlagQuarantined : 0);
+    write_u64(out, rec.assigned);
+    write_u64(out, rec.done);
+    for (const auto word : rec.rng_state) write_u64(out, word);
+    rec.acc.save(out);
+  }
+}
+
+CampaignJournal CampaignJournal::load(std::istream& in) {
+  using namespace campaign_io;
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  MLEC_REQUIRE(in.good() && std::equal(magic, magic + sizeof magic, kMagic),
+               "not a campaign journal (bad magic)");
+  const std::uint32_t version = read_u32(in);
+  MLEC_REQUIRE(version == kCampaignJournalVersion,
+               "unsupported campaign journal version " + std::to_string(version));
+  CampaignJournal journal;
+  journal.seed = read_u64(in);
+  journal.total_units = read_u64(in);
+  journal.shards = read_u32(in);
+  journal.fingerprint = read_u64(in);
+  const std::uint32_t count = read_u32(in);
+  MLEC_REQUIRE(count == journal.shards, "campaign journal record count mismatch");
+  journal.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShardRecord rec;
+    rec.shard = read_u32(in);
+    rec.attempt = read_u32(in);
+    rec.quarantined = (read_u8(in) & kFlagQuarantined) != 0;
+    rec.assigned = read_u64(in);
+    rec.done = read_u64(in);
+    for (auto& word : rec.rng_state) word = read_u64(in);
+    rec.acc = CampaignAccumulator::load(in);
+    journal.records.push_back(std::move(rec));
+  }
+  return journal;
+}
+
+void CampaignJournal::save_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    MLEC_REQUIRE(out.good(), "cannot open campaign journal for writing: " + tmp);
+    save(out);
+    MLEC_REQUIRE(out.good(), "campaign journal write failed: " + tmp);
+  }
+  MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot atomically replace campaign journal: " + path);
+}
+
+CampaignJournal CampaignJournal::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MLEC_REQUIRE(in.good(), "cannot open campaign journal: " + path);
+  return load(in);
+}
+
+}  // namespace mlec

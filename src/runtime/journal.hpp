@@ -1,0 +1,62 @@
+// Campaign checkpoint journal: the on-disk format behind resumable sweeps.
+//
+// A journal is a single versioned binary file, rewritten atomically
+// (tmp + rename) at every checkpoint. Layout (little-endian):
+//
+//   header:  magic "MLECCAMP" | u32 version | u64 seed | u64 total_units
+//            | u32 shards | u64 fingerprint (FNV-1a of the workload's
+//            config identity — resuming under a different config refuses)
+//   records: one per shard —
+//            u32 shard | u32 attempt | u8 flags (1 = quarantined)
+//            | u64 assigned | u64 done | 4 x u64 rng state
+//            | accumulator (counters, scalars, RunningStats — see
+//              CampaignAccumulator serialization)
+//
+// Resume restores each shard's accumulator and RNG state exactly, so a run
+// killed between checkpoints replays only the tail of the last batch and
+// finishes bit-identical to an uninterrupted run with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "runtime/accumulator.hpp"
+
+namespace mlec {
+
+inline constexpr std::uint32_t kCampaignJournalVersion = 1;
+
+/// Persistent per-shard progress record.
+struct ShardRecord {
+  std::uint32_t shard = 0;
+  std::uint32_t attempt = 0;
+  bool quarantined = false;
+  std::uint64_t assigned = 0;
+  std::uint64_t done = 0;
+  std::array<std::uint64_t, 4> rng_state{};
+  CampaignAccumulator acc;
+};
+
+struct CampaignJournal {
+  std::uint64_t seed = 0;
+  std::uint64_t total_units = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t fingerprint = 0;
+  std::vector<ShardRecord> records;
+
+  void save(std::ostream& out) const;
+  static CampaignJournal load(std::istream& in);
+
+  /// Atomic file write: serialize to `path + ".tmp"`, then rename over
+  /// `path` so readers never observe a torn journal.
+  void save_file(const std::string& path) const;
+  /// Load `path`; throws PreconditionError on malformed/unversioned data.
+  static CampaignJournal load_file(const std::string& path);
+};
+
+/// FNV-1a hash of an arbitrary identity string (workload config text).
+std::uint64_t fingerprint_of(const std::string& identity);
+
+}  // namespace mlec

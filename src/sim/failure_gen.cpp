@@ -1,6 +1,7 @@
 #include "sim/failure_gen.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <istream>
 #include <sstream>
 #include <unordered_set>
@@ -68,7 +69,7 @@ FailureTrace generate_burst(const Topology& topo, std::size_t racks, std::size_t
   return trace;
 }
 
-FailureTrace parse_trace(std::istream& in, const Topology& topo) {
+FailureTrace parse_trace(std::istream& in, const Topology& topo, bool require_monotonic) {
   FailureTrace trace;
   std::string line;
   std::size_t lineno = 0;
@@ -83,9 +84,19 @@ FailureTrace parse_trace(std::istream& in, const Topology& topo) {
     if (!(ls >> time >> comma >> disk) || comma != ',')
       throw PreconditionError("trace line " + std::to_string(lineno) +
                               ": expected 'time_hours,disk_id'");
+    std::string rest;
+    if (ls >> rest && !rest.empty() && rest[0] != '#')
+      throw PreconditionError("trace line " + std::to_string(lineno) +
+                              ": trailing garbage after disk id: '" + rest + "'");
+    MLEC_REQUIRE(std::isfinite(time),
+                 "trace line " + std::to_string(lineno) + ": non-finite time");
     MLEC_REQUIRE(time >= 0.0, "trace line " + std::to_string(lineno) + ": negative time");
     MLEC_REQUIRE(disk < topo.config().total_disks(),
                  "trace line " + std::to_string(lineno) + ": disk id out of range");
+    if (require_monotonic && !trace.empty() && time < trace.back().time_hours)
+      throw PreconditionError("trace line " + std::to_string(lineno) +
+                              ": timestamp goes backwards (" + std::to_string(time) + " < " +
+                              std::to_string(trace.back().time_hours) + ")");
     trace.push_back({time, static_cast<DiskId>(disk)});
   }
   sort_trace(trace);

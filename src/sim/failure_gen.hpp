@@ -48,9 +48,14 @@ FailureTrace generate_burst(const Topology& topo, std::size_t racks, std::size_t
                             double time_hours, Rng& rng);
 
 /// Parse a trace from CSV lines of "time_hours,disk_id" (with '#' comments
-/// and blank lines ignored). Throws PreconditionError on malformed input or
-/// out-of-range disk ids. Result is sorted by time.
-FailureTrace parse_trace(std::istream& in, const Topology& topo);
+/// and blank lines ignored). Throws PreconditionError — with the offending
+/// line number — on malformed lines, trailing garbage, negative or
+/// non-finite timestamps, and out-of-range disk ids. By default events may
+/// appear in any order and the result is sorted by time; with
+/// `require_monotonic` set, a timestamp lower than its predecessor is an
+/// error instead (for traces that are contractually time-ordered).
+FailureTrace parse_trace(std::istream& in, const Topology& topo,
+                         bool require_monotonic = false);
 
 /// Serialize a trace to the same CSV format.
 std::string format_trace(const FailureTrace& trace);

@@ -72,7 +72,7 @@ double SystemSimConfig::catastrophic_repair_hours(RepairMethod method) const {
 }
 
 SystemSimResult simulate_system(const SystemSimConfig& cfg, std::uint64_t missions,
-                                std::uint64_t seed) {
+                                std::uint64_t seed, StopToken stop) {
   cfg.dc.validate();
   cfg.code.validate();
   cfg.bandwidth.validate();
@@ -96,7 +96,6 @@ SystemSimResult simulate_system(const SystemSimConfig& cfg, std::uint64_t missio
   const double t_cat = cfg.catastrophic_repair_hours(cfg.method);
 
   SystemSimResult result;
-  result.missions = missions;
   Rng rng(seed ^ 0xabcdef1234567890ULL);
 
   std::vector<std::size_t> local_failures;   // per (stripe, local), flattened
@@ -106,6 +105,11 @@ SystemSimResult simulate_system(const SystemSimConfig& cfg, std::uint64_t missio
     local_offsets[s + 1] = local_offsets[s] + map.stripes()[s].locals.size();
 
   for (std::uint64_t m = 0; m < missions; ++m) {
+    if (stop.stop_requested()) {
+      result.truncated = true;
+      break;
+    }
+    ++result.missions;
     auto trace = generate_failures(topo, cfg.failures, cfg.mission_hours, rng);
     local_failures.assign(local_offsets.back(), 0);
     stripe_lost.assign(map.stripes().size(), 0);

@@ -20,6 +20,7 @@
 #include "sim/failure_gen.hpp"
 #include "topology/bandwidth.hpp"
 #include "util/stats.hpp"
+#include "util/stop_token.hpp"
 
 namespace mlec {
 
@@ -43,10 +44,12 @@ struct SystemSimConfig {
 };
 
 struct SystemSimResult {
-  std::uint64_t missions = 0;
+  std::uint64_t missions = 0;  ///< missions actually completed
   std::uint64_t data_loss_missions = 0;
   std::uint64_t catastrophic_pool_events = 0;
   RunningStats loss_time_hours;  ///< time of first loss in lossy missions
+  /// True when a stop token ended the run before all requested missions.
+  bool truncated = false;
 
   double pdl() const {
     return missions ? static_cast<double>(data_loss_missions) / static_cast<double>(missions)
@@ -55,8 +58,9 @@ struct SystemSimResult {
 };
 
 /// Run `missions` missions against a fresh StripeMap (one map per call; the
-/// map is placement-seeded from `seed` as well).
+/// map is placement-seeded from `seed` as well). A fired `stop` token ends
+/// the run at the next mission boundary with a `truncated` partial result.
 SystemSimResult simulate_system(const SystemSimConfig& config, std::uint64_t missions,
-                                std::uint64_t seed);
+                                std::uint64_t seed, StopToken stop = {});
 
 }  // namespace mlec

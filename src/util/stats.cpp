@@ -33,6 +33,20 @@ void RunningStats::merge(const RunningStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats::Raw RunningStats::raw() const {
+  return {static_cast<std::uint64_t>(n_), mean_, m2_, min_, max_};
+}
+
+RunningStats RunningStats::from_raw(const Raw& raw) {
+  RunningStats s;
+  s.n_ = static_cast<std::size_t>(raw.n);
+  s.mean_ = raw.mean;
+  s.m2_ = raw.m2;
+  s.min_ = raw.min;
+  s.max_ = raw.max;
+  return s;
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
 }

@@ -11,8 +11,24 @@ namespace mlec {
 /// Welford streaming accumulator: mean, variance, extrema in one pass.
 class RunningStats {
  public:
+  /// Exact internal state, exposed for checkpoint journaling. A restored
+  /// accumulator continues bit-identically to the original.
+  struct Raw {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
   void add(double x);
   void merge(const RunningStats& other);
+
+  Raw raw() const;
+  static RunningStats from_raw(const Raw& raw);
+
+  /// Exact (bitwise) state equality — used by checkpoint determinism tests.
+  bool operator==(const RunningStats&) const = default;
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }

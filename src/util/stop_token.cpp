@@ -1,0 +1,69 @@
+#include "util/stop_token.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+namespace {
+
+std::atomic<bool> g_signal_stop{false};
+
+extern "C" void mlec_stop_signal_handler(int) { g_signal_stop.store(true); }
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+namespace detail {
+struct StopState {
+  std::atomic<bool> stopped{false};
+  /// Steady-clock deadline in ns since the clock epoch; 0 = no deadline.
+  std::atomic<std::int64_t> deadline_ns{0};
+  std::atomic<bool> watch_signals{false};
+
+  bool stop_requested() const noexcept {
+    if (stopped.load(std::memory_order_relaxed)) return true;
+    if (watch_signals.load(std::memory_order_relaxed) &&
+        g_signal_stop.load(std::memory_order_relaxed))
+      return true;
+    const auto deadline = deadline_ns.load(std::memory_order_relaxed);
+    return deadline != 0 && steady_now_ns() >= deadline;
+  }
+};
+}  // namespace detail
+
+bool StopToken::stop_requested() const noexcept {
+  return state_ != nullptr && state_->stop_requested();
+}
+
+StopSource::StopSource() : state_(std::make_shared<detail::StopState>()) {}
+
+void StopSource::request_stop() noexcept { state_->stopped.store(true); }
+
+bool StopSource::stop_requested() const noexcept { return state_->stop_requested(); }
+
+void StopSource::set_deadline_after(double seconds) {
+  MLEC_REQUIRE(seconds >= 0.0, "time budget must be non-negative");
+  state_->deadline_ns.store(steady_now_ns() +
+                            static_cast<std::int64_t>(seconds * 1e9));
+}
+
+void StopSource::watch_signals() {
+  std::signal(SIGINT, mlec_stop_signal_handler);
+  std::signal(SIGTERM, mlec_stop_signal_handler);
+  state_->watch_signals.store(true);
+}
+
+bool signal_stop_pending() noexcept { return g_signal_stop.load(); }
+
+void clear_pending_signal_stop() noexcept { g_signal_stop.store(false); }
+
+}  // namespace mlec

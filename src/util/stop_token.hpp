@@ -1,0 +1,69 @@
+// Cooperative cancellation for long-running sweeps.
+//
+// A StopSource owns a stop flag; StopTokens are cheap shared views of it
+// that hot loops poll between units of work (missions, cells, batches).
+// Three triggers can fire a source: an explicit request_stop(), a steady-
+// clock deadline (--time-budget), and — when watch_signals() has been
+// called — SIGINT/SIGTERM. Tokens never interrupt work mid-unit; callers
+// that observe a stop return partial results flagged as truncated.
+#pragma once
+
+#include <memory>
+
+namespace mlec {
+
+namespace detail {
+struct StopState;
+}  // namespace detail
+
+/// Read-only view of a StopSource. Default-constructed tokens never stop.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True once the owning source stopped (explicitly, by deadline, or by a
+  /// watched signal). Safe to call from any thread; never throws.
+  bool stop_requested() const noexcept;
+
+  /// True when this token is connected to a source (i.e. can ever stop).
+  bool stop_possible() const noexcept { return state_ != nullptr; }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const detail::StopState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const detail::StopState> state_;
+};
+
+/// Owner of a stop flag; hand out token() to the work being supervised.
+class StopSource {
+ public:
+  StopSource();
+
+  StopToken token() const { return StopToken(state_); }
+
+  void request_stop() noexcept;
+  bool stop_requested() const noexcept;
+
+  /// Arrange for stop_requested() to flip true `seconds` from now
+  /// (steady clock). Replaces any previous deadline.
+  void set_deadline_after(double seconds);
+
+  /// Route SIGINT/SIGTERM into this source: the process-wide handlers set a
+  /// flag this source's tokens consult. Handlers stay installed for the
+  /// process lifetime (CLI usage); tests can clear the flag with
+  /// clear_pending_signal_stop().
+  void watch_signals();
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+/// True when a watched SIGINT/SIGTERM has been delivered to the process.
+bool signal_stop_pending() noexcept;
+
+/// Reset the process-wide signal flag (test support / multi-campaign CLIs).
+void clear_pending_signal_stop() noexcept;
+
+}  // namespace mlec

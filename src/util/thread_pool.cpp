@@ -47,12 +47,13 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_chunks(
     std::size_t begin, std::size_t end, std::size_t chunks,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn, StopToken stop) {
   MLEC_REQUIRE(begin <= end, "empty-forward range required");
   if (begin == end) return;
   chunks = std::clamp<std::size_t>(chunks, 1, end - begin);
 
   std::atomic<std::size_t> remaining{chunks};
+  std::atomic<bool> abandoned{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
   std::mutex done_mutex;
@@ -63,11 +64,17 @@ void ThreadPool::parallel_chunks(
     const std::size_t lo = begin + total * c / chunks;
     const std::size_t hi = begin + total * (c + 1) / chunks;
     submit([&, c, lo, hi] {
-      try {
-        fn(c, lo, hi);
-      } catch (...) {
-        std::scoped_lock lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+      // A thrown chunk (or a fired stop token) abandons the chunks that have
+      // not started yet; they still drain through the queue so the batch
+      // joins cleanly and the pool stays usable.
+      if (!abandoned.load(std::memory_order_acquire) && !stop.stop_requested()) {
+        try {
+          fn(c, lo, hi);
+        } catch (...) {
+          std::scoped_lock lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          abandoned.store(true, std::memory_order_release);
+        }
       }
       if (remaining.fetch_sub(1) == 1) {
         std::scoped_lock lock(done_mutex);
@@ -81,10 +88,13 @@ void ThreadPool::parallel_chunks(
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  parallel_chunks(begin, end, size() * 4, [&](std::size_t, std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) fn(i);
-  });
+                              const std::function<void(std::size_t)>& fn, StopToken stop) {
+  parallel_chunks(
+      begin, end, size() * 4,
+      [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      },
+      std::move(stop));
 }
 
 ThreadPool& global_pool() {

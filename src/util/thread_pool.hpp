@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/stop_token.hpp"
+
 namespace mlec {
 
 class ThreadPool {
@@ -29,14 +31,23 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks, and
   /// block until all complete. fn must be safe to call concurrently for
-  /// distinct i. Exceptions from fn propagate (first one wins).
+  /// distinct i.
+  ///
+  /// Fault policy: the first exception a chunk throws abandons the batch's
+  /// not-yet-started chunks (they are drained without running fn), the batch
+  /// is still joined, and the first exception is rethrown — the pool itself
+  /// stays fully usable for subsequent calls. When `stop` fires, remaining
+  /// chunks are likewise skipped and the call returns normally (cooperative
+  /// truncation; callers consult the token for partial-result handling).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn, StopToken stop = {});
 
   /// Run fn(chunk_index, begin, end) over `chunks` contiguous ranges; useful
-  /// when each worker wants private state (e.g. an Rng) per chunk.
+  /// when each worker wants private state (e.g. an Rng) per chunk. Same
+  /// fault/cancellation policy as parallel_for.
   void parallel_chunks(std::size_t begin, std::size_t end, std::size_t chunks,
-                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
+                       StopToken stop = {});
 
  private:
   void submit(std::function<void()> task);

@@ -1,0 +1,358 @@
+#include "runtime/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "runtime/fleet_campaign.hpp"
+#include "runtime/journal.hpp"
+#include "util/error.hpp"
+
+namespace mlec {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+/// 6 racks x 2 enclosures x 8 disks, hot enough that 64 one-year missions
+/// see failures, catastrophes, and the occasional loss. Rack and enclosure
+/// counts respect the (2+1)/(3+1) clustered-placement divisibility rules.
+FleetSimConfig small_fleet() {
+  FleetSimConfig cfg;
+  cfg.dc.racks = 6;
+  cfg.dc.enclosures_per_rack = 2;
+  cfg.dc.disks_per_enclosure = 8;
+  cfg.dc.disk_capacity_tb = 20.0;
+  cfg.code = {{2, 1}, {3, 1}};
+  cfg.failures.afr = 0.5;
+  return cfg;
+}
+
+void expect_identical(const FleetSimResult& a, const FleetSimResult& b) {
+  EXPECT_EQ(a.missions, b.missions);
+  EXPECT_EQ(a.data_loss_missions, b.data_loss_missions);
+  EXPECT_EQ(a.data_loss_events, b.data_loss_events);
+  EXPECT_EQ(a.disk_failures, b.disk_failures);
+  EXPECT_EQ(a.catastrophic_pool_events, b.catastrophic_pool_events);
+  EXPECT_EQ(a.cross_rack_tb, b.cross_rack_tb);  // bit-exact, not approximate
+  EXPECT_TRUE(a.loss_time_hours == b.loss_time_hours);
+  EXPECT_TRUE(a.catastrophe_exposure_hours == b.catastrophe_exposure_hours);
+}
+
+TEST(CampaignAccumulator, RoundTripsThroughStream) {
+  CampaignAccumulator acc;
+  acc.counter("events") = 42;
+  acc.scalar("tb") = 3.25;
+  acc.stats("latency").add(1.0);
+  acc.stats("latency").add(2.5);
+  std::stringstream ss;
+  acc.save(ss);
+  const auto back = CampaignAccumulator::load(ss);
+  EXPECT_TRUE(acc == back);
+  EXPECT_EQ(back.counter("events"), 42u);
+  EXPECT_EQ(back.scalar("tb"), 3.25);
+  EXPECT_EQ(back.stats("latency").count(), 2u);
+}
+
+TEST(CampaignAccumulator, ConstLookupOfMissingSlotIsZero) {
+  const CampaignAccumulator acc;
+  EXPECT_EQ(acc.counter("nope"), 0u);
+  EXPECT_EQ(acc.scalar("nope"), 0.0);
+  EXPECT_EQ(acc.stats("nope").count(), 0u);
+}
+
+TEST(CampaignAccumulator, MergeRejectsMismatchedLayout) {
+  CampaignAccumulator a;
+  a.counter("x") = 1;
+  CampaignAccumulator b;
+  b.counter("y") = 2;
+  EXPECT_THROW(a.merge(b), PreconditionError);
+}
+
+TEST(CampaignJournal, RoundTripsThroughFile) {
+  CampaignJournal journal;
+  journal.seed = 7;
+  journal.total_units = 100;
+  journal.shards = 1;
+  journal.fingerprint = fingerprint_of("workload-v1");
+  ShardRecord rec;
+  rec.shard = 1;
+  rec.attempt = 2;
+  rec.assigned = 50;
+  rec.done = 30;
+  rec.rng_state = {1, 2, 3, 4};
+  rec.acc.counter("missions") = 30;
+  journal.records.push_back(rec);
+
+  const auto path = temp_path("journal_roundtrip.bin");
+  journal.save_file(path);
+  const auto back = CampaignJournal::load_file(path);
+  EXPECT_EQ(back.seed, 7u);
+  EXPECT_EQ(back.total_units, 100u);
+  EXPECT_EQ(back.shards, 1u);
+  EXPECT_EQ(back.fingerprint, journal.fingerprint);
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].shard, 1u);
+  EXPECT_EQ(back.records[0].rng_state, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+  EXPECT_TRUE(back.records[0].acc == rec.acc);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, RejectsGarbage) {
+  const auto path = temp_path("journal_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a journal at all";
+  }
+  EXPECT_THROW(CampaignJournal::load_file(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(Campaign, RunsToCompletionWithoutCheckpointing) {
+  CampaignConfig cfg;
+  cfg.total_units = 100;
+  cfg.seed = 11;
+  cfg.shards = 4;
+  cfg.checkpoint_every = 8;
+  auto factory = [](std::uint32_t, Rng& rng) -> CampaignRunner::UnitRunner {
+    return [&rng](CampaignAccumulator& acc) {
+      ++acc.counter("units");
+      if (rng.uniform() < 0.25) ++acc.counter("hits");
+    };
+  };
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_EQ(acc.counter("units"), 100u);
+  EXPECT_TRUE(report.complete());
+  EXPECT_FALSE(report.truncated);
+  EXPECT_FALSE(report.converged);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_EQ(report.quarantined(), 0u);
+  ASSERT_EQ(report.shards.size(), 4u);
+  for (const auto& s : report.shards) {
+    EXPECT_EQ(s.attempts, 1u);
+    EXPECT_EQ(s.done, s.assigned);
+  }
+}
+
+TEST(Campaign, UnitBudgetTruncatesAtBatchBoundaries) {
+  CampaignConfig cfg;
+  cfg.total_units = 64;
+  cfg.seed = 5;
+  cfg.shards = 4;
+  cfg.checkpoint_every = 4;
+  cfg.unit_budget = 32;
+  auto factory = [](std::uint32_t, Rng&) -> CampaignRunner::UnitRunner {
+    return [](CampaignAccumulator& acc) { ++acc.counter("units"); };
+  };
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_FALSE(report.complete());
+  EXPECT_GE(report.units_done, 32u);
+  EXPECT_LT(report.units_done, 64u);
+  EXPECT_EQ(acc.counter("units"), report.units_done);
+}
+
+TEST(Campaign, StopTokenTruncates) {
+  StopSource source;
+  source.request_stop();
+  CampaignConfig cfg;
+  cfg.total_units = 64;
+  cfg.seed = 5;
+  cfg.shards = 2;
+  cfg.stop = source.token();
+  auto factory = [](std::uint32_t, Rng&) -> CampaignRunner::UnitRunner {
+    return [](CampaignAccumulator& acc) { ++acc.counter("units"); };
+  };
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_TRUE(report.truncated);
+  EXPECT_EQ(report.units_done, 0u);
+}
+
+TEST(Campaign, FailingShardIsRetriedOnFreshSubstream) {
+  // Shard 1's first attempt dies mid-stream; the retry must succeed and the
+  // campaign must report the extra attempt without quarantining.
+  auto first_attempt_poisoned = std::make_shared<std::atomic<bool>>(true);
+  auto factory = [first_attempt_poisoned](std::uint32_t shard,
+                                          Rng&) -> CampaignRunner::UnitRunner {
+    const bool poison = shard == 1 && first_attempt_poisoned->exchange(false);
+    auto count = std::make_shared<std::uint64_t>(0);
+    return [poison, count](CampaignAccumulator& acc) {
+      if (poison && ++*count == 3) throw std::runtime_error("disk on fire");
+      ++acc.counter("units");
+    };
+  };
+  CampaignConfig cfg;
+  cfg.total_units = 40;
+  cfg.seed = 9;
+  cfg.shards = 4;
+  cfg.checkpoint_every = 2;
+  cfg.max_attempts = 3;
+  cfg.retry_backoff_ms = 0.0;
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(acc.counter("units"), 40u);
+  EXPECT_EQ(report.quarantined(), 0u);
+  EXPECT_EQ(report.shards[1].attempts, 2u);
+  EXPECT_EQ(report.shards[1].error, "disk on fire");
+  EXPECT_EQ(report.shards[0].attempts, 1u);
+}
+
+TEST(Campaign, PersistentlyFailingShardIsQuarantined) {
+  auto factory = [](std::uint32_t shard, Rng&) -> CampaignRunner::UnitRunner {
+    return [shard](CampaignAccumulator& acc) {
+      if (shard == 2) throw std::runtime_error("cursed shard");
+      ++acc.counter("units");
+    };
+  };
+  CampaignConfig cfg;
+  cfg.total_units = 40;
+  cfg.seed = 9;
+  cfg.shards = 4;
+  cfg.max_attempts = 2;
+  cfg.retry_backoff_ms = 0.0;
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_EQ(report.quarantined(), 1u);
+  EXPECT_TRUE(report.shards[2].quarantined);
+  EXPECT_EQ(report.shards[2].attempts, 2u);
+  EXPECT_EQ(report.shards[2].error, "cursed shard");
+  EXPECT_EQ(report.shards[2].done, 0u);
+  // The other three shards completed and their units survived the merge.
+  EXPECT_EQ(acc.counter("units"), 30u);
+  EXPECT_FALSE(report.complete());
+}
+
+TEST(Campaign, AdaptiveStoppingConvergesEarly) {
+  auto factory = [](std::uint32_t, Rng& rng) -> CampaignRunner::UnitRunner {
+    return [&rng](CampaignAccumulator& acc) {
+      ++acc.counter("trials");
+      if (rng.uniform() < 0.5) ++acc.counter("successes");
+    };
+  };
+  auto rse = [](const CampaignAccumulator& merged) {
+    return bernoulli_rse(merged.counter("successes"), merged.counter("trials"));
+  };
+  CampaignConfig cfg;
+  cfg.total_units = 1'000'000;
+  cfg.seed = 13;
+  cfg.shards = 4;
+  cfg.checkpoint_every = 64;
+  cfg.target_rse = 0.05;  // ~200 successes, ~400 trials: far below a million
+  CampaignRunner runner(cfg, factory, rse);
+  const auto [acc, report] = runner.run();
+  EXPECT_TRUE(report.converged);
+  EXPECT_FALSE(report.truncated);
+  EXPECT_FALSE(report.complete());
+  EXPECT_LT(report.units_done, 100'000u);
+  EXPECT_GT(report.units_done, 0u);
+  EXPECT_LE(report.achieved_rse, cfg.target_rse);
+}
+
+TEST(Campaign, ResumeRefusesMismatchedWorkload) {
+  const auto path = temp_path("journal_mismatch.bin");
+  std::remove(path.c_str());
+  auto factory = [](std::uint32_t, Rng&) -> CampaignRunner::UnitRunner {
+    return [](CampaignAccumulator& acc) { ++acc.counter("units"); };
+  };
+  CampaignConfig cfg;
+  cfg.total_units = 16;
+  cfg.seed = 3;
+  cfg.shards = 2;
+  cfg.checkpoint_path = path;
+  cfg.fingerprint = "workload-A";
+  CampaignRunner(cfg, factory).run();
+
+  cfg.resume = true;
+  cfg.fingerprint = "workload-B";
+  CampaignRunner resumed(cfg, factory);
+  EXPECT_THROW(resumed.run(), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCampaign, MatchesAdapterRoundTrip) {
+  FleetSimResult r;
+  r.missions = 10;
+  r.data_loss_missions = 2;
+  r.disk_failures = 123;
+  r.cross_rack_tb = 4.5;
+  r.loss_time_hours.add(100.0);
+  CampaignAccumulator acc;
+  accumulate_fleet_result(r, acc);
+  expect_identical(fleet_result_from(acc), r);
+}
+
+TEST(FleetCampaign, KillAndResumeIsBitIdenticalToUninterruptedRun) {
+  const auto path = temp_path("fleet_resume.bin");
+  std::remove(path.c_str());
+  const auto cfg = small_fleet();
+  const std::uint64_t missions = 64;
+  const std::uint64_t seed = 2023;
+
+  FleetCampaignOptions uninterrupted;
+  uninterrupted.shards = 4;
+  uninterrupted.checkpoint_every = 4;
+  const auto full = run_fleet_campaign(cfg, missions, seed, uninterrupted);
+  EXPECT_TRUE(full.report.complete());
+  EXPECT_FALSE(full.result.truncated);
+  EXPECT_GT(full.result.disk_failures, 0u);
+
+  // "Kill" the campaign halfway through via a deterministic unit budget...
+  FleetCampaignOptions first_half = uninterrupted;
+  first_half.checkpoint_path = path;
+  first_half.unit_budget = missions / 2;
+  const auto partial = run_fleet_campaign(cfg, missions, seed, first_half);
+  EXPECT_TRUE(partial.report.truncated);
+  EXPECT_TRUE(partial.result.truncated);
+  EXPECT_FALSE(partial.report.complete());
+  EXPECT_GE(partial.report.units_done, missions / 2);
+  EXPECT_LT(partial.report.units_done, missions);
+
+  // ...then resume from the journal and finish.
+  FleetCampaignOptions second_half = uninterrupted;
+  second_half.checkpoint_path = path;
+  second_half.resume = true;
+  const auto resumed = run_fleet_campaign(cfg, missions, seed, second_half);
+  EXPECT_TRUE(resumed.report.resumed);
+  EXPECT_TRUE(resumed.report.complete());
+  EXPECT_FALSE(resumed.result.truncated);
+
+  expect_identical(resumed.result, full.result);
+  std::remove(path.c_str());
+}
+
+TEST(FleetCampaign, AdaptiveStoppingOnPdl) {
+  auto cfg = small_fleet();
+  cfg.failures.afr = 2.0;  // lossy enough that the PDL estimate converges fast
+  FleetCampaignOptions options;
+  options.shards = 2;
+  options.checkpoint_every = 8;
+  options.target_rse = 0.5;
+  const auto out = run_fleet_campaign(cfg, 100'000, 77, options);
+  EXPECT_TRUE(out.report.converged);
+  EXPECT_FALSE(out.report.truncated);
+  EXPECT_FALSE(out.result.truncated);
+  EXPECT_LT(out.report.units_done, 100'000u);
+  EXPECT_GT(out.result.data_loss_missions, 0u);
+}
+
+TEST(FleetCampaign, FingerprintTracksPhysicsChanges) {
+  const auto base = small_fleet();
+  auto changed = base;
+  changed.failures.afr = 0.51;
+  EXPECT_NE(fleet_campaign_fingerprint(base), fleet_campaign_fingerprint(changed));
+  EXPECT_EQ(fleet_campaign_fingerprint(base), fleet_campaign_fingerprint(small_fleet()));
+}
+
+}  // namespace
+}  // namespace mlec

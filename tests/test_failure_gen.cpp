@@ -109,5 +109,48 @@ TEST(Trace, ParseRejectsGarbage) {
   EXPECT_THROW(parse_trace(neg, topo), PreconditionError);
 }
 
+TEST(Trace, ParseRejectsNonFiniteTimes) {
+  const Topology topo(small_dc());
+  std::istringstream nan_time("nan,3\n");
+  EXPECT_THROW(parse_trace(nan_time, topo), PreconditionError);
+  std::istringstream inf_time("inf,3\n");
+  EXPECT_THROW(parse_trace(inf_time, topo), PreconditionError);
+}
+
+TEST(Trace, ParseRejectsTrailingGarbage) {
+  const Topology topo(small_dc());
+  std::istringstream junk("1.0,3 extra\n");
+  EXPECT_THROW(parse_trace(junk, topo), PreconditionError);
+  // A trailing comment is fine, though.
+  std::istringstream commented("1.0,3 # replaced 2024-01-02\n");
+  EXPECT_EQ(parse_trace(commented, topo).size(), 1u);
+}
+
+TEST(Trace, ParseErrorsCarryLineNumbers) {
+  const Topology topo(small_dc());
+  std::istringstream in("# header\n1.0,3\nbogus\n");
+  try {
+    parse_trace(in, topo);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Trace, MonotonicModeRejectsBackwardsTimestamps) {
+  const Topology topo(small_dc());
+  std::istringstream lenient("5.0,3\n1.0,7\n");
+  EXPECT_EQ(parse_trace(lenient, topo).size(), 2u);  // default: sorted, not rejected
+  std::istringstream strict("5.0,3\n1.0,7\n");
+  try {
+    parse_trace(strict, topo, /*require_monotonic=*/true);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  std::istringstream ties("1.0,3\n1.0,7\n2.0,1\n");
+  EXPECT_EQ(parse_trace(ties, topo, /*require_monotonic=*/true).size(), 3u);
+}
+
 }  // namespace
 }  // namespace mlec

@@ -6,6 +6,8 @@
 #include <set>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace mlec {
 namespace {
 
@@ -150,6 +152,35 @@ TEST(Rng, ShufflePreservesElements) {
   rng.shuffle(std::span<int>(v));
   std::sort(v.begin(), v.end());
   EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, StateRoundTripReplaysSequence) {
+  Rng rng(99);
+  rng.uniform();  // advance off the seed
+  const auto saved = rng.state();
+  std::vector<double> first;
+  for (int i = 0; i < 8; ++i) first.push_back(rng.uniform());
+  Rng replay(1);
+  replay.set_state(saved);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(replay.uniform(), first[i]);
+}
+
+TEST(Rng, SetStateRejectsAllZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.set_state({0, 0, 0, 0}), PreconditionError);
+}
+
+TEST(Rng, SubstreamsAreDeterministicAndDistinct) {
+  Rng a = Rng::for_substream(42, 0);
+  Rng a2 = Rng::for_substream(42, 0);
+  Rng b = Rng::for_substream(42, 1);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    const double va = a.uniform();
+    EXPECT_EQ(va, a2.uniform());
+    if (va != b.uniform()) differs = true;
+  }
+  EXPECT_TRUE(differs);
 }
 
 }  // namespace

@@ -116,5 +116,19 @@ TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
 }
 
+TEST(RunningStats, RawRoundTripIsExact) {
+  RunningStats s;
+  for (double x : {1.0, 2.5, -3.0, 7.25}) s.add(x);
+  const auto restored = RunningStats::from_raw(s.raw());
+  EXPECT_TRUE(restored == s);
+  EXPECT_EQ(restored.mean(), s.mean());
+  EXPECT_EQ(restored.count(), s.count());
+  // Continuing to accumulate from the restored copy matches the original.
+  RunningStats cont = restored;
+  s.add(11.0);
+  cont.add(11.0);
+  EXPECT_TRUE(cont == s);
+}
+
 }  // namespace
 }  // namespace mlec

@@ -1,0 +1,73 @@
+#include "util/stop_token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <thread>
+
+namespace mlec {
+namespace {
+
+TEST(StopToken, DefaultTokenNeverStops) {
+  StopToken token;
+  EXPECT_FALSE(token.stop_possible());
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(StopToken, RequestStopFlipsAllTokens) {
+  StopSource source;
+  StopToken a = source.token();
+  StopToken b = source.token();
+  EXPECT_TRUE(a.stop_possible());
+  EXPECT_FALSE(a.stop_requested());
+  source.request_stop();
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+}
+
+TEST(StopToken, TokenOutlivesSource) {
+  StopToken token;
+  {
+    StopSource source;
+    token = source.token();
+    source.request_stop();
+  }
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, DeadlineFires) {
+  StopSource source;
+  source.set_deadline_after(0.02);
+  StopToken token = source.token();
+  EXPECT_FALSE(token.stop_requested());
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(StopToken, DeadlineCanBeReplaced) {
+  StopSource source;
+  source.set_deadline_after(0.01);
+  source.set_deadline_after(60.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(source.stop_requested());
+}
+
+TEST(StopToken, WatchedSignalStops) {
+  clear_pending_signal_stop();
+  StopSource watched;
+  watched.watch_signals();
+  StopSource unwatched;
+  EXPECT_FALSE(watched.stop_requested());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(signal_stop_pending());
+  EXPECT_TRUE(watched.stop_requested());
+  EXPECT_FALSE(unwatched.stop_requested());
+  clear_pending_signal_stop();
+  EXPECT_FALSE(signal_stop_pending());
+  EXPECT_FALSE(watched.token().stop_requested());
+}
+
+}  // namespace
+}  // namespace mlec

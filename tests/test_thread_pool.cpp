@@ -61,6 +61,58 @@ TEST(ThreadPool, UsableAfterException) {
   EXPECT_EQ(count.load(), 10);
 }
 
+TEST(ThreadPool, ExceptionAbandonsRemainingChunks) {
+  // A single worker runs chunks in order, so chunk 0's throw must cause
+  // every later chunk to be drained without executing.
+  ThreadPool pool(1);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_chunks(0, 100, 10,
+                                    [&](std::size_t c, std::size_t, std::size_t) {
+                                      if (c == 0) throw std::runtime_error("first");
+                                      executed.fetch_add(1);
+                                    }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, ConcurrentExceptionsPropagateExactlyOne) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> thrown{0};
+    try {
+      pool.parallel_for(0, 64, [&](std::size_t) {
+        thrown.fetch_add(1);
+        throw std::runtime_error("concurrent");
+      });
+      FAIL() << "expected parallel_for to rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "concurrent");
+    }
+    EXPECT_GE(thrown.load(), 1);
+    // Pool must stay fully usable after every throwing batch.
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 16, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 16);
+  }
+}
+
+TEST(ThreadPool, StoppedTokenSkipsWork) {
+  ThreadPool pool(2);
+  StopSource source;
+  source.request_stop();
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); }, source.token());
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(ThreadPool, UnstoppedTokenRunsEverything) {
+  ThreadPool pool(2);
+  StopSource source;
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1); }, source.token());
+  EXPECT_EQ(count.load(), 100);
+}
+
 TEST(ThreadPool, SumIsCorrectUnderContention) {
   ThreadPool pool;
   std::atomic<long long> total{0};

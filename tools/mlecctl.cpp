@@ -18,6 +18,8 @@
 // --disks-per-enclosure N, --enclosures-per-rack N, --disk-tb N.
 // Site profile flags for advise: --bursts, --devops, --nines N,
 // --throughput-critical.
+// Campaign flags for simulate: --checkpoint FILE, --resume, --shards N,
+// --time-budget SECONDS, --target-rse X, --seed N.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,6 +33,8 @@
 #include "core/analyzer.hpp"
 #include "core/spec_io.hpp"
 #include "placement/notation.hpp"
+#include "runtime/fleet_campaign.hpp"
+#include "util/stop_token.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -44,7 +48,9 @@ using namespace mlec;
       "               [--config FILE] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
       "               [--repair R_MIN] [--afr F] [--detection-min M] [--racks N]\n"
       "               [--enclosures-per-rack N] [--disks-per-enclosure N] [--disk-tb N]\n"
-      "               [--bursts] [--devops] [--nines N] [--throughput-critical]\n";
+      "               [--bursts] [--devops] [--nines N] [--throughput-critical]\n"
+      "               [--checkpoint FILE] [--resume] [--shards N]\n"
+      "               [--time-budget SECONDS] [--target-rse X] [--seed N]\n";
   std::exit(2);
 }
 
@@ -52,6 +58,13 @@ struct Options {
   SystemSpec spec;
   DeploymentProfile profile;
   std::vector<std::string> positional;
+  // simulate campaign controls
+  std::string checkpoint_path;
+  bool resume = false;
+  std::size_t shards = 0;
+  double time_budget_s = 0.0;
+  double target_rse = 0.0;
+  std::uint64_t seed = 1;
 };
 
 Options parse_options(int argc, char** argv) {
@@ -95,6 +108,18 @@ Options parse_options(int argc, char** argv) {
         opt.profile.throughput_critical = true;
       } else if (arg == "--nines") {
         opt.profile.required_nines = std::stod(need_value(i));
+      } else if (arg == "--checkpoint") {
+        opt.checkpoint_path = need_value(i);
+      } else if (arg == "--resume") {
+        opt.resume = true;
+      } else if (arg == "--shards") {
+        opt.shards = std::stoul(need_value(i));
+      } else if (arg == "--time-budget") {
+        opt.time_budget_s = std::stod(need_value(i));
+      } else if (arg == "--target-rse") {
+        opt.target_rse = std::stod(need_value(i));
+      } else if (arg == "--seed") {
+        opt.seed = std::stoull(need_value(i));
       } else if (!arg.empty() && arg[0] == '-') {
         usage(("unknown flag " + arg).c_str());
       } else {
@@ -201,7 +226,25 @@ int cmd_simulate(const Options& opt) {
   cfg.failures.afr = opt.spec.afr;
   cfg.detection_hours = opt.spec.detection_hours;
   cfg.mission_hours = opt.spec.mission_hours;
-  const auto r = simulate_fleet(cfg, missions, 1, &global_pool());
+  StopSource stop_source;
+  stop_source.watch_signals();  // SIGINT/SIGTERM end the run at a batch boundary
+  if (opt.time_budget_s > 0.0) stop_source.set_deadline_after(opt.time_budget_s);
+
+  FleetCampaignOptions campaign;
+  campaign.checkpoint_path = opt.checkpoint_path;
+  campaign.resume = opt.resume;
+  campaign.shards = opt.shards;
+  campaign.target_rse = opt.target_rse;
+  campaign.stop = stop_source.token();
+
+  const auto fc = run_fleet_campaign(cfg, missions, opt.seed, campaign, &global_pool());
+  const auto& r = fc.result;
+  const auto& rep = fc.report;
+
+  std::uint64_t retried = 0;
+  for (const auto& s : rep.shards)
+    if (s.attempts > 1) ++retried;
+
   Table t({"quantity", "value"});
   t.add_row({"missions", std::to_string(r.missions)});
   t.add_row({"disk failures", std::to_string(r.disk_failures)});
@@ -211,8 +254,23 @@ int cmd_simulate(const Options& opt) {
   const auto ci = r.pdl_interval();
   t.add_row({"PDL 95% CI", Table::num(ci.lo, 4) + " .. " + Table::num(ci.hi, 4)});
   t.add_row({"cross-rack repair TB (total)", Table::num(r.cross_rack_tb, 2)});
+  t.add_row({"shards", std::to_string(rep.shards.size())});
+  if (rep.resumed) t.add_row({"resumed from checkpoint", "yes"});
+  if (retried > 0) t.add_row({"shards retried", std::to_string(retried)});
+  if (rep.quarantined() > 0) t.add_row({"shards quarantined", std::to_string(rep.quarantined())});
+  if (opt.target_rse > 0.0) {
+    t.add_row({"PDL relative std error", Table::num(rep.achieved_rse, 4)});
+    t.add_row({"converged (target RSE)", rep.converged ? "yes" : "no"});
+  }
+  if (rep.truncated)
+    t.add_row({"truncated", "yes (" + std::to_string(rep.units_done) + "/" +
+                                std::to_string(rep.units_requested) + " missions)"});
   std::cout << t.to_ascii("fleet Monte Carlo, " + to_string(opt.spec.scheme) + " " +
                           opt.spec.code.notation() + ", " + to_string(opt.spec.repair));
+  for (const auto& s : rep.shards)
+    if (s.quarantined)
+      std::cerr << "mlecctl: shard " << s.shard << " quarantined after " << s.attempts
+                << " attempts: " << s.error << '\n';
   return 0;
 }
 
