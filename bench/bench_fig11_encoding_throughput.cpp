@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/encoding.hpp"
+#include "ec/backend.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -24,7 +25,9 @@ int main(int argc, char** argv) {
            : std::vector<std::size_t>{1, 2, 4, 6, 8, 10};
 
   std::cout << "# paper: Figure 11 — single-core encoding throughput (MB/s of data),\n"
-            << "# 128 KB chunks, rows = p (parities), columns = k (data chunks)\n\n";
+            << "# 128 KB chunks, rows = p (parities), columns = k (data chunks)\n"
+            << "# ec backend: " << ec::to_string(ec::active_backend())
+            << " (force with MLEC_EC_BACKEND=scalar|ssse3|avx2)\n\n";
   std::vector<std::string> header{"p\\k"};
   for (auto k : ks) header.push_back(std::to_string(k));
   Table t(header);

@@ -1,9 +1,25 @@
-// google-benchmark microbenchmarks for the GF(2^8)/Reed-Solomon kernels that
-// power the Figure 11 study.
+// Microbenchmarks for the GF(2^8)/Reed-Solomon kernels that power the
+// Figure 11 study, now covering every dispatched ec backend.
+//
+// Two modes:
+//   bench_gf_kernels [gbench flags]   google-benchmark tables, one series
+//                                     per supported backend
+//   bench_gf_kernels --json[=PATH]    self-timed sweep writing GB/s per
+//                                     kernel x backend x buffer size to
+//                                     PATH (default BENCH_ec_kernels.json),
+//                                     the perf trajectory record
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
 #include <vector>
 
+#include "ec/backend.hpp"
+#include "ec/codec.hpp"
+#include "ec/kernels.hpp"
 #include "gf/gf256.hpp"
 #include "gf/rs.hpp"
 
@@ -11,24 +27,25 @@ namespace {
 
 using mlec::gf::byte_t;
 
-void BM_MulAcc(benchmark::State& state) {
-  const std::size_t len = static_cast<std::size_t>(state.range(0));
-  std::vector<byte_t> src(len), dst(len);
-  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<byte_t>(i * 31 + 7);
-  const auto table = mlec::gf::make_mul_table(0x57);
-  for (auto _ : state) {
-    mlec::gf::mul_acc(table, src, dst);
-    benchmark::DoNotOptimize(dst.data());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(len));
+std::vector<mlec::ec::Backend> supported_backends() {
+  std::vector<mlec::ec::Backend> out;
+  for (auto b : {mlec::ec::Backend::kScalar, mlec::ec::Backend::kSsse3, mlec::ec::Backend::kAvx2})
+    if (mlec::ec::backend_supported(b)) out.push_back(b);
+  return out;
 }
-BENCHMARK(BM_MulAcc)->Arg(4 << 10)->Arg(128 << 10)->Arg(1 << 20);
+
+std::vector<byte_t> pattern_buffer(std::size_t len, unsigned salt = 0) {
+  std::vector<byte_t> buf(len);
+  for (std::size_t i = 0; i < len; ++i) buf[i] = static_cast<byte_t>(i * 31 + 7 + salt * 131);
+  return buf;
+}
+
+// --- google-benchmark registrations -----------------------------------------
 
 void BM_MulAccFullTable(benchmark::State& state) {
   const std::size_t len = static_cast<std::size_t>(state.range(0));
-  std::vector<byte_t> src(len), dst(len);
-  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<byte_t>(i * 31 + 7);
+  const auto src = pattern_buffer(len);
+  std::vector<byte_t> dst(len);
   const auto table = mlec::gf::make_full_table(0x57);
   for (auto _ : state) {
     mlec::gf::mul_acc(table, src, dst);
@@ -39,15 +56,47 @@ void BM_MulAccFullTable(benchmark::State& state) {
 }
 BENCHMARK(BM_MulAccFullTable)->Arg(4 << 10)->Arg(128 << 10)->Arg(1 << 20);
 
+void BM_EcMulAcc(benchmark::State& state, mlec::ec::Backend backend) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  const auto src = pattern_buffer(len);
+  std::vector<byte_t> dst(len);
+  const auto table = mlec::ec::make_mul_table(0x57);
+  const auto& k = mlec::ec::kernels_for(backend);
+  for (auto _ : state) {
+    k.mul_acc(table, src.data(), dst.data(), len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(len));
+}
+
+void BM_EcEncodeFused(benchmark::State& state, mlec::ec::Backend backend, std::size_t k,
+                      std::size_t p) {
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  const mlec::gf::RsCode code(k, p);
+  std::vector<std::vector<byte_t>> data, parity(p, std::vector<byte_t>(chunk));
+  for (std::size_t i = 0; i < k; ++i) data.push_back(pattern_buffer(chunk, i));
+  std::vector<const byte_t*> src(k);
+  for (std::size_t i = 0; i < k; ++i) src[i] = data[i].data();
+  std::vector<byte_t*> dst(p);
+  for (std::size_t i = 0; i < p; ++i) dst[i] = parity[i].data();
+  const auto& kern = mlec::ec::kernels_for(backend);
+  const auto& plan = code.encode_plan();
+  for (auto _ : state) {
+    kern.dot(plan.tables(), k, p, src.data(), dst.data(), chunk, false);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(k * chunk));
+}
+
 void BM_RsEncode(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
   const std::size_t p = static_cast<std::size_t>(state.range(1));
   const std::size_t chunk = 128 << 10;
   const mlec::gf::RsCode code(k, p);
-  std::vector<std::vector<byte_t>> data(k, std::vector<byte_t>(chunk));
-  std::vector<std::vector<byte_t>> parity(p, std::vector<byte_t>(chunk));
-  for (std::size_t i = 0; i < k; ++i)
-    for (std::size_t b = 0; b < chunk; ++b) data[i][b] = static_cast<byte_t>(i + b * 13);
+  std::vector<std::vector<byte_t>> data, parity(p, std::vector<byte_t>(chunk));
+  for (std::size_t i = 0; i < k; ++i) data.push_back(pattern_buffer(chunk, i));
   for (auto _ : state) {
     code.encode(data, parity);
     benchmark::DoNotOptimize(parity.data());
@@ -66,8 +115,7 @@ void BM_RsDecode(benchmark::State& state) {
   const std::size_t chunk = 128 << 10;
   const mlec::gf::RsCode code(k, p);
   std::vector<std::vector<byte_t>> shards(k + p, std::vector<byte_t>(chunk));
-  for (std::size_t i = 0; i < k; ++i)
-    for (std::size_t b = 0; b < chunk; ++b) shards[i][b] = static_cast<byte_t>(i + b * 13);
+  for (std::size_t i = 0; i < k; ++i) shards[i] = pattern_buffer(chunk, i);
   {
     std::vector<std::vector<byte_t>> data(shards.begin(), shards.begin() + k);
     std::vector<std::vector<byte_t>> parity(shards.begin() + k, shards.end());
@@ -84,6 +132,123 @@ void BM_RsDecode(benchmark::State& state) {
 }
 BENCHMARK(BM_RsDecode);
 
+// --- --json mode: the perf trajectory record --------------------------------
+
+struct JsonResult {
+  std::string kernel;
+  std::string backend;
+  std::size_t buffer_bytes;
+  double gbps;
+  double speedup_vs_scalar;
+};
+
+/// Run fn (processing `bytes` per call) until >= 20 ms elapsed; return GB/s.
+template <typename Fn>
+double measure_gbps(std::size_t bytes, Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm caches / fault pages
+  std::size_t iters = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double dt = std::chrono::duration<double>(clock::now() - t0).count();
+    if (dt >= 0.02)
+      return static_cast<double>(bytes) * static_cast<double>(iters) / dt / 1e9;
+    iters *= 4;
+  }
+}
+
+int run_json_sweep(const std::string& path) {
+  const std::vector<std::size_t> sizes{4 << 10, 64 << 10, 128 << 10, 1 << 20};
+  const std::vector<std::pair<std::size_t, std::size_t>> codes{{10, 2}, {17, 3}, {28, 12}};
+  std::vector<JsonResult> results;
+  std::map<std::pair<std::string, std::size_t>, double> scalar_gbps;
+
+  for (auto backend : supported_backends()) {
+    const auto& kern = mlec::ec::kernels_for(backend);
+    for (std::size_t len : sizes) {
+      const auto src = pattern_buffer(len);
+      std::vector<byte_t> dst(len);
+      const auto table = mlec::ec::make_mul_table(0x57);
+      for (const char* name : {"mul_acc", "mul_assign"}) {
+        const bool acc = std::strcmp(name, "mul_acc") == 0;
+        const double gbps = measure_gbps(len, [&] {
+          (acc ? kern.mul_acc : kern.mul_assign)(table, src.data(), dst.data(), len);
+        });
+        const auto key = std::make_pair(std::string(name), len);
+        if (backend == mlec::ec::Backend::kScalar) scalar_gbps[key] = gbps;
+        results.push_back({name, mlec::ec::to_string(backend), len, gbps,
+                           scalar_gbps.count(key) ? gbps / scalar_gbps[key] : 0.0});
+      }
+      for (auto [k, p] : codes) {
+        const mlec::gf::RsCode code(k, p);
+        std::vector<std::vector<byte_t>> data, parity(p, std::vector<byte_t>(len));
+        for (std::size_t i = 0; i < k; ++i) data.push_back(pattern_buffer(len, i));
+        std::vector<const byte_t*> sp(k);
+        for (std::size_t i = 0; i < k; ++i) sp[i] = data[i].data();
+        std::vector<byte_t*> dp(p);
+        for (std::size_t i = 0; i < p; ++i) dp[i] = parity[i].data();
+        const auto& plan = code.encode_plan();
+        const std::string name = "encode_" + std::to_string(k) + "x" + std::to_string(p);
+        const double gbps = measure_gbps(k * len, [&] {
+          kern.dot(plan.tables(), k, p, sp.data(), dp.data(), len, false);
+        });
+        const auto key = std::make_pair(name, len);
+        if (backend == mlec::ec::Backend::kScalar) scalar_gbps[key] = gbps;
+        results.push_back({name, mlec::ec::to_string(backend), len, gbps,
+                           scalar_gbps.count(key) ? gbps / scalar_gbps[key] : 0.0});
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"detected_backend\": \"%s\",\n",
+               mlec::ec::to_string(mlec::ec::detect_backend()));
+  std::fprintf(f, "  \"unit\": \"GB/s of source data, single thread\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"backend\": \"%s\", \"buffer_bytes\": %zu, "
+                 "\"gbps\": %.3f, \"speedup_vs_scalar\": %.2f}%s\n",
+                 r.kernel.c_str(), r.backend.c_str(), r.buffer_bytes, r.gbps,
+                 r.speedup_vs_scalar, i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu results to %s\n", results.size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json", 6) == 0) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_json_sweep(eq != nullptr ? eq + 1 : "BENCH_ec_kernels.json");
+    }
+  }
+  for (auto backend : supported_backends()) {
+    const std::string suffix = mlec::ec::to_string(backend);
+    auto* acc = benchmark::RegisterBenchmark(("BM_EcMulAcc/" + suffix).c_str(),
+                                             [backend](benchmark::State& s) {
+                                               BM_EcMulAcc(s, backend);
+                                             });
+    acc->Arg(4 << 10)->Arg(128 << 10)->Arg(1 << 20);
+    for (auto [k, p] : {std::pair<std::size_t, std::size_t>{10, 2}, {17, 3}, {28, 12}}) {
+      auto* enc = benchmark::RegisterBenchmark(
+          ("BM_EcEncodeFused/" + suffix + "/" + std::to_string(k) + "x" + std::to_string(p))
+              .c_str(),
+          [backend, k = k, p = p](benchmark::State& s) { BM_EcEncodeFused(s, backend, k, p); });
+      enc->Arg(128 << 10);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

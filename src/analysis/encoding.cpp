@@ -1,5 +1,6 @@
 #include "analysis/encoding.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <map>
@@ -30,12 +31,22 @@ EncodingMeasurement measure_encoding_throughput(std::size_t k, std::size_t p, do
   // Warm-up pass to populate caches and fault pages.
   code.encode(data, parity);
 
+  // Size a batch from a calibration pass so each timed batch runs ~1 ms:
+  // with the SIMD kernels a single encode can be cheaper than the clock
+  // read, and reading steady_clock every iteration would measure the clock.
+  const auto cal_start = clock::now();
+  code.encode(data, parity);
+  const double once = std::chrono::duration<double>(clock::now() - cal_start).count();
+  const std::size_t batch =
+      std::clamp<std::size_t>(once > 0.0 ? static_cast<std::size_t>(1e-3 / once) : 1 << 16, 1,
+                              1 << 16);
+
   std::size_t iters = 0;
   const auto start = clock::now();
   double elapsed = 0.0;
   do {
-    code.encode(data, parity);
-    ++iters;
+    for (std::size_t b = 0; b < batch; ++b) code.encode(data, parity);
+    iters += batch;
     elapsed = std::chrono::duration<double>(clock::now() - start).count();
   } while (elapsed < min_seconds);
 

@@ -1,0 +1,131 @@
+#include "ec/backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "ec/kernels_detail.hpp"
+#include "util/error.hpp"
+
+namespace mlec::ec {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+bool host_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
+bool host_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+bool host_has_ssse3() { return false; }
+bool host_has_avx2() { return false; }
+#endif
+
+// Compile-time availability: the SIMD translation units compile their
+// kernels only on x86; elsewhere they register a nullptr table.
+bool build_has(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return true;
+    case Backend::kSsse3: return detail::ssse3_kernel_table() != nullptr;
+    case Backend::kAvx2: return detail::avx2_kernel_table() != nullptr;
+  }
+  return false;
+}
+
+std::atomic<int> g_active{-1};  // -1: not yet resolved
+
+Backend resolve_initial() {
+  const char* env = std::getenv("MLEC_EC_BACKEND");
+  if (env != nullptr && std::string_view(env) != "auto" && *env != '\0') {
+    const auto parsed = parse_backend(env);
+    if (!parsed) {
+      std::fprintf(stderr,
+                   "mlec: unknown MLEC_EC_BACKEND '%s' (want scalar|ssse3|avx2|auto); "
+                   "using auto-detection\n",
+                   env);
+      return detect_backend();
+    }
+    if (!backend_supported(*parsed)) {
+      std::fprintf(stderr,
+                   "mlec: MLEC_EC_BACKEND=%s not supported on this host/build; "
+                   "falling back to scalar\n",
+                   env);
+      return Backend::kScalar;
+    }
+    return *parsed;
+  }
+  return detect_backend();
+}
+
+}  // namespace
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kSsse3: return "ssse3";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "ssse3") return Backend::kSsse3;
+  if (name == "avx2") return Backend::kAvx2;
+  return std::nullopt;
+}
+
+bool backend_supported(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return true;
+    case Backend::kSsse3: return build_has(Backend::kSsse3) && host_has_ssse3();
+    case Backend::kAvx2: return build_has(Backend::kAvx2) && host_has_avx2();
+  }
+  return false;
+}
+
+Backend detect_backend() {
+  static const Backend best = [] {
+    if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
+    if (backend_supported(Backend::kSsse3)) return Backend::kSsse3;
+    return Backend::kScalar;
+  }();
+  return best;
+}
+
+Backend active_backend() {
+  int cur = g_active.load(std::memory_order_acquire);
+  if (cur < 0) {
+    const Backend resolved = resolve_initial();
+    // First resolver wins; a concurrent force_backend() is preserved.
+    int expected = -1;
+    g_active.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                     std::memory_order_acq_rel);
+    cur = g_active.load(std::memory_order_acquire);
+  }
+  return static_cast<Backend>(cur);
+}
+
+void force_backend(Backend backend) {
+  MLEC_REQUIRE(backend_supported(backend), "EC backend not supported on this host/build");
+  g_active.store(static_cast<int>(backend), std::memory_order_release);
+}
+
+ScopedBackend::ScopedBackend(Backend backend) : previous_(active_backend()) {
+  force_backend(backend);
+}
+
+ScopedBackend::~ScopedBackend() { force_backend(previous_); }
+
+const Kernels& kernels_for(Backend backend) {
+  MLEC_REQUIRE(backend_supported(backend), "EC backend not supported on this host/build");
+  switch (backend) {
+    case Backend::kScalar: return *detail::scalar_kernel_table();
+    case Backend::kSsse3: return *detail::ssse3_kernel_table();
+    case Backend::kAvx2: return *detail::avx2_kernel_table();
+  }
+  return *detail::scalar_kernel_table();
+}
+
+const Kernels& kernels() { return kernels_for(active_backend()); }
+
+}  // namespace mlec::ec

@@ -1,0 +1,61 @@
+// Runtime CPU-feature dispatch for the erasure-coding data plane.
+//
+// The EC kernels ship in three builds: a portable scalar reference, an SSSE3
+// PSHUFB split-nibble build, and an AVX2 VPSHUFB build. The best backend the
+// host supports is detected once (cpuid) and installed as the process-wide
+// dispatch choice; `MLEC_EC_BACKEND=scalar|ssse3|avx2|auto` overrides the
+// choice for testing and benchmarking, and tests can swap backends at
+// runtime with force_backend()/ScopedBackend.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mlec::ec {
+
+enum class Backend {
+  kScalar = 0,  ///< portable split-nibble reference, always available
+  kSsse3 = 1,   ///< 16-byte PSHUFB kernels
+  kAvx2 = 2,    ///< 32-byte VPSHUFB kernels
+};
+
+inline constexpr int kBackendCount = 3;
+
+const char* to_string(Backend backend);
+
+/// Parse "scalar" / "ssse3" / "avx2" (case-sensitive, as documented for
+/// MLEC_EC_BACKEND). "auto" and unknown strings return nullopt.
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// True when this build and CPU can run `backend` (scalar always can).
+bool backend_supported(Backend backend);
+
+/// Best supported backend on this host (cpuid at first call, then cached).
+Backend detect_backend();
+
+/// Backend the dispatched kernels currently use. Resolved on first use:
+/// MLEC_EC_BACKEND if set to a supported backend, else detect_backend().
+/// An unsupported or unparsable override warns once on stderr and falls
+/// back (unknown name -> auto, known-but-unsupported -> scalar, so a forced
+/// run never silently tests the wrong vector unit).
+Backend active_backend();
+
+/// Install `backend` as the process-wide dispatch choice; requires
+/// backend_supported(backend). Thread-safe (atomic swap); in-flight kernel
+/// calls finish on the backend they started with.
+void force_backend(Backend backend);
+
+/// RAII backend override for tests: forces `backend` for the scope, then
+/// restores the previous choice.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend backend);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+}  // namespace mlec::ec

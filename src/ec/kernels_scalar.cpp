@@ -1,0 +1,59 @@
+// Portable scalar kernels: the reference implementation every vector
+// backend must match byte-for-byte, and the fallback on non-x86 builds.
+#include <algorithm>
+#include <cstring>
+
+#include "ec/kernels_detail.hpp"
+
+namespace mlec::ec {
+
+namespace detail {
+
+void mul_acc_scalar(const MulTable& table, const byte_t* src, byte_t* dst, std::size_t len) {
+  const byte_t* __restrict s = src;
+  byte_t* __restrict d = dst;
+  for (std::size_t i = 0; i < len; ++i) {
+    const byte_t v = s[i];
+    d[i] ^= table.lo[v & 0x0f] ^ table.hi[v >> 4];
+  }
+}
+
+void mul_assign_scalar(const MulTable& table, const byte_t* src, byte_t* dst, std::size_t len) {
+  const byte_t* __restrict s = src;
+  byte_t* __restrict d = dst;
+  for (std::size_t i = 0; i < len; ++i) {
+    const byte_t v = s[i];
+    d[i] = table.lo[v & 0x0f] ^ table.hi[v >> 4];
+  }
+}
+
+void dot_scalar(const MulTable* tables, std::size_t k, std::size_t p, const byte_t* const* src,
+                byte_t* const* dst, std::size_t len, bool accumulate) {
+  if (p == 0 || len == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (std::size_t r = 0; r < p; ++r) std::memset(dst[r], 0, len);
+    return;
+  }
+  // Block so each source block stays cache-hot while it feeds all p output
+  // rows; source-major order gives the one-pass-over-the-data shape.
+  constexpr std::size_t kBlock = 32 * 1024;
+  for (std::size_t pos = 0; pos < len; pos += kBlock) {
+    const std::size_t n = std::min(kBlock, len - pos);
+    for (std::size_t r = 0; r < p; ++r)
+      (accumulate ? mul_acc_scalar : mul_assign_scalar)(tables[r * k], src[0] + pos, dst[r] + pos,
+                                                        n);
+    for (std::size_t c = 1; c < k; ++c)
+      for (std::size_t r = 0; r < p; ++r)
+        mul_acc_scalar(tables[r * k + c], src[c] + pos, dst[r] + pos, n);
+  }
+}
+
+const Kernels* scalar_kernel_table() {
+  static const Kernels k{Backend::kScalar, &mul_acc_scalar, &mul_assign_scalar, &dot_scalar};
+  return &k;
+}
+
+}  // namespace detail
+
+}  // namespace mlec::ec

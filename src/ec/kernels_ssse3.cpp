@@ -1,0 +1,127 @@
+// SSSE3 kernels: the classic ISA-L split-nibble PSHUFB formulation, 16
+// bytes per strip. Compiled with -mssse3 on x86 (see src/ec/CMakeLists.txt);
+// on other architectures this TU degrades to a "not built" stub.
+#include "ec/kernels_detail.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSSE3__)
+
+#include <tmmintrin.h>
+
+#include <algorithm>
+
+namespace mlec::ec {
+namespace {
+
+inline __m128i load_nibble_table(const std::array<byte_t, 16>& t) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.data()));
+}
+
+inline __m128i loadu(const byte_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void storeu(byte_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+/// lo/hi-shuffled product of one 16-byte strip.
+inline __m128i product(__m128i lo, __m128i hi, __m128i mask, __m128i v) {
+  const __m128i l = _mm_and_si128(v, mask);
+  const __m128i h = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(lo, l), _mm_shuffle_epi8(hi, h));
+}
+
+void mul_acc_ssse3(const MulTable& table, const byte_t* src, byte_t* dst, std::size_t len) {
+  const __m128i lo = load_nibble_table(table.lo);
+  const __m128i hi = load_nibble_table(table.hi);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m128i p0 = product(lo, hi, mask, loadu(src + i));
+    const __m128i p1 = product(lo, hi, mask, loadu(src + i + 16));
+    storeu(dst + i, _mm_xor_si128(loadu(dst + i), p0));
+    storeu(dst + i + 16, _mm_xor_si128(loadu(dst + i + 16), p1));
+  }
+  if (i + 16 <= len) {
+    storeu(dst + i, _mm_xor_si128(loadu(dst + i), product(lo, hi, mask, loadu(src + i))));
+    i += 16;
+  }
+  detail::mul_acc_scalar(table, src + i, dst + i, len - i);
+}
+
+void mul_assign_ssse3(const MulTable& table, const byte_t* src, byte_t* dst, std::size_t len) {
+  const __m128i lo = load_nibble_table(table.lo);
+  const __m128i hi = load_nibble_table(table.hi);
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    storeu(dst + i, product(lo, hi, mask, loadu(src + i)));
+    storeu(dst + i + 16, product(lo, hi, mask, loadu(src + i + 16)));
+  }
+  if (i + 16 <= len) {
+    storeu(dst + i, product(lo, hi, mask, loadu(src + i)));
+    i += 16;
+  }
+  detail::mul_assign_scalar(table, src + i, dst + i, len - i);
+}
+
+void dot_ssse3(const MulTable* tables, std::size_t k, std::size_t p, const byte_t* const* src,
+               byte_t* const* dst, std::size_t len, bool accumulate) {
+  if (p == 0 || len == 0 || k == 0) {
+    detail::dot_scalar(tables, k, p, src, dst, len, accumulate);
+    return;
+  }
+  // Strip-outer / group-inner: each 16-byte strip of every source is loaded
+  // (and nibble-split) once per group of up to 4 output rows, with the
+  // accumulators pinned in registers — the fused one-pass encode.
+  constexpr std::size_t kGroup = 4;
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  std::size_t pos = 0;
+  for (; pos + 16 <= len; pos += 16) {
+    for (std::size_t g = 0; g < p; g += kGroup) {
+      const std::size_t gn = std::min(kGroup, p - g);
+      __m128i acc[kGroup];
+      for (std::size_t j = 0; j < gn; ++j)
+        acc[j] = accumulate ? loadu(dst[g + j] + pos) : _mm_setzero_si128();
+      for (std::size_t c = 0; c < k; ++c) {
+        const __m128i v = loadu(src[c] + pos);
+        const __m128i l = _mm_and_si128(v, mask);
+        const __m128i h = _mm_and_si128(_mm_srli_epi16(v, 4), mask);
+        for (std::size_t j = 0; j < gn; ++j) {
+          const MulTable& t = tables[(g + j) * k + c];
+          const __m128i prod = _mm_xor_si128(_mm_shuffle_epi8(load_nibble_table(t.lo), l),
+                                             _mm_shuffle_epi8(load_nibble_table(t.hi), h));
+          acc[j] = _mm_xor_si128(acc[j], prod);
+        }
+      }
+      for (std::size_t j = 0; j < gn; ++j) storeu(dst[g + j] + pos, acc[j]);
+    }
+  }
+  const std::size_t tail = len - pos;
+  if (tail == 0) return;
+  for (std::size_t r = 0; r < p; ++r) {
+    (accumulate ? detail::mul_acc_scalar
+                : detail::mul_assign_scalar)(tables[r * k], src[0] + pos, dst[r] + pos, tail);
+    for (std::size_t c = 1; c < k; ++c)
+      detail::mul_acc_scalar(tables[r * k + c], src[c] + pos, dst[r] + pos, tail);
+  }
+}
+
+}  // namespace
+
+namespace detail {
+const Kernels* ssse3_kernel_table() {
+  static const Kernels k{Backend::kSsse3, &mul_acc_ssse3, &mul_assign_ssse3, &dot_ssse3};
+  return &k;
+}
+}  // namespace detail
+
+}  // namespace mlec::ec
+
+#else  // non-x86 build (or -mssse3 missing): backend unavailable
+
+namespace mlec::ec::detail {
+const Kernels* ssse3_kernel_table() { return nullptr; }
+}  // namespace mlec::ec::detail
+
+#endif

@@ -1,0 +1,55 @@
+#include "ec/stream.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlec::ec {
+
+bool encode_parallel(const EncodePlan& plan, std::span<const std::span<const byte_t>> src,
+                     std::span<const std::span<byte_t>> dst, ThreadPool& pool, StopToken stop,
+                     const StreamOptions& options) {
+  MLEC_REQUIRE(src.size() == plan.cols(), "expected cols() source shards");
+  MLEC_REQUIRE(dst.size() == plan.rows(), "expected rows() destination shards");
+  MLEC_REQUIRE(options.min_slice_bytes >= 1, "slices need at least one byte");
+  if (stop.stop_requested()) return false;
+  if (plan.rows() == 0) return true;
+  const std::size_t len = src.empty() ? (dst.empty() ? 0 : dst[0].size()) : src[0].size();
+  for (const auto& s : src) MLEC_REQUIRE(s.size() == len, "source shard size mismatch");
+  for (const auto& d : dst) MLEC_REQUIRE(d.size() == len, "destination shard size mismatch");
+
+  const std::size_t target_slices = std::max<std::size_t>(1, pool.size() * options.slices_per_worker);
+  std::size_t slice_len = std::max(options.min_slice_bytes, (len + target_slices - 1) / target_slices);
+  // Keep full slices vector-strip aligned so only the final slice has a
+  // sub-strip tail.
+  slice_len = (slice_len + 63) / 64 * 64;
+  const std::size_t slices = len == 0 ? 0 : (len + slice_len - 1) / slice_len;
+
+  std::vector<const byte_t*> s(src.size());
+  for (std::size_t c = 0; c < src.size(); ++c) s[c] = src[c].data();
+  std::vector<byte_t*> d(dst.size());
+  for (std::size_t r = 0; r < dst.size(); ++r) d[r] = dst[r].data();
+
+  if (slices <= 1) {
+    encode(plan, s.data(), d.data(), len);
+    return !stop.stop_requested();
+  }
+
+  pool.parallel_for(
+      0, slices,
+      [&](std::size_t i) {
+        const std::size_t off = i * slice_len;
+        const std::size_t n = std::min(slice_len, len - off);
+        std::vector<const byte_t*> so(s.size());
+        for (std::size_t c = 0; c < s.size(); ++c) so[c] = s[c] + off;
+        std::vector<byte_t*> dn(d.size());
+        for (std::size_t r = 0; r < d.size(); ++r) dn[r] = d[r] + off;
+        encode(plan, so.data(), dn.data(), n);
+      },
+      stop);
+  return !stop.stop_requested();
+}
+
+}  // namespace mlec::ec

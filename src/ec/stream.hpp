@@ -1,0 +1,41 @@
+// Parallel streaming codec: chunk large shard buffers into slices and
+// encode the slices across a util::ThreadPool.
+//
+// GF(256) encoding is positionwise, so byte range [a, b) of every output
+// row depends only on byte range [a, b) of every source — slices are
+// embarrassingly parallel and the result is bit-identical to the serial
+// fused encode. StopToken cancellation follows the pool's cooperative
+// policy: remaining slices are skipped and the caller is told the outputs
+// are partial.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "ec/codec.hpp"
+#include "util/stop_token.hpp"
+
+namespace mlec {
+class ThreadPool;
+}  // namespace mlec
+
+namespace mlec::ec {
+
+struct StreamOptions {
+  /// Smallest per-task slice; keeps task dispatch amortized when the vector
+  /// kernels chew a slice in microseconds.
+  std::size_t min_slice_bytes = 64 * 1024;
+  /// Slices per worker to smooth uneven scheduling (static chunking
+  /// otherwise leaves the pool tail-bound).
+  std::size_t slices_per_worker = 4;
+};
+
+/// Parallel fused encode: dst[r] = XOR_c plan(r,c) * src[c], sliced across
+/// `pool`. Falls back to the serial path when one slice covers the buffer.
+/// Returns true when every slice ran; false when `stop` truncated the batch
+/// (destination contents are then partial garbage — re-run or discard).
+bool encode_parallel(const EncodePlan& plan, std::span<const std::span<const byte_t>> src,
+                     std::span<const std::span<byte_t>> dst, ThreadPool& pool,
+                     StopToken stop = {}, const StreamOptions& options = {});
+
+}  // namespace mlec::ec

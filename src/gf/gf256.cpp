@@ -54,7 +54,10 @@ byte_t pow(byte_t a, unsigned n) {
   if (n == 0) return 1;
   if (a == 0) return 0;
   const auto& t = tables();
-  return t.exp[(static_cast<unsigned>(t.log[a]) * n) % 255];
+  // Reduce the exponent first: log[a] * n overflows 32 bits for n > ~16.9M
+  // (a^n = a^(n mod 255) for nonzero a, since the multiplicative group has
+  // order 255).
+  return t.exp[(static_cast<unsigned>(t.log[a]) * (n % 255)) % 255];
 }
 
 MulTable make_mul_table(byte_t c) {

@@ -4,6 +4,9 @@
 // for Intel ISA-L in the paper's encoding-throughput study (Figure 11). The
 // bulk kernel uses split-nibble lookup tables (the scalar formulation of the
 // PSHUFB trick), which is the fastest portable approach without intrinsics.
+// The vectorized PSHUFB/VPSHUFB implementations of the same tables — and the
+// fused multi-shard kernels the coder actually dispatches to — live in
+// src/ec/ (see ec/kernels.hpp).
 #pragma once
 
 #include <array>

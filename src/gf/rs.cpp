@@ -6,14 +6,22 @@
 
 namespace mlec::gf {
 
+namespace {
+
+ec::EncodePlan plan_from_rows(const Matrix& m) {
+  std::vector<byte_t> coeffs(m.rows() * m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) coeffs[r * m.cols() + c] = m.at(r, c);
+  return ec::EncodePlan(m.rows(), m.cols(), coeffs);
+}
+
+}  // namespace
+
 RsCode::RsCode(std::size_t k, std::size_t p) : k_(k), p_(p) {
   MLEC_REQUIRE(k >= 1, "RS needs at least one data shard");
   MLEC_REQUIRE(k + p <= 256, "RS over GF(256) supports at most 256 shards");
   parity_rows_ = Matrix::cauchy(p, k);
-  encode_tables_.reserve(p * k);
-  for (std::size_t r = 0; r < p; ++r)
-    for (std::size_t c = 0; c < k; ++c)
-      encode_tables_.push_back(make_full_table(parity_rows_.at(r, c)));
+  encode_plan_ = plan_from_rows(parity_rows_);
 }
 
 void RsCode::encode(std::span<const std::span<const byte_t>> data,
@@ -24,11 +32,7 @@ void RsCode::encode(std::span<const std::span<const byte_t>> data,
   const std::size_t len = data.empty() ? 0 : data[0].size();
   for (const auto& shard : data) MLEC_REQUIRE(shard.size() == len, "data shard size mismatch");
   for (const auto& shard : parity) MLEC_REQUIRE(shard.size() == len, "parity shard size mismatch");
-
-  for (std::size_t r = 0; r < p_; ++r) {
-    mul_assign(encode_tables_[r * k_], data[0], parity[r]);
-    for (std::size_t c = 1; c < k_; ++c) mul_acc(encode_tables_[r * k_ + c], data[c], parity[r]);
-  }
+  ec::encode(encode_plan_, data, parity);
 }
 
 void RsCode::encode(const std::vector<std::vector<byte_t>>& data,
@@ -36,6 +40,15 @@ void RsCode::encode(const std::vector<std::vector<byte_t>>& data,
   std::vector<std::span<const byte_t>> d(data.begin(), data.end());
   std::vector<std::span<byte_t>> q(parity.begin(), parity.end());
   encode(std::span<const std::span<const byte_t>>(d), std::span<const std::span<byte_t>>(q));
+}
+
+bool RsCode::encode_parallel(std::span<const std::span<const byte_t>> data,
+                             std::span<const std::span<byte_t>> parity, ThreadPool& pool,
+                             StopToken stop) const {
+  MLEC_REQUIRE(data.size() == k_, "expected k data shards");
+  MLEC_REQUIRE(parity.size() == p_, "expected p parity shards");
+  if (p_ == 0) return true;
+  return ec::encode_parallel(encode_plan_, data, parity, pool, stop);
 }
 
 void RsCode::decode(std::vector<std::vector<byte_t>>& shards,
@@ -71,23 +84,39 @@ void RsCode::decode(std::vector<std::vector<byte_t>>& shards,
   const bool ok = sub.invert(invsub);
   MLEC_REQUIRE(ok, "generator submatrix singular (not MDS?)");
 
-  // data[c] = sum_r invsub[c][r] * shard[survivors[r]] — rebuild only the
-  // data shards that were lost.
-  for (std::size_t idx : lost) {
-    if (idx >= k_) continue;
-    std::fill(shards[idx].begin(), shards[idx].end(), 0);
-    for (std::size_t r = 0; r < k_; ++r) {
-      const byte_t coef = invsub.at(idx, r);
-      if (coef == 0) continue;
-      mul_acc(make_full_table(coef), shards[survivors[r]], shards[idx]);
-    }
+  // Lost data shards: data[idx] = sum_r invsub[idx][r] * shard[survivors[r]].
+  // All lost data rows are rebuilt in ONE fused pass over the k survivors
+  // (multi-dest ec dot product) instead of per-coefficient buffer sweeps.
+  std::vector<std::size_t> lost_data;
+  for (std::size_t idx : lost)
+    if (idx < k_) lost_data.push_back(idx);
+  if (!lost_data.empty()) {
+    std::vector<byte_t> coeffs(lost_data.size() * k_);
+    for (std::size_t r = 0; r < lost_data.size(); ++r)
+      for (std::size_t c = 0; c < k_; ++c) coeffs[r * k_ + c] = invsub.at(lost_data[r], c);
+    const ec::EncodePlan plan(lost_data.size(), k_, coeffs);
+    std::vector<const byte_t*> src(k_);
+    for (std::size_t c = 0; c < k_; ++c) src[c] = shards[survivors[c]].data();
+    std::vector<byte_t*> dst(lost_data.size());
+    for (std::size_t r = 0; r < lost_data.size(); ++r) dst[r] = shards[lost_data[r]].data();
+    ec::encode(plan, src.data(), dst.data(), len);
   }
-  // Lost parity shards: re-encode from the (now complete) data shards.
-  for (std::size_t idx : lost) {
-    if (idx < k_) continue;
-    const std::size_t r = idx - k_;
-    mul_assign(encode_tables_[r * k_], shards[0], shards[idx]);
-    for (std::size_t c = 1; c < k_; ++c) mul_acc(encode_tables_[r * k_ + c], shards[c], shards[idx]);
+
+  // Lost parity shards: re-encode their rows from the (now complete) data
+  // shards, again as one fused pass.
+  std::vector<std::size_t> lost_parity;
+  for (std::size_t idx : lost)
+    if (idx >= k_) lost_parity.push_back(idx - k_);
+  if (!lost_parity.empty()) {
+    std::vector<byte_t> coeffs(lost_parity.size() * k_);
+    for (std::size_t r = 0; r < lost_parity.size(); ++r)
+      for (std::size_t c = 0; c < k_; ++c) coeffs[r * k_ + c] = parity_rows_.at(lost_parity[r], c);
+    const ec::EncodePlan plan(lost_parity.size(), k_, coeffs);
+    std::vector<const byte_t*> src(k_);
+    for (std::size_t c = 0; c < k_; ++c) src[c] = shards[c].data();
+    std::vector<byte_t*> dst(lost_parity.size());
+    for (std::size_t r = 0; r < lost_parity.size(); ++r) dst[r] = shards[k_ + lost_parity[r]].data();
+    ec::encode(plan, src.data(), dst.data(), len);
   }
 }
 

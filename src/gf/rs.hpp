@@ -4,12 +4,19 @@
 // any <= p lost shards from any k survivors (MDS, via a Cauchy generator).
 // This is the encoder measured in the Figure 11 throughput study and the
 // arithmetic backing every chunk-level repair walk-through in the examples.
+//
+// The data plane is the SIMD-dispatched src/ec/ subsystem: encode and
+// reconstruct both run as one fused multi-source x multi-parity pass over
+// the shards (ec::encode over an ec::EncodePlan), vectorized per the host
+// CPU (scalar / SSSE3 / AVX2 — see ec/backend.hpp for the dispatch rules).
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
+#include "ec/codec.hpp"
+#include "ec/stream.hpp"
 #include "gf/matrix.hpp"
 
 namespace mlec::gf {
@@ -31,6 +38,13 @@ class RsCode {
   void encode(const std::vector<std::vector<byte_t>>& data,
               std::vector<std::vector<byte_t>>& parity) const;
 
+  /// Parallel encode for large shards: slices the buffers across `pool` via
+  /// the ec streaming codec. Bit-identical to encode(); returns false when
+  /// `stop` truncated the work (parity contents then undefined).
+  bool encode_parallel(std::span<const std::span<const byte_t>> data,
+                       std::span<const std::span<byte_t>> parity, ThreadPool& pool,
+                       StopToken stop = {}) const;
+
   /// Rebuild the shards listed in `lost` (global indices: 0..k-1 data,
   /// k..k+p-1 parity) from any k available shards.
   ///
@@ -43,11 +57,15 @@ class RsCode {
   /// The p x k parity-generation rows (Cauchy).
   const Matrix& parity_rows() const { return parity_rows_; }
 
+  /// The compiled p x k encoding plan (ec data plane), e.g. for streaming
+  /// callers that drive ec::encode_parallel themselves.
+  const ec::EncodePlan& encode_plan() const { return encode_plan_; }
+
  private:
   std::size_t k_;
   std::size_t p_;
   Matrix parity_rows_;
-  std::vector<FullMulTable> encode_tables_;  // p*k tables, row-major
+  ec::EncodePlan encode_plan_;  // p x k parity rows as nibble tables
 };
 
 }  // namespace mlec::gf

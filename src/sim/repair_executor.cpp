@@ -4,6 +4,7 @@
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mlec {
 
@@ -19,9 +20,13 @@ MaterializedSystem::MaterializedSystem(const StripeMap& map, std::size_t chunk_b
   const std::size_t kn = code.network.k, pn = code.network.p;
   const std::size_t kl = code.local.k, pl = code.local.p;
 
-  Rng rng(seed);
+  // Stripes are independent: materialize them across the pool, each from
+  // its own RNG substream (deterministic for a given seed regardless of
+  // worker count). The encodes inside run on the SIMD ec data plane via
+  // RsCode.
   contents_.resize(map.stripes().size());
-  for (std::size_t s = 0; s < map.stripes().size(); ++s) {
+  global_pool().parallel_for(0, map.stripes().size(), [&](std::size_t s) {
+    Rng rng = Rng::for_substream(seed, s);
     auto& stripe = contents_[s];
     stripe.assign(kn + pn, std::vector<std::vector<gf::byte_t>>(
                                kl + pl, std::vector<gf::byte_t>(chunk_bytes_, 0)));
@@ -55,7 +60,7 @@ MaterializedSystem::MaterializedSystem(const StripeMap& map, std::size_t chunk_b
       local_code_.encode(std::span<const std::span<const gf::byte_t>>(data),
                          std::span<const std::span<gf::byte_t>>(parity));
     }
-  }
+  });
   pristine_ = contents_;
 }
 

@@ -78,6 +78,17 @@ TEST(Gf256, PowMatchesRepeatedMul) {
   }
 }
 
+TEST(Gf256, PowLargeExponentNoOverflow) {
+  // log[a] * n used to overflow 32 bits for n > ~16.9M; a^n = a^(n mod 255)
+  // for nonzero a (multiplicative group order 255).
+  for (unsigned a : {2u, 3u, 0x57u, 0xffu})
+    for (unsigned n : {255u, 256u, 16'900'000u, 100'000'000u, 4'000'000'000u})
+      EXPECT_EQ(pow(static_cast<byte_t>(a), n), pow(static_cast<byte_t>(a), n % 255))
+          << "a=" << a << " n=" << n;
+  EXPECT_EQ(pow(0, 123'456'789u), 0);
+  EXPECT_EQ(pow(2, 255u * 10'000'000u), 1);
+}
+
 TEST(Gf256, GeneratorHasFullOrder) {
   // kGenerator must generate all 255 nonzero elements.
   std::vector<bool> seen(256, false);

@@ -12,6 +12,7 @@
 //   simulate N   fleet Monte Carlo over N mission-years
 //   advise       apply the paper's §6.1 takeaways to a site profile
 //   spec         print an annotated deployment-file template
+//   ec           show the erasure-coding data-plane backends (SIMD dispatch)
 //
 // Overrides (apply after --config): --code "(10+2)/(17+3)", --scheme C/D,
 // --repair R_MIN, --afr 0.01, --detection-min 30, --racks N,
@@ -32,6 +33,7 @@
 #include "core/advisor.hpp"
 #include "core/analyzer.hpp"
 #include "core/spec_io.hpp"
+#include "ec/backend.hpp"
 #include "placement/notation.hpp"
 #include "runtime/fleet_campaign.hpp"
 #include "util/stop_token.hpp"
@@ -44,7 +46,7 @@ using namespace mlec;
 [[noreturn]] void usage(const char* message = nullptr) {
   if (message != nullptr) std::cerr << "mlecctl: " << message << "\n\n";
   std::cerr <<
-      "usage: mlecctl <analyze|durability|burst|traffic|repair|tradeoff|simulate|advise|spec>\n"
+      "usage: mlecctl <analyze|durability|burst|traffic|repair|tradeoff|simulate|advise|spec|ec>\n"
       "               [--config FILE] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
       "               [--repair R_MIN] [--afr F] [--detection-min M] [--racks N]\n"
       "               [--enclosures-per-rack N] [--disks-per-enclosure N] [--disk-tb N]\n"
@@ -281,11 +283,27 @@ int cmd_advise(const Options& opt) {
   return 0;
 }
 
+int cmd_ec() {
+  std::cout << "erasure-coding data plane (src/ec/):\n"
+            << "  active backend:   " << ec::to_string(ec::active_backend()) << '\n'
+            << "  detected best:    " << ec::to_string(ec::detect_backend()) << '\n'
+            << "  supported:        ";
+  bool first = true;
+  for (auto b : {ec::Backend::kScalar, ec::Backend::kSsse3, ec::Backend::kAvx2}) {
+    if (!ec::backend_supported(b)) continue;
+    std::cout << (first ? "" : ", ") << ec::to_string(b);
+    first = false;
+  }
+  std::cout << "\n  force via env:    MLEC_EC_BACKEND=scalar|ssse3|avx2|auto\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string command = argv[1];
+  if (command == "ec") return cmd_ec();
   try {
     const Options opt = parse_options(argc, argv);
     if (command == "analyze") return cmd_analyze(opt);
