@@ -1,31 +1,38 @@
 // Figure 10: one-year durability (nines) of every MLEC scheme under every
-// repair method, via the two-stage splitting/Markov pipeline.
+// repair method, via the dp estimator (the closed-form splitting pipeline)
+// driven by the shared Scenario.
 #include <iostream>
 
-#include "analysis/durability.hpp"
+#include "core/estimator.hpp"
 #include "util/table.hpp"
 
 int main() {
   using namespace mlec;
-  const DurabilityEnv env;
-  const auto code = MlecCode::paper_default();
+  Scenario sc = Scenario::paper_default();
+  const Estimator& dp = *find_estimator("dp");
 
-  std::cout << "# paper: Figure 10 — durability in nines, " << code.notation() << " MLEC\n\n";
+  std::cout << "# paper: Figure 10 — durability in nines, " << sc.system.code.notation()
+            << " MLEC\n\n";
   Table t({"scheme", "R_ALL", "R_FCO", "R_HYB", "R_MIN"});
   for (auto scheme : kAllMlecSchemes) {
+    sc.system.scheme = scheme;
     std::vector<std::string> row{to_string(scheme)};
-    for (auto method : kAllRepairMethods)
-      row.push_back(Table::num(mlec_durability(env, code, scheme, method).nines, 1));
+    for (auto method : kAllRepairMethods) {
+      sc.system.repair = method;
+      row.push_back(Table::num(dp.estimate(sc).nines, 1));
+    }
     t.add_row(std::move(row));
   }
   std::cout << t.to_ascii() << '\n';
 
   std::cout << "# stage-2 internals for D/D (the paper's §4.2.3 F#1 coverage effect):\n";
   Table internals({"method", "exposure_h", "coverage", "nines"});
+  sc.system.scheme = MlecScheme::kDD;
   for (auto method : kAllRepairMethods) {
-    const auto r = mlec_durability(env, code, MlecScheme::kDD, method);
-    internals.add_row({to_string(method), Table::num(r.exposure_hours, 2),
-                       Table::num(r.coverage, 3), Table::num(r.nines, 1)});
+    sc.system.repair = method;
+    const Estimate e = dp.estimate(sc);
+    internals.add_row({to_string(method), Table::num(e.exposure_hours, 2),
+                       Table::num(e.coverage, 3), Table::num(e.nines, 1)});
   }
   std::cout << internals.to_ascii() << '\n';
   std::cout << "# paper findings: F#1 R_FCO +0.9..6.6 nines; F#2 R_HYB +0.6..4.1;\n"

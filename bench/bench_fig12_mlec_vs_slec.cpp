@@ -1,9 +1,10 @@
 // Figure 12: durability vs single-core encoding throughput, MLEC vs SLEC,
 // every point at ~30% parity-space overhead. MLEC uses R_MIN (the paper's
-// most optimized repair).
+// most optimized repair). The environment comes from the shared Scenario.
 #include <iostream>
 
 #include "analysis/tradeoff.hpp"
+#include "core/scenario.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -18,7 +19,8 @@ void print_points(const std::string& title, const std::vector<mlec::TradeoffPoin
 
 int main() {
   using namespace mlec;
-  const DurabilityEnv env;
+  const Scenario sc = Scenario::paper_default();
+  const DurabilityEnv env = sc.durability_env();
   const OverheadBand band{};
   const bool measure = !fast_mode();
 

@@ -1,17 +1,16 @@
 // Fleet-scale simulation cross-validation (paper §3: the strategies verify
 // each other, here at the full 57,600-disk deployment).
 //
-//   1. Independent failures at elevated AFR: the count-level fleet
-//      simulator's catastrophic-pool rate and PDL vs the splitting/Markov
-//      pipeline under identical assumptions.
+//   1. Independent failures at elevated AFR: the sim estimator (count-level
+//      fleet Monte Carlo) vs the dp estimator (splitting/Markov pipeline)
+//      on one shared Scenario.
 //   2. A paper-style failure burst (60 failures over 3 racks) injected into
 //      the full-scale fleet vs the conditional-MC burst engine's cell.
 #include <iostream>
 
 #include "analysis/burst_pdl.hpp"
-#include "analysis/durability.hpp"
 #include "analysis/fleet_sim.hpp"
-#include "placement/pools.hpp"
+#include "core/estimator.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -23,43 +22,45 @@ int main() {
             << " disks\n\n";
 
   {
-    FleetSimConfig cfg;
-    cfg.scheme = MlecScheme::kCD;
-    cfg.method = RepairMethod::kRepairFailedOnly;
-    cfg.failures.afr = 0.35;  // hot enough to observe catastrophes directly
-    const auto sim = simulate_fleet(cfg, missions, 11, &global_pool());
+    Scenario sc = Scenario::paper_default();
+    sc.system.scheme = MlecScheme::kCD;
+    sc.system.repair = RepairMethod::kRepairFailedOnly;
+    sc.system.afr = 0.35;  // hot enough to observe catastrophes directly
+    sc.missions = missions;
+    sc.seed = 11;
 
-    DurabilityEnv env;
-    env.afr = cfg.failures.afr;
-    const auto pipeline = mlec_durability(env, cfg.code, cfg.scheme, cfg.method);
+    EstimateOptions options;
+    options.pool = &global_pool();
+    const Estimate sim = find_estimator("sim")->estimate(sc, options);
+    const Estimate dp = find_estimator("dp")->estimate(sc);
 
-    Table t({"quantity", "fleet_sim", "pipeline"});
-    t.add_row({"catastrophic pools / system-year",
-               Table::num(sim.catastrophes_per_system_year(cfg.mission_hours), 3),
-               Table::num(pipeline.system_cat_rate_per_year, 3)});
-    t.add_row({"PDL over one year", Table::num(sim.pdl(), 3), Table::num(pipeline.pdl, 3)});
-    t.add_row({"mean exposure (h)", Table::num(sim.catastrophe_exposure_hours.mean(), 2),
-               Table::num(pipeline.exposure_hours, 2)});
+    Table t({"quantity", "sim_estimator", "dp_estimator"});
+    t.add_row({"catastrophic pools / system-year", Table::num(sim.cat_rate_per_year, 3),
+               Table::num(dp.cat_rate_per_year, 3)});
+    t.add_row({"PDL over one year", Table::num(sim.pdl, 3), Table::num(dp.pdl, 3)});
+    t.add_row({"mean exposure (h)", Table::num(sim.exposure_hours, 2),
+               Table::num(dp.exposure_hours, 2)});
     std::cout << t.to_ascii("(1) C/D, R_FCO, AFR 35%: " + std::to_string(missions) +
                             " simulated mission-years")
               << '\n';
   }
 
   {
-    FleetSimConfig cfg;
-    cfg.scheme = MlecScheme::kDD;
-    cfg.method = RepairMethod::kRepairMinimum;
-    cfg.failures.afr = 1e-9;  // burst only
-    cfg.mission_hours = 48.0;
+    Scenario sc = Scenario::paper_default();
+    sc.system.scheme = MlecScheme::kDD;
+    sc.system.repair = RepairMethod::kRepairMinimum;
+    sc.system.afr = 1e-9;  // burst only
+    sc.system.mission_hours = 48.0;
+    sc.burst_trials = fast_mode() ? 300 : 3000;
+    sc.seed = 13;
 
-    BurstPdlConfig engine_cfg;
-    engine_cfg.trials_per_cell = fast_mode() ? 300 : 3000;
-    const BurstPdlEngine engine(engine_cfg);
+    FleetSimConfig cfg = sc.fleet_config();
+    const BurstPdlEngine engine(sc.burst_config());
     const std::size_t racks = 3, failures = 60;
-    const double expected = engine.mlec_cell(cfg.code, cfg.scheme, racks, failures);
+    const double expected = engine.mlec_cell(sc.system.code, sc.system.scheme, racks, failures);
 
     const Topology topo(cfg.dc);
-    Rng rng(13);
+    Rng rng(sc.seed);
     std::uint64_t losses = 0;
     const std::uint64_t burst_missions = fast_mode() ? 200 : 2000;
     for (std::uint64_t m = 0; m < burst_missions; ++m) {

@@ -1,14 +1,14 @@
 // Methodology cross-validation (paper §3, §6.2): the paper stresses that
 // its strategies verify each other. This harness compares, at regimes hot
 // enough for raw Monte Carlo:
-//   1. the stage-1 clustered-pool Markov closed form vs the event-driven
-//      local-pool simulator;
+//   1. the split estimator (stage-1 pool simulation) vs the markov and dp
+//      estimators on one shared Scenario of clustered (4+2) pools;
 //   2. the two-level (pool-as-a-disk) Markov model vs the chunk-exact
 //      full-system simulator under R_ALL.
 #include <iostream>
 
+#include "core/estimator.hpp"
 #include "math/markov.hpp"
-#include "sim/local_pool_sim.hpp"
 #include "sim/system_sim.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -20,27 +20,33 @@ int main() {
   std::cout << "# paper: §3 'Mathematical model' — simulation vs Markov cross-checks\n\n";
 
   {
-    Table t({"AFR_%", "sim_cat_per_pool_yr", "markov_cat_per_pool_yr", "events"});
-    for (double afr : {0.3, 0.6, 0.9}) {
-      LocalPoolSimConfig cfg;
-      cfg.code = {4, 2};
-      cfg.placement = Placement::kClustered;
-      cfg.pool_disks = 6;
-      cfg.afr = afr;
-      cfg.disk_capacity_tb = 60.0;
-      Rng rng(static_cast<std::uint64_t>(afr * 1000));
-      const auto sim = simulate_local_pool(cfg, 3000 * scale, rng);
+    // Clustered (4+2) pools expressed as MLEC with a trivial (1+0) network
+    // code, so the full estimator stack applies. 60 TB disks keep rebuilds
+    // slow enough for catastrophes to be observable at these AFRs.
+    Scenario sc;
+    sc.system.dc.racks = 3;
+    sc.system.dc.enclosures_per_rack = 1;
+    sc.system.dc.disks_per_enclosure = 6;
+    sc.system.dc.disk_capacity_tb = 60.0;
+    sc.system.code = {{1, 0}, {4, 2}};
+    sc.system.scheme = MlecScheme::kCC;
+    sc.system.repair = RepairMethod::kRepairAll;
+    sc.split_missions = 3000 * scale;
+    const Estimator& split = *find_estimator("split");
+    const Estimator& markov = *find_estimator("markov");
 
-      const double lambda = afr / units::kHoursPerYear;
-      const double repair_hours =
-          cfg.detection_hours +
-          units::hours_to_move(cfg.disk_capacity_tb, cfg.bandwidth.effective_disk_mbps());
-      const double markov =
-          units::kHoursPerYear / erasure_set_mttdl(4, 2, lambda, 1.0 / repair_hours, true);
-      t.add_row({Table::num(100 * afr, 0), Table::num(sim.catastrophe_rate_per_year(), 3),
-                 Table::num(markov, 3), std::to_string(sim.catastrophes)});
+    Table t({"AFR_%", "split_cat_per_sys_yr", "markov_cat_per_sys_yr", "missions"});
+    for (double afr : {0.3, 0.6, 0.9}) {
+      sc.system.afr = afr;
+      sc.seed = static_cast<std::uint64_t>(afr * 1000);
+      const Estimate s = split.estimate(sc);
+      const Estimate m = markov.estimate(sc);
+      t.add_row({Table::num(100 * afr, 0), Table::num(s.cat_rate_per_year, 3),
+                 Table::num(m.cat_rate_per_year, 3), std::to_string(s.samples)});
     }
-    std::cout << t.to_ascii("(1) clustered (4+2) pool: catastrophic-failure rate") << '\n';
+    std::cout << t.to_ascii("(1) clustered (4+2) pools: catastrophic-failure rate, "
+                            "split (simulated stage 1) vs markov")
+              << '\n';
   }
 
   {

@@ -1,0 +1,76 @@
+// Cross-method validation harness: run every applicable estimation
+// strategy on one Scenario and compare the answers in nines space.
+//
+// The paper validates its closed forms against simulation (§3 "our Markov
+// models and simulation results match"); this harness makes that check a
+// first-class, repeatable artifact. Each method contributes a 95% interval
+// in nines (analytic methods a point); two methods agree when their
+// intervals are within `nines_tolerance` of overlapping. Inapplicable
+// methods (applicability() non-empty) are reported but excluded from the
+// comparison, as are methods that throw — a crash in one engine must not
+// mask a divergence between the others.
+//
+// Lives above mlec_core (it drives the estimator registry), so it is built
+// as its own target (mlec_crosscheck) even though it sits in analysis/.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/scenario.hpp"
+
+namespace mlec {
+
+struct CrosscheckOptions {
+  /// Method names to run; empty = every registered estimator. Unknown
+  /// names throw PreconditionError.
+  std::vector<std::string> methods;
+  /// Two methods agree when their nines intervals are at most this far
+  /// apart (0 = intervals must overlap exactly).
+  double nines_tolerance = 1.0;
+  /// Execution knobs forwarded to every estimator.
+  EstimateOptions estimate;
+};
+
+/// One method's row in the comparison.
+struct CrosscheckRow {
+  std::string method;
+  bool applicable = false;
+  std::string skip_reason;  ///< applicability() text when !applicable
+  bool failed = false;
+  std::string error;  ///< what() when the estimator threw
+  Estimate estimate;  ///< valid when applicable && !failed
+
+  bool ran() const { return applicable && !failed; }
+};
+
+/// A method pair whose nines intervals sit further apart than the
+/// tolerance.
+struct Divergence {
+  std::string method_a;
+  std::string method_b;
+  double gap_nines = 0.0;  ///< distance between the intervals (may be +inf)
+};
+
+struct CrosscheckReport {
+  Scenario scenario;
+  double nines_tolerance = 1.0;
+  std::vector<CrosscheckRow> rows;
+  std::vector<Divergence> divergences;
+
+  bool agreed() const { return divergences.empty(); }
+  std::size_t methods_run() const;
+
+  /// Human-readable comparison table (plus divergence lines, if any).
+  std::string table() const;
+  /// One JSON document: scenario identity, per-method estimates,
+  /// divergences. Non-finite numbers are emitted as null.
+  std::string json() const;
+};
+
+/// Run the selected estimators on the scenario and compare pairwise.
+CrosscheckReport run_crosscheck(const Scenario& scenario, const CrosscheckOptions& options = {});
+
+}  // namespace mlec

@@ -201,6 +201,62 @@ LocalPoolStats local_pool_stats_from_sim(const LocalPoolSimResult& sim) {
   return stats;
 }
 
+double stage2_exposure_hours(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
+                             RepairMethod method, double lost_stripe_fraction) {
+  const PoolLayout layout(env.dc, code, scheme);
+  const RepairTimeModel rtm(env.dc, env.bw, code);
+  // The network-rebuilt volume depends on the repair method and, for the
+  // chunk-aware methods, on the lost-stripe fraction at catastrophe
+  // (long-term failures arrive staggered, so partial rebuilds shrink the
+  // lost set — paper §4.2.3 F#2).
+  const std::size_t pl1 = code.local.p + 1;
+  const double failed_tb = static_cast<double>(pl1) * env.dc.disk_capacity_tb;
+  // Chunk-level fraction of a failed disk's data sitting in lost stripes.
+  const double chunk_frac =
+      std::min(1.0, lost_stripe_fraction * static_cast<double>(layout.local_pool_disks()) /
+                        static_cast<double>(code.local_width()));
+  double network_tb = 0.0;
+  switch (method) {
+    case RepairMethod::kRepairAll:
+      network_tb = layout.local_pool_capacity_tb();
+      break;
+    case RepairMethod::kRepairFailedOnly:
+      network_tb = failed_tb;
+      break;
+    case RepairMethod::kRepairHybrid:
+      network_tb = failed_tb * chunk_frac;
+      break;
+    case RepairMethod::kRepairMinimum:
+      network_tb = failed_tb * chunk_frac / static_cast<double>(pl1);
+      break;
+  }
+  const BandwidthModel bwm(env.bw);
+  return env.detection_hours +
+         bwm.repair_hours(network_tb, rtm.network_stage_flow(scheme, method));
+}
+
+double stage2_coverage(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
+                       RepairMethod method, double lost_stripe_fraction) {
+  if (method == RepairMethod::kRepairAll) return 1.0;
+  const PoolLayout layout(env.dc, code, scheme);
+  const std::size_t pn = code.network.p;
+  const double frac = std::max(1e-12, lost_stripe_fraction);
+  const double joint = std::pow(frac, static_cast<double>(pn + 1));
+  if (network_placement(scheme) == Placement::kClustered)
+    return saturating_loss(joint, layout.network_stripes_per_pool());
+  // P(one network stripe touches the p_n+1 specific pools): racks first,
+  // then the pool within each rack.
+  const std::size_t R = env.dc.racks;
+  const std::size_t W = code.network_width();
+  const double rack_cover =
+      std::exp(log_choose(static_cast<std::int64_t>(R - (pn + 1)),
+                          static_cast<std::int64_t>(W - (pn + 1))) -
+               log_choose(static_cast<std::int64_t>(R), static_cast<std::int64_t>(W)));
+  const double pool_pick = std::pow(1.0 / static_cast<double>(layout.local_pools_per_rack()),
+                                    static_cast<double>(pn + 1));
+  return saturating_loss(rack_cover * pool_pick * joint, layout.total_network_stripes());
+}
+
 MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& code,
                                      MlecScheme scheme, RepairMethod method,
                                      const std::optional<LocalPoolStats>& stage1) {
@@ -213,39 +269,9 @@ MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& c
   r.system_cat_rate_per_year =
       r.stage1.cat_rate_per_pool_year * static_cast<double>(layout.total_local_pools());
 
-  const RepairTimeModel rtm(env.dc, env.bw, code);
-  // Exposure: how long the pool stays catastrophic. The network-rebuilt
-  // volume depends on the repair method and, for the chunk-aware methods, on
-  // the lost-stripe fraction at catastrophe (long-term failures arrive
-  // staggered, so partial rebuilds shrink the lost set — paper §4.2.3 F#2).
-  {
-    const std::size_t pl1 = code.local.p + 1;
-    const double failed_tb = static_cast<double>(pl1) * env.dc.disk_capacity_tb;
-    // Chunk-level fraction of a failed disk's data sitting in lost stripes.
-    const double chunk_frac =
-        std::min(1.0, r.stage1.lost_stripe_fraction *
-                          static_cast<double>(layout.local_pool_disks()) /
-                          static_cast<double>(code.local_width()));
-    double network_tb = 0.0;
-    switch (method) {
-      case RepairMethod::kRepairAll:
-        network_tb = layout.local_pool_capacity_tb();
-        break;
-      case RepairMethod::kRepairFailedOnly:
-        network_tb = failed_tb;
-        break;
-      case RepairMethod::kRepairHybrid:
-        network_tb = failed_tb * chunk_frac;
-        break;
-      case RepairMethod::kRepairMinimum:
-        network_tb = failed_tb * chunk_frac / static_cast<double>(pl1);
-        break;
-    }
-    const BandwidthModel bwm(env.bw);
-    r.exposure_hours =
-        env.detection_hours +
-        bwm.repair_hours(network_tb, rtm.network_stage_flow(scheme, method));
-  }
+  // Exposure: how long the pool stays catastrophic.
+  r.exposure_hours =
+      stage2_exposure_hours(env, code, scheme, method, r.stage1.lost_stripe_fraction);
 
   // Stage 2: overlap of p_n+1 catastrophic pools.
   const std::size_t pn = code.network.p;
@@ -270,28 +296,7 @@ MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& c
   // Coverage: do p_n+1 overlapping catastrophic pools actually share a lost
   // network stripe? R_ALL cannot tell and must declare loss (paper §4.2.3
   // F#1); the chunk-aware methods thin the loss rate.
-  if (method == RepairMethod::kRepairAll) {
-    r.coverage = 1.0;
-  } else {
-    const double frac = std::max(1e-12, r.stage1.lost_stripe_fraction);
-    const double joint = std::pow(frac, static_cast<double>(pn + 1));
-    if (network_placement(scheme) == Placement::kClustered) {
-      r.coverage = saturating_loss(joint, layout.network_stripes_per_pool());
-    } else {
-      // P(one network stripe touches the p_n+1 specific pools): racks first,
-      // then the pool within each rack.
-      const std::size_t R = env.dc.racks;
-      const std::size_t W = code.network_width();
-      const double rack_cover =
-          std::exp(log_choose(static_cast<std::int64_t>(R - (pn + 1)),
-                              static_cast<std::int64_t>(W - (pn + 1))) -
-                   log_choose(static_cast<std::int64_t>(R), static_cast<std::int64_t>(W)));
-      const double pool_pick = std::pow(1.0 / static_cast<double>(layout.local_pools_per_rack()),
-                                        static_cast<double>(pn + 1));
-      r.coverage = saturating_loss(rack_cover * pool_pick * joint,
-                                   layout.total_network_stripes());
-    }
-  }
+  r.coverage = stage2_coverage(env, code, scheme, method, r.stage1.lost_stripe_fraction);
 
   r.pdl = -std::expm1(-r.coverage * env.mission_hours / mttdl_sys_hours);
   r.nines = durability_nines(r.pdl);

@@ -73,6 +73,19 @@ MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& c
                                      MlecScheme scheme, RepairMethod method,
                                      const std::optional<LocalPoolStats>& stage1 = std::nullopt);
 
+/// Stage-2 building blocks, exposed so other closed-form models (the Markov
+/// pool-as-a-disk estimator) share the exact same repair-method physics.
+///
+/// How long one catastrophic pool stays exposed: detection plus rebuilding
+/// the method-dependent network volume over the network-stage fabric.
+double stage2_exposure_hours(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
+                             RepairMethod method, double lost_stripe_fraction);
+/// P(p_n+1 overlapping catastrophic pools actually share a lost network
+/// stripe): 1 for R_ALL, the stripe-coverage thinning for chunk-aware
+/// methods (paper §4.2.3 F#1).
+double stage2_coverage(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
+                       RepairMethod method, double lost_stripe_fraction);
+
 struct SimpleDurability {
   double pdl = 0;
   double nines = 0;

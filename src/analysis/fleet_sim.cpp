@@ -10,6 +10,7 @@
 #include "analysis/repair_time.hpp"
 #include "math/combin.hpp"
 #include "placement/pools.hpp"
+#include "sim/pool_state.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -37,18 +38,10 @@ double FleetSimResult::catastrophes_per_system_year(double mission_hours) const 
 
 namespace {
 
-constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-
-struct ActiveFailure {
-  double start;
-  double detect_at;
-  double remaining_tb;
-};
-
-struct PoolState {
-  std::vector<ActiveFailure> failures;
-  double clear_at = kNegInf;  ///< declustered critical-window end
-  double last_advance = 0.0;
+/// One fleet pool: the shared state machine plus a generation counter for
+/// lazy invalidation of queued events.
+struct PoolEntry {
+  LocalPoolState state;
   std::uint64_t generation = 0;
 };
 
@@ -72,12 +65,11 @@ struct RunContext {
   std::size_t pools_per_rack;
   double lambda_hour;       // per disk
   double fleet_rate;        // per hour, whole fleet
-  double disk_rate_tb_h;    // clustered per-disk rebuild rate
   double net_bw_tb_h;       // network-stage bandwidth for cfg.method
   double stripes_per_network_pool;
   double total_network_stripes;
   double rack_cover_times_pool_pick;  // D/* coverage geometry factor
-  std::vector<double> dp_frac_tab;    // declustered lost-stripe fraction by f
+  PoolRepairModel model;              // shared per-pool rebuild physics
 
   explicit RunContext(const FleetSimConfig& config)
       : cfg(config), layout(config.dc, config.code, config.scheme) {
@@ -94,7 +86,16 @@ struct RunContext {
     pools_per_rack = layout.local_pools_per_rack();
     lambda_hour = cfg.failures.afr / units::kHoursPerYear;
     fleet_rate = lambda_hour * static_cast<double>(cfg.dc.total_disks());
-    disk_rate_tb_h = cfg.bandwidth.effective_disk_mbps() * units::kSecondsPerHour * 1e6 / 1e12;
+
+    model.code = cfg.code.local;
+    model.pool_disks = pool_disks;
+    model.clustered = local_clustered;
+    model.priority_repair = cfg.priority_repair;
+    model.detection_hours = cfg.detection_hours;
+    model.disk_capacity_tb = cfg.dc.disk_capacity_tb;
+    model.chunk_kb = cfg.dc.chunk_kb;
+    model.disk_eff_mbps = cfg.bandwidth.effective_disk_mbps();
+    model.finalize();
 
     const RepairTimeModel rtm(cfg.dc, cfg.bandwidth, cfg.code);
     const BandwidthModel bwm(cfg.bandwidth);
@@ -115,14 +116,6 @@ struct RunContext {
     } else {
       rack_cover_times_pool_pick = 0.0;
     }
-
-    const std::size_t max_f = std::min<std::size_t>(pool_disks, 64);
-    dp_frac_tab.assign(max_f + 1, 0.0);
-    for (std::size_t f = 0; f <= max_f; ++f)
-      dp_frac_tab[f] = hypergeom_tail_geq(static_cast<std::int64_t>(pool_disks),
-                                          static_cast<std::int64_t>(f),
-                                          static_cast<std::int64_t>(cfg.code.local_width()),
-                                          static_cast<std::int64_t>(cfg.code.local.p + 1));
   }
 
   std::uint32_t pool_of_disk(DiskId disk) const {
@@ -138,23 +131,6 @@ struct RunContext {
     if (!network_clustered) return 0;
     const std::size_t group = rack_of_pool(pool) / cfg.code.network_width();
     return static_cast<std::uint32_t>(group * pools_per_rack + pool % pools_per_rack);
-  }
-
-  /// Expected volume (TB) of class-p_l demotions inside one pool with f
-  /// concurrent failures (the priority-reconstruction window).
-  double critical_volume_tb(std::size_t f) const {
-    const double stripes = static_cast<double>(pool_disks) * cfg.dc.chunks_per_disk() /
-                           static_cast<double>(cfg.code.local_width());
-    const double p_crit = hypergeom_pmf(static_cast<std::int64_t>(pool_disks),
-                                        static_cast<std::int64_t>(f),
-                                        static_cast<std::int64_t>(cfg.code.local_width()),
-                                        static_cast<std::int64_t>(cfg.code.local.p));
-    return stripes * p_crit * cfg.dc.chunk_kb * 1e3 / 1e12;
-  }
-
-  double dp_bw_tb_h(std::size_t f) const {
-    return static_cast<double>(pool_disks - f) * cfg.bandwidth.effective_disk_mbps() /
-           static_cast<double>(cfg.code.local.k + 1) * units::kSecondsPerHour * 1e6 / 1e12;
   }
 
   /// Network-rebuilt volume for one catastrophe, from the realized state.
@@ -247,8 +223,7 @@ class MissionRunner {
         ++active->failed_disks;
         const double prev_frac = active->lost_fraction;
         if (!ctx_.local_clustered)
-          active->lost_fraction = ctx_.dp_frac_tab[std::min(active->failed_disks,
-                                                            ctx_.dp_frac_tab.size() - 1)];
+          active->lost_fraction = ctx_.model.declustered_lost_fraction(active->failed_disks);
         // Only the *incremental* coverage gets a fresh draw: overlaps were
         // already tested at the old fraction when they formed.
         if (check_data_loss(*active, t, prev_frac)) {
@@ -263,44 +238,20 @@ class MissionRunner {
         continue;
       }
       advance_pool(pool, t);  // may retire the pool's map entry entirely
-      auto& state = pools_[pool];
-      if (state.failures.empty()) state.last_advance = t;  // fresh or retired entry
-      state.failures.push_back({t, t + ctx_.cfg.detection_hours, ctx_.cfg.dc.disk_capacity_tb});
+      auto& state = pools_[pool].state;
+      state.add_failure(t, ctx_.model);
       const std::size_t f_after = state.failures.size();
-      const std::size_t pl = ctx_.cfg.code.local.p;
 
-      bool catastrophe = false;
-      if (f_after >= pl + 1) {
-        if (ctx_.local_clustered || !ctx_.cfg.priority_repair) {
-          catastrophe = true;
-        } else {
-          catastrophe = t < state.clear_at;
-        }
-      }
-
-      if (!catastrophe) {
-        if (!ctx_.local_clustered && ctx_.cfg.priority_repair && f_after >= pl) {
-          const double window = ctx_.cfg.detection_hours +
-                                ctx_.critical_volume_tb(f_after) / ctx_.dp_bw_tb_h(f_after);
-          state.clear_at = std::max(state.clear_at, t + window);
-        }
+      if (!state.catastrophic(t, ctx_.model)) {
+        state.extend_critical_window(t, ctx_.model);
         schedule_pool(pool, t);
         continue;
       }
 
       // Catastrophic local pool: compute realized state, enter exposure.
       ++result.catastrophic_pool_events;
-      double unrebuilt = 0.0;
-      double max_progress = 0.0;
-      for (const auto& fail : state.failures) {
-        unrebuilt += fail.remaining_tb;
-        max_progress = std::max(
-            max_progress, 1.0 - fail.remaining_tb / ctx_.cfg.dc.disk_capacity_tb);
-      }
-      const double frac =
-          ctx_.local_clustered
-              ? 1.0 - max_progress
-              : ctx_.dp_frac_tab[std::min(f_after, ctx_.dp_frac_tab.size() - 1)];
+      const double unrebuilt = state.unrebuilt_tb();
+      const double frac = state.lost_stripe_fraction(ctx_.model);
       const double volume = ctx_.network_volume_tb(unrebuilt, f_after, frac);
       const double exposure = ctx_.cfg.detection_hours + volume / ctx_.net_bw_tb_h;
       result.catastrophe_exposure_hours.add(exposure);
@@ -330,60 +281,22 @@ class MissionRunner {
     bool operator>(const PoolEvent& other) const { return time > other.time; }
   };
 
-  /// Progress repairs in [state.last_advance, t] and drop completions.
+  /// Progress repairs in [state.last_advance, t] (shared state machine) and
+  /// retire pools with nothing left in flight.
   void advance_pool(std::uint32_t pool, double t) {
     auto it = pools_.find(pool);
     if (it == pools_.end()) return;
-    auto& state = it->second;
-    double now = state.last_advance;
-    while (now < t && !state.failures.empty()) {
-      // Piecewise-constant rates between detections/completions.
-      std::size_t detected = 0;
-      for (const auto& fail : state.failures) detected += fail.detect_at <= now ? 1 : 0;
-      double rate = 0.0;
-      if (detected > 0)
-        rate = ctx_.local_clustered
-                   ? ctx_.disk_rate_tb_h
-                   : ctx_.dp_bw_tb_h(state.failures.size()) / static_cast<double>(detected);
-      double boundary = t;
-      for (const auto& fail : state.failures) {
-        if (fail.detect_at > now) boundary = std::min(boundary, fail.detect_at);
-        else if (rate > 0.0)
-          boundary = std::min(boundary, now + fail.remaining_tb / rate);
-      }
-      const double dt = boundary - now;
-      for (auto& fail : state.failures)
-        if (fail.detect_at <= now) fail.remaining_tb -= rate * dt;
-      now = boundary;
-      std::erase_if(state.failures,
-                    [](const ActiveFailure& f) { return f.remaining_tb <= 1e-12; });
-    }
-    state.last_advance = t;
-    if (state.failures.empty() && state.clear_at <= t) pools_.erase(it);
+    it->second.state.advance_to(t, ctx_.model);
+    if (it->second.state.idle(t)) pools_.erase(it);
   }
 
   /// Queue this pool's next intrinsic event (detection or completion).
   void schedule_pool(std::uint32_t pool, double t) {
     auto it = pools_.find(pool);
     if (it == pools_.end()) return;
-    auto& state = it->second;
-    ++state.generation;
-    if (state.failures.empty()) return;
-    std::size_t detected = 0;
-    for (const auto& fail : state.failures) detected += fail.detect_at <= t ? 1 : 0;
-    const double rate =
-        detected == 0
-            ? 0.0
-            : (ctx_.local_clustered
-                   ? ctx_.disk_rate_tb_h
-                   : ctx_.dp_bw_tb_h(state.failures.size()) / static_cast<double>(detected));
-    double next = std::numeric_limits<double>::infinity();
-    for (const auto& fail : state.failures) {
-      if (fail.detect_at > t) next = std::min(next, fail.detect_at);
-      else if (rate > 0.0)
-        next = std::min(next, t + fail.remaining_tb / rate);
-    }
-    if (std::isfinite(next)) events_.push({next, pool, state.generation});
+    ++it->second.generation;
+    const double next = it->second.state.next_event_after(t, ctx_.model);
+    if (std::isfinite(next)) events_.push({next, pool, it->second.generation});
   }
 
   /// The pool's in-flight catastrophe, if any.
@@ -471,7 +384,7 @@ class MissionRunner {
 
   const RunContext& ctx_;
   Rng* rng_ = nullptr;  ///< caller-owned, bound for the duration of run()
-  std::unordered_map<std::uint32_t, PoolState> pools_;
+  std::unordered_map<std::uint32_t, PoolEntry> pools_;
   std::vector<Catastrophe> cats_;
   std::priority_queue<PoolEvent, std::vector<PoolEvent>, std::greater<>> events_;
 };

@@ -4,17 +4,19 @@
 // Unlike sim/system_sim.hpp (chunk-exact, small topologies only), FleetSim
 // keeps per-pool *counts*: each local pool tracks its concurrent failures,
 // rebuild progress, and — for declustered pools — the priority-
-// reconstruction critical window, exactly as sim/local_pool_sim.hpp does
-// for one pool. Catastrophic pools enter a network-repair exposure whose
+// reconstruction critical window, via the same shared state machine
+// (sim/pool_state.hpp) that sim/local_pool_sim.hpp runs for one pool.
+// Catastrophic pools enter a network-repair exposure whose
 // duration depends on the repair method and the realized lost-stripe
 // fraction; data loss occurs when p_n+1 catastrophic pools overlap in the
 // same network pool (clustered network placement) or in distinct racks
 // (declustered), thinned by the stripe-coverage probability for the
 // chunk-aware repair methods (the paper's §4.2.3 F#1).
 //
-// The simulator supports the paper's three failure sources: exponential/
-// Weibull distributions, injected bursts, and replayed traces — all merged
-// into one mission timeline.
+// Failure sources merged into one mission timeline: exponential lifetimes
+// drawn from `failures.afr` (the Weibull kind is served by dedicated
+// engines — see the sim estimator's applicability note), injected bursts,
+// and replayed traces.
 #pragma once
 
 #include <cstdint>

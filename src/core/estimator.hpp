@@ -1,0 +1,100 @@
+// The paper's four estimation strategies behind one interface.
+//
+// Every strategy consumes the same Scenario (core/scenario.hpp) and produces
+// the same Estimate — PDL, nines, a 95% interval, repair metadata, and a
+// provenance note — so callers (the crosscheck harness, `mlecctl estimate`,
+// the benches) can swap methods or run them all and compare:
+//
+//   sim     full-fleet Monte Carlo (analysis/fleet_sim.hpp) run through the
+//           campaign runner: checkpoint/resume, cancellation, shard retry,
+//           adaptive stopping on the PDL estimate.
+//   split   the paper's splitting methodology: Monte-Carlo stage 1 on one
+//           local pool (runtime/pool_campaign.hpp) feeding the closed-form
+//           stage 2 (analysis/durability.hpp).
+//   dp      the fully closed-form splitting pipeline, plus the
+//           burst-allocation DP when the scenario carries a burst climate.
+//   markov  two-level birth-death chains — "treat a local pool like a
+//           disk" — sharing stage-2 exposure/coverage closed forms with dp.
+//
+// Not every method covers every scenario: Weibull lifetimes, latent-error
+// (URE) rates, burst climates, and priority repair each narrow the set.
+// applicability() returns a human-readable reason instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/stop_token.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlec {
+
+/// One method's answer for one scenario.
+struct Estimate {
+  std::string method;      ///< registry name (sim, split, dp, markov)
+  std::string provenance;  ///< which engines ran, including any fallbacks
+  double pdl = 0.0;
+  double nines = 0.0;  ///< -log10(pdl); +inf when pdl == 0
+  /// 95% interval on pdl. Monte-Carlo methods report a sampling interval
+  /// (Wilson for sim, first-order Poisson propagation for split); the
+  /// analytic methods report lo == hi == pdl.
+  double pdl_lo = 0.0;
+  double pdl_hi = 0.0;
+  bool stochastic = false;    ///< interval derives from sampling
+  std::uint64_t samples = 0;  ///< missions consumed (0 = pure closed form)
+
+  // Repair metadata, where the method knows it.
+  double exposure_hours = 0.0;     ///< time a catastrophic pool stays exposed
+  double cat_rate_per_year = 0.0;  ///< catastrophic pools per system-year
+  double cross_rack_tb = 0.0;      ///< observed cross-rack repair traffic (sim)
+  double coverage = 1.0;           ///< stage-2 stripe coverage (analytic)
+
+  // Campaign outcome (campaign-backed methods only).
+  bool truncated = false;
+  bool converged = false;
+  bool resumed = false;
+};
+
+/// Execution knobs shared by all estimators; only the campaign-backed
+/// methods (sim, split) consume the checkpoint/convergence fields.
+struct EstimateOptions {
+  ThreadPool* pool = nullptr;
+  StopToken stop{};
+  /// Base journal path; empty runs in-memory. Campaign-backed estimators
+  /// append ".<method>" so one base path serves --method=all without
+  /// journal collisions.
+  std::string checkpoint_path;
+  bool resume = false;
+  std::size_t shards = 0;
+  /// Adaptive stopping target (0 disables): PDL RSE for sim, catastrophe-
+  /// count RSE for split's stage 1.
+  double target_rse = 0.0;
+  /// Max missions this invocation (0 = unlimited).
+  std::uint64_t unit_budget = 0;
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+  virtual std::string_view name() const = 0;
+  virtual std::string_view describe() const = 0;
+  /// Empty when the scenario is inside this method's domain; otherwise the
+  /// reason it cannot run (shown verbatim in reports).
+  virtual std::string applicability(const Scenario& scenario) const = 0;
+  /// Estimate the scenario. Throws PreconditionError when applicability()
+  /// is non-empty or the scenario fails validate().
+  virtual Estimate estimate(const Scenario& scenario,
+                            const EstimateOptions& options = {}) const = 0;
+};
+
+/// The four strategies in the paper's presentation order:
+/// sim, split, dp, markov. Entries are process-lifetime singletons.
+const std::vector<const Estimator*>& estimator_registry();
+
+/// Look up a registered estimator by name; nullptr when unknown.
+const Estimator* find_estimator(std::string_view name);
+
+}  // namespace mlec

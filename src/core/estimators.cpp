@@ -1,0 +1,325 @@
+#include "core/estimator.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/durability.hpp"
+#include "analysis/repair_time.hpp"
+#include "math/combin.hpp"
+#include "math/markov.hpp"
+#include "placement/pools.hpp"
+#include "runtime/fleet_campaign.hpp"
+#include "runtime/pool_campaign.hpp"
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace mlec {
+
+namespace {
+
+/// Journal path for one method under a shared base path (--method=all runs
+/// several campaigns; each needs its own journal identity).
+std::string method_checkpoint(const EstimateOptions& options, std::string_view method) {
+  if (options.checkpoint_path.empty()) return {};
+  return options.checkpoint_path + "." + std::string(method);
+}
+
+void require_applicable(const Estimator& estimator, const Scenario& scenario) {
+  scenario.validate();
+  const std::string why = estimator.applicability(scenario);
+  if (!why.empty())
+    throw PreconditionError(std::string(estimator.name()) +
+                            " estimator cannot run this scenario: " + why);
+}
+
+/// Shared applicability limits of the exponential-only analytic pipelines.
+std::string analytic_failure_limits(const Scenario& scenario) {
+  if (scenario.failure_kind == FailureDistribution::Kind::kWeibull)
+    return "closed forms assume exponential lifetimes (kind=weibull)";
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// sim: full-fleet Monte Carlo through the campaign runner.
+
+class SimEstimator final : public Estimator {
+ public:
+  std::string_view name() const override { return "sim"; }
+  std::string_view describe() const override {
+    return "full-fleet Monte Carlo via the campaign runner";
+  }
+
+  std::string applicability(const Scenario& scenario) const override {
+    if (scenario.failure_kind == FailureDistribution::Kind::kWeibull)
+      return "the fleet simulator draws exponential inter-failure times from AFR "
+             "(kind=weibull unsupported)";
+    if (scenario.ure_per_bit > 0.0)
+      return "latent-error (URE) rates are modeled by the dp estimator only";
+    if (scenario.has_bursts())
+      return "stochastic burst climates are folded in by the dp estimator only";
+    return {};
+  }
+
+  Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
+    require_applicable(*this, scenario);
+
+    FleetCampaignOptions campaign;
+    campaign.checkpoint_path = method_checkpoint(options, name());
+    campaign.resume = options.resume;
+    campaign.shards = options.shards;
+    campaign.target_rse = options.target_rse;
+    campaign.unit_budget = options.unit_budget;
+    campaign.stop = options.stop;
+    const FleetCampaignResult run = run_fleet_campaign(scenario.fleet_config(), scenario.missions,
+                                                       scenario.seed, campaign, options.pool);
+
+    Estimate e;
+    e.method = std::string(name());
+    e.provenance = "count-level fleet Monte Carlo (FleetMissionEngine) via the campaign runner";
+    e.pdl = run.result.pdl();
+    e.nines = durability_nines(e.pdl);
+    const auto ci = run.result.pdl_interval();
+    // The Wilson lower bound is exactly 0 at zero observed losses; clear
+    // the floating-point residue so the nines interval's upper edge is the
+    // +inf it should be (zero losses are consistent with any tiny PDL).
+    e.pdl_lo = run.result.data_loss_missions == 0 ? 0.0 : ci.lo;
+    e.pdl_hi = ci.hi;
+    e.stochastic = true;
+    e.samples = run.result.missions;
+    e.exposure_hours = run.result.catastrophe_exposure_hours.mean();
+    e.cat_rate_per_year = run.result.catastrophes_per_system_year(scenario.system.mission_hours);
+    e.cross_rack_tb = run.result.cross_rack_tb;
+    e.truncated = run.report.truncated;
+    e.converged = run.report.converged;
+    e.resumed = run.report.resumed;
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// split: Monte-Carlo stage 1 on one local pool, closed-form stage 2.
+
+class SplitEstimator final : public Estimator {
+ public:
+  std::string_view name() const override { return "split"; }
+  std::string_view describe() const override {
+    return "Monte-Carlo stage-1 pool simulation feeding the closed-form stage 2";
+  }
+
+  std::string applicability(const Scenario& scenario) const override {
+    if (scenario.failure_kind == FailureDistribution::Kind::kWeibull)
+      return "the stage-1 pool simulator draws exponential lifetimes (kind=weibull unsupported)";
+    if (scenario.ure_per_bit > 0.0)
+      return "the stage-1 pool simulator does not model latent errors (use dp)";
+    if (scenario.has_bursts())
+      return "stochastic burst climates are folded in by the dp estimator only";
+    return {};
+  }
+
+  Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
+    require_applicable(*this, scenario);
+
+    LocalPoolCampaignOptions campaign;
+    campaign.checkpoint_path = method_checkpoint(options, name());
+    campaign.resume = options.resume;
+    campaign.shards = options.shards;
+    campaign.target_rse = options.target_rse;
+    campaign.unit_budget = options.unit_budget;
+    campaign.stop = options.stop;
+    const LocalPoolCampaignResult stage1_run = run_local_pool_campaign(
+        scenario.local_pool_config(), scenario.split_missions, scenario.seed, campaign,
+        options.pool);
+
+    Estimate e;
+    e.method = std::string(name());
+    e.samples = stage1_run.missions;
+    std::optional<LocalPoolStats> stage1;
+    if (stage1_run.catastrophes > 0) {
+      stage1 = stage1_run.stats();
+      e.stochastic = true;
+      e.provenance = "campaign-run stage-1 pool simulation feeding the closed-form stage 2";
+    } else {
+      // Statistically valid but uninformative stage 1: fall back to the
+      // closed forms so the caller still gets a point estimate, and say so.
+      e.provenance = "stage-1 simulation observed 0 catastrophes; closed-form stage 1 substituted";
+    }
+
+    const DurabilityEnv env = scenario.durability_env();
+    const MlecDurabilityResult dur = mlec_durability(env, scenario.system.code,
+                                                     scenario.system.scheme,
+                                                     scenario.system.repair, stage1);
+    e.pdl = dur.pdl;
+    e.nines = dur.nines;
+    e.exposure_hours = dur.exposure_hours;
+    e.cat_rate_per_year = dur.system_cat_rate_per_year;
+    e.coverage = dur.coverage;
+    if (e.stochastic) {
+      // First-order propagation of the stage-1 Poisson error: the stage-2
+      // loss rate scales like the catastrophe rate to the (p_n+1)-th power
+      // (p_n+1 overlapping pools), so the relative error amplifies by that
+      // exponent.
+      const double rel = 1.959964 / std::sqrt(static_cast<double>(stage1_run.catastrophes));
+      const double amp = static_cast<double>(scenario.system.code.network.p + 1) * rel;
+      e.pdl_lo = std::max(0.0, e.pdl * (1.0 - amp));
+      e.pdl_hi = std::min(1.0, e.pdl * (1.0 + amp));
+    } else {
+      e.pdl_lo = e.pdl_hi = e.pdl;
+    }
+    e.truncated = stage1_run.report.truncated;
+    e.converged = stage1_run.report.converged;
+    e.resumed = stage1_run.report.resumed;
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// dp: fully closed-form splitting pipeline (+ burst-allocation DP).
+
+class DpEstimator final : public Estimator {
+ public:
+  std::string_view name() const override { return "dp"; }
+  std::string_view describe() const override {
+    return "closed-form splitting pipeline, plus the burst-allocation DP for burst climates";
+  }
+
+  std::string applicability(const Scenario& scenario) const override {
+    if (auto why = analytic_failure_limits(scenario); !why.empty()) return why;
+    if (local_placement(scenario.system.scheme) == Placement::kDeclustered &&
+        !scenario.priority_repair)
+      return "the declustered closed form models priority reconstruction "
+             "(priority_repair=false unsupported)";
+    return {};
+  }
+
+  Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
+    (void)options;  // pure closed form: nothing to checkpoint or parallelize
+    require_applicable(*this, scenario);
+
+    const DurabilityEnv env = scenario.durability_env();
+    const MlecDurabilityResult indep =
+        mlec_durability(env, scenario.system.code, scenario.system.scheme, scenario.system.repair);
+
+    Estimate e;
+    e.method = std::string(name());
+    e.pdl = indep.pdl;
+    e.nines = indep.nines;
+    e.exposure_hours = indep.exposure_hours;
+    e.cat_rate_per_year = indep.system_cat_rate_per_year;
+    e.coverage = indep.coverage;
+    e.provenance = "closed-form splitting pipeline (Markov stage 1, overlap stage 2)";
+    if (scenario.has_bursts()) {
+      const BurstPdlEngine engine(scenario.burst_config());
+      const SimpleDurability with =
+          mlec_durability_with_bursts(env, scenario.system.code, scenario.system.scheme,
+                                      scenario.system.repair, scenario.bursts, engine);
+      e.pdl = with.pdl;
+      e.nines = with.nines;
+      e.samples = scenario.burst_trials;
+      e.provenance += " + burst-allocation engine (" + std::to_string(scenario.burst_trials) +
+                      " trials per burst cell)";
+    }
+    e.pdl_lo = e.pdl_hi = e.pdl;
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// markov: two-level birth-death chains, "treat a local pool like a disk".
+
+class MarkovEstimator final : public Estimator {
+ public:
+  std::string_view name() const override { return "markov"; }
+  std::string_view describe() const override {
+    return "two-level birth-death chains (pool-as-a-disk)";
+  }
+
+  std::string applicability(const Scenario& scenario) const override {
+    if (auto why = analytic_failure_limits(scenario); !why.empty()) return why;
+    if (scenario.ure_per_bit > 0.0)
+      return "the birth-death chains do not model latent errors (use dp)";
+    if (scenario.has_bursts())
+      return "stochastic burst climates are folded in by the dp estimator only";
+    if (network_placement(scenario.system.scheme) == Placement::kDeclustered)
+      return "pool-as-a-disk needs clustered network placement (independent network pools)";
+    if (local_placement(scenario.system.scheme) == Placement::kDeclustered &&
+        scenario.priority_repair)
+      return "the local birth-death chain has no priority-reconstruction state "
+             "(declustered pools with priority repair diverge)";
+    return {};
+  }
+
+  Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
+    (void)options;  // pure closed form
+    require_applicable(*this, scenario);
+
+    const DurabilityEnv env = scenario.durability_env();
+    const MlecCode& code = scenario.system.code;
+    const MlecScheme scheme = scenario.system.scheme;
+    const PoolLayout layout(env.dc, code, scheme);
+    const RepairTimeModel rtm(env.dc, env.bw, code);
+
+    // Lost-stripe fraction at catastrophe, needed by the shared stage-2
+    // closed forms: the analytic midpoint for clustered pools, the
+    // hypergeometric tail for declustered.
+    const bool local_clustered = local_placement(scheme) == Placement::kClustered;
+    const double frac =
+        local_clustered
+            ? 0.5
+            : hypergeom_tail_geq(static_cast<std::int64_t>(layout.local_pool_disks()),
+                                 static_cast<std::int64_t>(code.local.p + 1),
+                                 static_cast<std::int64_t>(code.local_width()),
+                                 static_cast<std::int64_t>(code.local.p + 1));
+
+    MlecMarkovParams params;
+    params.kn = code.network.k;
+    params.pn = code.network.p;
+    params.kl = code.local.k;
+    params.pl = code.local.p;
+    params.local_pool_disks = layout.local_pool_disks();
+    params.disk_fail_rate = env.afr / units::kHoursPerYear;
+    params.disk_repair_rate =
+        1.0 / (env.detection_hours + rtm.single_disk_repair_hours(scheme));
+    // Clustered pools rebuild each failed disk onto its own spare; the
+    // declustered (non-priority) idealization also repairs in parallel.
+    params.local_parallel_repair = true;
+    params.pool_repair_rate =
+        1.0 / stage2_exposure_hours(env, code, scheme, scenario.system.repair, frac);
+    params.network_pools = layout.network_pools();
+
+    const MlecMarkovResult chains = mlec_markov_mttdl(params);
+    const double coverage = stage2_coverage(env, code, scheme, scenario.system.repair, frac);
+
+    Estimate e;
+    e.method = std::string(name());
+    e.provenance =
+        "two-level birth-death chains (pool-as-a-disk) with shared stage-2 closed forms";
+    e.pdl = -std::expm1(-coverage * env.mission_hours / chains.system_mttdl_hours);
+    e.nines = durability_nines(e.pdl);
+    e.pdl_lo = e.pdl_hi = e.pdl;
+    e.exposure_hours = 1.0 / params.pool_repair_rate;
+    e.cat_rate_per_year = units::kHoursPerYear / chains.local_pool_mttf_hours *
+                          static_cast<double>(layout.total_local_pools());
+    e.coverage = coverage;
+    return e;
+  }
+};
+
+}  // namespace
+
+const std::vector<const Estimator*>& estimator_registry() {
+  static const SimEstimator sim;
+  static const SplitEstimator split;
+  static const DpEstimator dp;
+  static const MarkovEstimator markov;
+  static const std::vector<const Estimator*> registry{&sim, &split, &dp, &markov};
+  return registry;
+}
+
+const Estimator* find_estimator(std::string_view name) {
+  for (const Estimator* estimator : estimator_registry())
+    if (estimator->name() == name) return estimator;
+  return nullptr;
+}
+
+}  // namespace mlec

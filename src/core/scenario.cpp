@@ -1,0 +1,84 @@
+#include "core/scenario.hpp"
+
+#include "placement/pools.hpp"
+#include "util/error.hpp"
+
+namespace mlec {
+
+void Scenario::validate() const {
+  system.dc.validate();
+  system.code.validate();
+  system.bandwidth.validate();
+  MLEC_REQUIRE(system.afr > 0.0 && system.afr < 1.0, "AFR must be in (0,1)");
+  MLEC_REQUIRE(system.detection_hours >= 0.0, "detection time must be non-negative");
+  MLEC_REQUIRE(system.mission_hours > 0.0, "mission must be positive");
+  if (failure_kind == FailureDistribution::Kind::kWeibull) {
+    MLEC_REQUIRE(weibull_shape > 0.0, "Weibull shape must be positive");
+    MLEC_REQUIRE(weibull_scale_hours > 0.0, "Weibull scale must be positive");
+  }
+  MLEC_REQUIRE(ure_per_bit >= 0.0, "URE rate must be non-negative");
+  MLEC_REQUIRE(bursts.bursts_per_year >= 0.0, "burst rate must be non-negative");
+  MLEC_REQUIRE(missions > 0, "sim missions must be positive");
+  MLEC_REQUIRE(split_missions > 0, "split missions must be positive");
+  MLEC_REQUIRE(burst_trials > 0, "burst trials must be positive");
+  // Construction checks the code fits the topology under this scheme.
+  const PoolLayout layout(system.dc, system.code, system.scheme);
+  (void)layout;
+}
+
+FailureDistribution Scenario::failure_distribution() const {
+  FailureDistribution dist;
+  dist.kind = failure_kind;
+  dist.afr = system.afr;
+  dist.weibull_shape = weibull_shape;
+  dist.weibull_scale_hours = weibull_scale_hours;
+  return dist;
+}
+
+DurabilityEnv Scenario::durability_env() const {
+  DurabilityEnv env = system.durability_env();
+  env.ure_per_bit = ure_per_bit;
+  return env;
+}
+
+FleetSimConfig Scenario::fleet_config() const {
+  FleetSimConfig cfg;
+  cfg.dc = system.dc;
+  cfg.code = system.code;
+  cfg.scheme = system.scheme;
+  cfg.method = system.repair;
+  cfg.bandwidth = system.bandwidth;
+  cfg.failures = failure_distribution();
+  cfg.detection_hours = system.detection_hours;
+  cfg.mission_hours = system.mission_hours;
+  cfg.priority_repair = priority_repair;
+  return cfg;
+}
+
+LocalPoolSimConfig Scenario::local_pool_config() const {
+  const PoolLayout layout(system.dc, system.code, system.scheme);
+  LocalPoolSimConfig cfg;
+  cfg.code = system.code.local;
+  cfg.placement = local_placement(system.scheme);
+  cfg.pool_disks = layout.local_pool_disks();
+  cfg.disk_capacity_tb = system.dc.disk_capacity_tb;
+  cfg.chunk_kb = system.dc.chunk_kb;
+  cfg.afr = system.afr;
+  cfg.detection_hours = system.detection_hours;
+  cfg.bandwidth = system.bandwidth;
+  cfg.mission_hours = system.mission_hours;
+  cfg.priority_repair = priority_repair;
+  return cfg;
+}
+
+BurstPdlConfig Scenario::burst_config() const {
+  BurstPdlConfig cfg;
+  cfg.dc = system.dc;
+  cfg.trials_per_cell = burst_trials;
+  cfg.seed = seed;
+  return cfg;
+}
+
+Scenario Scenario::paper_default() { return Scenario{}; }
+
+}  // namespace mlec

@@ -1,0 +1,80 @@
+// One scenario, every engine.
+//
+// A Scenario is the single description of an evaluation run that all four
+// estimation strategies (core/estimator.hpp) consume: the deployment
+// (SystemSpec), the failure model (exponential or Weibull, optional burst
+// climate, optional latent-error rate), the repair policy (priority
+// reconstruction), and the method-specific estimation knobs (mission
+// counts, trial counts, seed). It is INI round-trippable through spec_io
+// (load_scenario / format_scenario), so the same file drives `mlecctl
+// estimate`, the benches, and the tests.
+//
+// The conversion methods are the *only* place the legacy per-engine config
+// structs (FleetSimConfig, LocalPoolSimConfig, BurstPdlConfig,
+// DurabilityEnv) are populated from a spec — engines keep their own structs
+// but no caller hand-rolls them anymore.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/burst_pdl.hpp"
+#include "analysis/durability.hpp"
+#include "analysis/fleet_sim.hpp"
+#include "core/analyzer.hpp"
+#include "sim/failure_gen.hpp"
+#include "sim/local_pool_sim.hpp"
+
+namespace mlec {
+
+struct Scenario {
+  /// Optional label carried into reports ([scenario] name).
+  std::string name;
+
+  /// Deployment: topology, bandwidth, code, scheme, repair method, AFR,
+  /// detection and mission times.
+  SystemSpec system;
+
+  /// Failure-source kind. The analytic estimators and the fleet simulator
+  /// draw exponential lifetimes from system.afr; kWeibull narrows which
+  /// estimators apply.
+  FailureDistribution::Kind failure_kind = FailureDistribution::Kind::kExponential;
+  double weibull_shape = 1.2;
+  double weibull_scale_hours = 8.766e5;
+
+  /// Declustered priority reconstruction (the paper's default).
+  bool priority_repair = true;
+
+  /// Unrecoverable-read-error probability per bit read during rebuilds;
+  /// 0 disables the latent-error extension (analytic estimators only).
+  double ure_per_bit = 0.0;
+
+  /// Correlated-burst climate overlaid on independent failures;
+  /// bursts_per_year == 0 means none.
+  BurstClimate bursts{};
+
+  // --- estimation knobs ---
+  std::uint64_t missions = 1000;        ///< fleet-sim missions (method=sim)
+  std::uint64_t split_missions = 20000; ///< stage-1 pool missions (method=split)
+  std::size_t burst_trials = 1500;      ///< burst-engine trials per cell (method=dp)
+  std::uint64_t seed = 1;
+
+  void validate() const;
+
+  bool has_bursts() const { return bursts.bursts_per_year > 0.0; }
+
+  FailureDistribution failure_distribution() const;
+  /// Environment for the analytic durability pipeline (includes ure_per_bit).
+  DurabilityEnv durability_env() const;
+  /// Full-fleet Monte-Carlo configuration (method=sim).
+  FleetSimConfig fleet_config() const;
+  /// Stage-1 single-pool simulation configuration (method=split).
+  LocalPoolSimConfig local_pool_config() const;
+  /// Burst-allocation DP engine configuration (method=dp with bursts).
+  BurstPdlConfig burst_config() const;
+
+  /// The paper's §3 default setup.
+  static Scenario paper_default();
+};
+
+}  // namespace mlec

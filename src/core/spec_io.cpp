@@ -1,12 +1,77 @@
 #include "core/spec_io.hpp"
 
+#include <iostream>
 #include <sstream>
+#include <utility>
 
 #include "placement/notation.hpp"
+#include "util/error.hpp"
 
 namespace mlec {
 
-SystemSpec load_spec(const IniFile& ini) {
+namespace {
+
+/// Keys consumed by load_spec.
+constexpr std::pair<const char*, const char*> kSpecKeys[] = {
+    {"datacenter", "racks"},
+    {"datacenter", "enclosures_per_rack"},
+    {"datacenter", "disks_per_enclosure"},
+    {"datacenter", "disk_capacity_tb"},
+    {"datacenter", "chunk_kb"},
+    {"bandwidth", "disk_mbps"},
+    {"bandwidth", "rack_gbps"},
+    {"bandwidth", "repair_fraction"},
+    {"code", "mlec"},
+    {"code", "scheme"},
+    {"code", "repair"},
+    {"failures", "afr"},
+    {"failures", "detection_hours"},
+    {"failures", "mission_hours"},
+};
+
+/// Additional keys consumed by load_scenario.
+constexpr std::pair<const char*, const char*> kScenarioKeys[] = {
+    {"scenario", "name"},
+    {"failures", "kind"},
+    {"failures", "weibull_shape"},
+    {"failures", "weibull_scale_hours"},
+    {"failures", "ure_per_bit"},
+    {"sim", "priority_repair"},
+    {"sim", "missions"},
+    {"sim", "split_missions"},
+    {"sim", "burst_trials"},
+    {"sim", "seed"},
+    {"bursts", "per_year"},
+    {"bursts", "racks"},
+    {"bursts", "failures"},
+};
+
+void check_unknown_keys(const IniFile& ini, bool scenario, const SpecParsePolicy& policy) {
+  std::string joined;
+  std::size_t count = 0;
+  for (const auto& [section, key] : ini.keys()) {
+    bool known = false;
+    for (const auto& [s, k] : kSpecKeys) known = known || (section == s && key == k);
+    if (scenario)
+      for (const auto& [s, k] : kScenarioKeys) known = known || (section == s && key == k);
+    if (known) continue;
+    const std::string qualified = section.empty() ? key : section + "." + key;
+    if (policy.unknown_keys != nullptr && !policy.strict)
+      policy.unknown_keys->push_back(qualified);
+    if (!joined.empty()) joined += ", ";
+    joined += qualified;
+    ++count;
+  }
+  if (count == 0) return;
+  const std::string what = (scenario ? std::string("scenario") : std::string("spec")) +
+                           " file has " + std::to_string(count) + " unknown key(s): " + joined;
+  if (policy.strict) throw PreconditionError(what);
+  if (policy.unknown_keys == nullptr) std::cerr << "warning: " << what << " (ignored)\n";
+}
+
+/// The [datacenter]/[bandwidth]/[code]/[failures] fields shared by specs
+/// and scenarios (no unknown-key pass — callers run it for their key set).
+SystemSpec load_spec_fields(const IniFile& ini) {
   SystemSpec spec;
 
   spec.dc.racks = ini.get_size("datacenter", "racks", spec.dc.racks);
@@ -33,6 +98,49 @@ SystemSpec load_spec(const IniFile& ini) {
   return spec;
 }
 
+FailureDistribution::Kind parse_failure_kind(const std::string& text) {
+  if (text == "exponential") return FailureDistribution::Kind::kExponential;
+  if (text == "weibull") return FailureDistribution::Kind::kWeibull;
+  throw PreconditionError("unknown failure kind '" + text +
+                          "' (expected exponential or weibull)");
+}
+
+const char* to_string(FailureDistribution::Kind kind) {
+  return kind == FailureDistribution::Kind::kWeibull ? "weibull" : "exponential";
+}
+
+}  // namespace
+
+SystemSpec load_spec(const IniFile& ini, const SpecParsePolicy& policy) {
+  check_unknown_keys(ini, /*scenario=*/false, policy);
+  return load_spec_fields(ini);
+}
+
+Scenario load_scenario(const IniFile& ini, const SpecParsePolicy& policy) {
+  check_unknown_keys(ini, /*scenario=*/true, policy);
+  Scenario sc;
+  sc.system = load_spec_fields(ini);
+
+  sc.name = ini.get_string("scenario", "name", sc.name);
+
+  if (const auto kind = ini.get("failures", "kind")) sc.failure_kind = parse_failure_kind(*kind);
+  sc.weibull_shape = ini.get_double("failures", "weibull_shape", sc.weibull_shape);
+  sc.weibull_scale_hours =
+      ini.get_double("failures", "weibull_scale_hours", sc.weibull_scale_hours);
+  sc.ure_per_bit = ini.get_double("failures", "ure_per_bit", sc.ure_per_bit);
+
+  sc.priority_repair = ini.get_bool("sim", "priority_repair", sc.priority_repair);
+  sc.missions = ini.get_size("sim", "missions", sc.missions);
+  sc.split_missions = ini.get_size("sim", "split_missions", sc.split_missions);
+  sc.burst_trials = ini.get_size("sim", "burst_trials", sc.burst_trials);
+  sc.seed = ini.get_size("sim", "seed", sc.seed);
+
+  sc.bursts.bursts_per_year = ini.get_double("bursts", "per_year", sc.bursts.bursts_per_year);
+  sc.bursts.racks = ini.get_size("bursts", "racks", sc.bursts.racks);
+  sc.bursts.failures = ini.get_size("bursts", "failures", sc.bursts.failures);
+  return sc;
+}
+
 std::string format_spec(const SystemSpec& spec) {
   std::ostringstream os;
   os << "[datacenter]\n"
@@ -53,6 +161,29 @@ std::string format_spec(const SystemSpec& spec) {
      << "afr = " << spec.afr << '\n'
      << "detection_hours = " << spec.detection_hours << '\n'
      << "mission_hours = " << spec.mission_hours << '\n';
+  return os.str();
+}
+
+std::string format_scenario(const Scenario& sc) {
+  std::ostringstream os;
+  if (!sc.name.empty()) os << "[scenario]\nname = " << sc.name << "\n\n";
+  // format_spec ends inside [failures]; the extended failure keys continue
+  // that section.
+  os << format_spec(sc.system);
+  os << "kind = " << to_string(sc.failure_kind) << '\n'
+     << "weibull_shape = " << sc.weibull_shape << '\n'
+     << "weibull_scale_hours = " << sc.weibull_scale_hours << '\n'
+     << "ure_per_bit = " << sc.ure_per_bit << "\n\n";
+  os << "[sim]\n"
+     << "priority_repair = " << (sc.priority_repair ? "true" : "false") << '\n'
+     << "missions = " << sc.missions << '\n'
+     << "split_missions = " << sc.split_missions << '\n'
+     << "burst_trials = " << sc.burst_trials << '\n'
+     << "seed = " << sc.seed << "\n\n";
+  os << "[bursts]\n"
+     << "per_year = " << sc.bursts.bursts_per_year << '\n'
+     << "racks = " << sc.bursts.racks << '\n'
+     << "failures = " << sc.bursts.failures << '\n';
   return os.str();
 }
 
@@ -81,6 +212,29 @@ repair = R_MIN           # R_ALL, R_FCO, R_HYB, R_MIN
 afr = 0.01               # annual failure rate
 detection_hours = 0.5
 mission_hours = 8766     # one year
+)";
+}
+
+std::string example_scenario() {
+  return example_spec() + R"(kind = exponential       # or weibull (narrows applicable estimators)
+weibull_shape = 1.2      # used only when kind = weibull
+weibull_scale_hours = 876600
+ure_per_bit = 0          # latent-error rate; 0 disables (analytic only)
+
+[scenario]
+name = paper-default
+
+[sim]
+priority_repair = true   # declustered priority reconstruction
+missions = 1000          # method=sim fleet missions
+split_missions = 20000   # method=split stage-1 pool missions
+burst_trials = 1500      # method=dp burst-engine trials per cell
+seed = 1
+
+[bursts]
+per_year = 0             # correlated-burst climate; 0 = none
+racks = 3
+failures = 30
 )";
 }
 

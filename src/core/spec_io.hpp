@@ -1,25 +1,51 @@
-// SystemSpec <-> INI deployment files.
+// SystemSpec / Scenario <-> INI deployment files.
 //
-// A deployment file captures everything MlecAnalyzer needs; absent keys
-// keep the paper's §3 defaults. See example_spec() for the full annotated
-// template.
+// A deployment file captures everything MlecAnalyzer needs; a scenario file
+// is its superset, adding the failure model, repair policy, and estimation
+// knobs consumed by the estimator stack (core/estimator.hpp). Absent keys
+// keep the paper's §3 defaults. See example_spec() / example_scenario() for
+// the annotated templates.
+//
+// Unknown keys are diagnosed instead of silently ignored (a typo'd
+// `detectoin_hours` used to reproduce the wrong paper setup with no
+// warning): by default they are reported to stderr; SpecParsePolicy can
+// collect them or turn them into a PreconditionError.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/analyzer.hpp"
+#include "core/scenario.hpp"
 #include "util/ini.hpp"
 
 namespace mlec {
 
+/// How load_spec / load_scenario treat keys they do not consume.
+struct SpecParsePolicy {
+  /// Throw PreconditionError naming the offending keys instead of warning.
+  bool strict = false;
+  /// When non-null, unknown "section.key" names are appended here and
+  /// nothing is printed — the caller owns the reporting. Ignored when
+  /// `strict` is set.
+  std::vector<std::string>* unknown_keys = nullptr;
+};
+
 /// Build a spec from an INI file (sections [datacenter], [bandwidth],
-/// [code], [failures]). Unknown keys are ignored; malformed values throw.
-SystemSpec load_spec(const IniFile& ini);
+/// [code], [failures]). Malformed values throw; unknown keys follow
+/// `policy` (default: warn on stderr).
+SystemSpec load_spec(const IniFile& ini, const SpecParsePolicy& policy = {});
 
-/// Serialize a spec back to INI text (parse(load) round-trips).
+/// Build a scenario: the spec sections plus [scenario], the extended
+/// [failures] keys (kind, weibull_*, ure_per_bit), [sim], and [bursts].
+Scenario load_scenario(const IniFile& ini, const SpecParsePolicy& policy = {});
+
+/// Serialize back to INI text (parse(load) round-trips).
 std::string format_spec(const SystemSpec& spec);
+std::string format_scenario(const Scenario& scenario);
 
-/// An annotated template documenting every key with the paper defaults.
+/// Annotated templates documenting every key with the paper defaults.
 std::string example_spec();
+std::string example_scenario();
 
 }  // namespace mlec

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "math/combin.hpp"
+#include "sim/pool_state.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -31,34 +32,19 @@ double LocalPoolSimResult::catastrophe_probability_per_year() const {
   return -std::expm1(-catastrophe_rate_per_year());
 }
 
-namespace {
-
-struct ActiveFailure {
-  double start;
-  double detect_at;
-  double remaining_tb;
-};
-
-/// Aggregate declustered rebuild bandwidth with f concurrent failures
-/// (Table 2's (n-f) * disk_eff / (k_l + 1) formulation).
-double declustered_bw_mbps(const LocalPoolSimConfig& cfg, std::size_t f) {
-  const double survivors = static_cast<double>(cfg.pool_disks - f);
-  return survivors * cfg.bandwidth.effective_disk_mbps() /
-         static_cast<double>(cfg.code.k + 1);
+PoolRepairModel LocalPoolSimConfig::repair_model() const {
+  PoolRepairModel model;
+  model.code = code;
+  model.pool_disks = pool_disks;
+  model.clustered = placement == Placement::kClustered;
+  model.priority_repair = priority_repair;
+  model.detection_hours = detection_hours;
+  model.disk_capacity_tb = disk_capacity_tb;
+  model.chunk_kb = chunk_kb;
+  model.disk_eff_mbps = bandwidth.effective_disk_mbps();
+  model.finalize();
+  return model;
 }
-
-/// Expected volume (TB) of one-chunk demotions needed to clear the critical
-/// class: stripes currently at exactly p_l failed chunks.
-double critical_volume_tb(const LocalPoolSimConfig& cfg, std::size_t f) {
-  const double p_crit = hypergeom_pmf(static_cast<std::int64_t>(cfg.pool_disks),
-                                      static_cast<std::int64_t>(f),
-                                      static_cast<std::int64_t>(cfg.code.width()),
-                                      static_cast<std::int64_t>(cfg.code.p));
-  const double chunk_tb = cfg.chunk_kb * 1e3 / 1e12;
-  return cfg.stripes_in_pool() * p_crit * chunk_tb;
-}
-
-}  // namespace
 
 LocalPoolSimResult simulate_local_pool(const LocalPoolSimConfig& cfg, std::uint64_t missions,
                                        Rng& rng, std::size_t max_samples) {
@@ -69,124 +55,42 @@ LocalPoolSimResult simulate_local_pool(const LocalPoolSimConfig& cfg, std::uint6
 
   const double lambda = cfg.afr / units::kHoursPerYear;  // per disk-hour
   const double pool_rate = lambda * static_cast<double>(cfg.pool_disks);
-  const double disk_eff = cfg.bandwidth.effective_disk_mbps();
-  const bool clustered = cfg.placement == Placement::kClustered;
-  const std::size_t tolerance = cfg.code.p;
+  const PoolRepairModel model = cfg.repair_model();
+  auto record_repair = [&](double start, double finish) {
+    result.single_disk_repair_hours.add(finish - start);
+  };
 
   for (std::uint64_t m = 0; m < missions; ++m) {
     double t = 0.0;
     double next_fail = rng.exponential(pool_rate);
-    std::vector<ActiveFailure> failures;
-    double clear_at = -std::numeric_limits<double>::infinity();
+    LocalPoolState pool;
 
-    auto reset_pool = [&] {
-      failures.clear();
-      clear_at = -std::numeric_limits<double>::infinity();
-    };
-
-    while (t < cfg.mission_hours) {
-      // Per-failure repair rates (TB/hour) at the current state.
-      const std::size_t f = failures.size();
-      std::size_t detected = 0;
-      for (const auto& fail : failures) detected += fail.detect_at <= t ? 1 : 0;
-      double per_disk_tb_per_hour = 0.0;
-      if (detected > 0) {
-        const double mbps = clustered
-                                ? disk_eff
-                                : declustered_bw_mbps(cfg, f) / static_cast<double>(detected);
-        per_disk_tb_per_hour = mbps * units::kSecondsPerHour * 1e6 / 1e12;
-      }
-
-      // Earliest upcoming event: failure, detection, or repair completion.
-      double next_event = next_fail;
-      enum class Kind { kFailure, kDetection, kCompletion } kind = Kind::kFailure;
-      std::size_t which = 0;
-      for (std::size_t i = 0; i < failures.size(); ++i) {
-        if (failures[i].detect_at > t && failures[i].detect_at < next_event) {
-          next_event = failures[i].detect_at;
-          kind = Kind::kDetection;
-          which = i;
-        }
-        if (failures[i].detect_at <= t && per_disk_tb_per_hour > 0.0) {
-          const double done_at = t + failures[i].remaining_tb / per_disk_tb_per_hour;
-          if (done_at < next_event) {
-            next_event = done_at;
-            kind = Kind::kCompletion;
-            which = i;
-          }
-        }
-      }
+    while (true) {
+      // Earliest upcoming event: failure arrival, or the pool's own next
+      // detection/completion (shared state machine).
+      const double next_event = std::min(next_fail, pool.next_event_after(t, model));
       if (next_event >= cfg.mission_hours) break;
-
-      // Advance rebuild progress on detected failures.
-      const double dt = next_event - t;
-      for (auto& fail : failures)
-        if (fail.detect_at <= t)
-          fail.remaining_tb = std::max(0.0, fail.remaining_tb - per_disk_tb_per_hour * dt);
+      pool.advance_to(next_event, model, record_repair);
       t = next_event;
+      if (next_event < next_fail) continue;  // detection/completion handled above
 
-      switch (kind) {
-        case Kind::kDetection:
-          break;  // rates recompute next iteration
-        case Kind::kCompletion:
-          result.single_disk_repair_hours.add(t - failures[which].start);
-          failures.erase(failures.begin() + static_cast<std::ptrdiff_t>(which));
-          break;
-        case Kind::kFailure: {
-          next_fail = t + rng.exponential(pool_rate);
-          failures.push_back({t, t + cfg.detection_hours, cfg.disk_capacity_tb});
-          const std::size_t f_after = failures.size();
+      next_fail = t + rng.exponential(pool_rate);
+      pool.add_failure(t, model);
 
-          bool catastrophe = false;
-          if (f_after >= tolerance + 1) {
-            if (clustered || !cfg.priority_repair) {
-              catastrophe = true;
-            } else {
-              catastrophe = t < clear_at;  // critical class not yet demoted
-            }
-          }
-
-          if (catastrophe) {
-            ++result.catastrophes;
-            if (result.samples.size() < max_samples) {
-              CatastropheSample sample{};
-              sample.time_hours = t;
-              sample.concurrent_failures = static_cast<std::uint32_t>(f_after);
-              double unrebuilt = 0.0;
-              for (const auto& fail : failures) unrebuilt += fail.remaining_tb;
-              sample.unrebuilt_tb = unrebuilt;
-              if (clustered) {
-                double max_progress = 0.0;
-                for (const auto& fail : failures)
-                  max_progress =
-                      std::max(max_progress, 1.0 - fail.remaining_tb / cfg.disk_capacity_tb);
-                sample.lost_stripe_fraction = 1.0 - max_progress;
-              } else {
-                sample.lost_stripe_fraction = hypergeom_tail_geq(
-                    static_cast<std::int64_t>(cfg.pool_disks),
-                    static_cast<std::int64_t>(f_after),
-                    static_cast<std::int64_t>(cfg.code.width()),
-                    static_cast<std::int64_t>(tolerance + 1));
-              }
-              sample.lost_local_stripes = sample.lost_stripe_fraction * cfg.stripes_in_pool();
-              result.samples.push_back(sample);
-            }
-            reset_pool();
-            break;
-          }
-
-          // Declustered priority reconstruction: when stripes at p_l failed
-          // chunks (the critical class) may now exist, extend the window
-          // during which one more failure is fatal.
-          if (!clustered && cfg.priority_repair && f_after >= tolerance) {
-            const double bw = declustered_bw_mbps(cfg, f_after);
-            const double hours =
-                cfg.detection_hours +
-                units::hours_to_move(critical_volume_tb(cfg, f_after), bw);
-            clear_at = std::max(clear_at, t + hours);
-          }
-          break;
+      if (pool.catastrophic(t, model)) {
+        ++result.catastrophes;
+        if (result.samples.size() < max_samples) {
+          CatastropheSample sample{};
+          sample.time_hours = t;
+          sample.concurrent_failures = static_cast<std::uint32_t>(pool.failures.size());
+          sample.unrebuilt_tb = pool.unrebuilt_tb();
+          sample.lost_stripe_fraction = pool.lost_stripe_fraction(model);
+          sample.lost_local_stripes = sample.lost_stripe_fraction * cfg.stripes_in_pool();
+          result.samples.push_back(sample);
         }
+        pool.reset();
+      } else {
+        pool.extend_critical_window(t, model);
       }
     }
   }

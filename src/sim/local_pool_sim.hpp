@@ -32,6 +32,7 @@
 
 #include "placement/codes.hpp"
 #include "placement/schemes.hpp"
+#include "sim/pool_state.hpp"
 #include "topology/bandwidth.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -53,6 +54,8 @@ struct LocalPoolSimConfig {
   void validate() const;
   /// Local stripes resident in the pool at full chunk density.
   double stripes_in_pool() const;
+  /// The shared pool-state physics (sim/pool_state.hpp) for this config.
+  PoolRepairModel repair_model() const;
 };
 
 /// State captured at one catastrophic local-pool failure; consumed by the

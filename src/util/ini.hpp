@@ -10,6 +10,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mlec {
 
@@ -33,6 +35,16 @@ class IniFile {
   bool get_bool(const std::string& section, const std::string& key, bool fallback) const;
 
   std::size_t entries() const { return values_.size(); }
+
+  /// Every (section, key) pair present, in section-then-key order — lets
+  /// consumers diff the file against their known-key table (spec_io's
+  /// unknown-key diagnostics).
+  std::vector<std::pair<std::string, std::string>> keys() const {
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(values_.size());
+    for (const auto& [section_key, value] : values_) out.push_back(section_key);
+    return out;
+  }
 
  private:
   std::map<std::pair<std::string, std::string>, std::string> values_;

@@ -1,0 +1,137 @@
+#include "analysis/crosscheck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlec {
+namespace {
+
+/// SLEC-as-MLEC: a trivial (1+0) network code over clustered (3+1) pools,
+/// 32 disks at 50% AFR — hot enough that a few hundred simulated missions
+/// observe real losses, so all four methods produce non-vacuous estimates.
+Scenario slec_scenario() {
+  Scenario sc;
+  sc.name = "crosscheck-slec";
+  sc.system.dc.racks = 4;
+  sc.system.dc.enclosures_per_rack = 1;
+  sc.system.dc.disks_per_enclosure = 8;
+  sc.system.dc.disk_capacity_tb = 20.0;
+  sc.system.code = {{1, 0}, {3, 1}};
+  sc.system.scheme = MlecScheme::kCC;
+  sc.system.repair = RepairMethod::kRepairAll;
+  sc.system.afr = 0.5;
+  sc.missions = 600;
+  sc.split_missions = 6000;
+  sc.seed = 42;
+  return sc;
+}
+
+/// A true two-level code: (2+1) network over clustered (3+1) pools, 96
+/// disks at 50% AFR.
+Scenario mlec_scenario() {
+  Scenario sc;
+  sc.name = "crosscheck-mlec";
+  sc.system.dc.racks = 6;
+  sc.system.dc.enclosures_per_rack = 2;
+  sc.system.dc.disks_per_enclosure = 8;
+  sc.system.dc.disk_capacity_tb = 20.0;
+  sc.system.code = {{2, 1}, {3, 1}};
+  sc.system.scheme = MlecScheme::kCC;
+  sc.system.repair = RepairMethod::kRepairAll;
+  sc.system.afr = 0.5;
+  sc.missions = 1500;
+  sc.split_missions = 6000;
+  sc.seed = 42;
+  return sc;
+}
+
+TEST(Crosscheck, AllFourMethodsAgreeOnTheSlecScenario) {
+  const CrosscheckReport report = run_crosscheck(slec_scenario());
+  EXPECT_EQ(report.methods_run(), 4u);
+  for (const auto& row : report.rows) {
+    EXPECT_TRUE(row.ran()) << row.method << ": " << row.skip_reason << row.error;
+  }
+  EXPECT_TRUE(report.agreed()) << report.table();
+}
+
+TEST(Crosscheck, AllFourMethodsAgreeOnTheMlecScenario) {
+  const CrosscheckReport report = run_crosscheck(mlec_scenario());
+  EXPECT_EQ(report.methods_run(), 4u);
+  EXPECT_TRUE(report.agreed()) << report.table();
+  // The hot scenario is lossy enough that sim's estimate is non-vacuous.
+  for (const auto& row : report.rows)
+    if (row.method == "sim") EXPECT_GT(row.estimate.pdl, 0.0);
+}
+
+TEST(Crosscheck, MethodSubsetRunsOnlyThoseMethods) {
+  CrosscheckOptions options;
+  options.methods = {"dp", "markov"};
+  const CrosscheckReport report = run_crosscheck(Scenario::paper_default(), options);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.rows[0].method, "dp");
+  EXPECT_EQ(report.rows[1].method, "markov");
+  EXPECT_TRUE(report.agreed()) << report.table();
+}
+
+TEST(Crosscheck, UnknownMethodNameThrows) {
+  CrosscheckOptions options;
+  options.methods = {"ouija"};
+  EXPECT_THROW(run_crosscheck(Scenario::paper_default(), options), PreconditionError);
+}
+
+TEST(Crosscheck, InapplicableMethodsAreReportedNotCompared) {
+  Scenario sc = Scenario::paper_default();
+  sc.bursts.bursts_per_year = 0.5;  // only dp handles burst climates
+  sc.burst_trials = 200;
+  const CrosscheckReport report = run_crosscheck(sc);
+  EXPECT_EQ(report.rows.size(), 4u);
+  EXPECT_EQ(report.methods_run(), 1u);
+  for (const auto& row : report.rows) {
+    if (row.method == "dp") {
+      EXPECT_TRUE(row.ran());
+    } else {
+      EXPECT_FALSE(row.applicable);
+      EXPECT_FALSE(row.skip_reason.empty());
+    }
+  }
+  EXPECT_TRUE(report.agreed());  // one method trivially agrees with itself
+}
+
+TEST(Crosscheck, ZeroToleranceFlagsTheAnalyticGap) {
+  // dp and markov land ~0.3 nines apart on the paper default; with zero
+  // tolerance that distance must surface as a divergence, not be absorbed.
+  CrosscheckOptions options;
+  options.methods = {"dp", "markov"};
+  options.nines_tolerance = 0.0;
+  const CrosscheckReport report = run_crosscheck(Scenario::paper_default(), options);
+  ASSERT_EQ(report.divergences.size(), 1u);
+  EXPECT_EQ(report.divergences[0].method_a, "dp");
+  EXPECT_EQ(report.divergences[0].method_b, "markov");
+  EXPECT_GT(report.divergences[0].gap_nines, 0.0);
+  EXPECT_NE(report.table().find("DIVERGENCE"), std::string::npos);
+}
+
+TEST(Crosscheck, JsonCarriesTheComparison) {
+  CrosscheckOptions options;
+  options.methods = {"dp", "markov"};
+  const CrosscheckReport report = run_crosscheck(mlec_scenario(), options);
+  const std::string json = report.json();
+  EXPECT_NE(json.find("\"agreed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"scenario\": \"crosscheck-mlec\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"dp\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\": \"markov\""), std::string::npos);
+  EXPECT_NE(json.find("\"divergences\": []"), std::string::npos);
+}
+
+TEST(Crosscheck, TableNamesEveryMethod) {
+  const std::string table = run_crosscheck(slec_scenario()).table();
+  for (const char* method : {"sim", "split", "dp", "markov"})
+    EXPECT_NE(table.find(method), std::string::npos) << method;
+  EXPECT_NE(table.find("agreement"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlec

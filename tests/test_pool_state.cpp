@@ -1,0 +1,156 @@
+#include "sim/pool_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace mlec {
+namespace {
+
+PoolRepairModel clustered_model() {
+  PoolRepairModel m;
+  m.code = {3, 1};
+  m.pool_disks = 4;
+  m.clustered = true;
+  m.detection_hours = 0.5;
+  m.disk_capacity_tb = 20.0;
+  m.disk_eff_mbps = 40.0;
+  m.finalize();
+  return m;
+}
+
+PoolRepairModel declustered_model(bool priority = true) {
+  PoolRepairModel m;
+  m.code = {3, 1};
+  m.pool_disks = 8;
+  m.clustered = false;
+  m.priority_repair = priority;
+  m.detection_hours = 0.5;
+  m.disk_capacity_tb = 20.0;
+  m.disk_eff_mbps = 40.0;
+  m.finalize();
+  return m;
+}
+
+TEST(PoolRepairModel, ClusteredRateIsSpareWriteBandwidth) {
+  const auto m = clustered_model();
+  // 40 MB/s onto one spare = 0.144 TB/h, independent of failure count.
+  EXPECT_NEAR(m.clustered_rate_tb_h(), 0.144, 1e-12);
+  EXPECT_DOUBLE_EQ(m.per_failure_rate_tb_h(2, 1), m.clustered_rate_tb_h());
+}
+
+TEST(PoolRepairModel, DeclusteredBandwidthShrinksWithFailures) {
+  const auto m = declustered_model();
+  // Table 2: (n-f) * disk_eff / (k_l+1).
+  EXPECT_NEAR(m.declustered_bw_tb_h(1), 7.0 * 40.0 / 4.0 * 3600e6 / 1e12, 1e-12);
+  EXPECT_GT(m.declustered_bw_tb_h(1), m.declustered_bw_tb_h(3));
+  // The aggregate is split across the detected rebuilds.
+  EXPECT_DOUBLE_EQ(m.per_failure_rate_tb_h(2, 2), m.declustered_bw_tb_h(2) / 2.0);
+}
+
+TEST(PoolRepairModel, NothingRebuildsBeforeDetection) {
+  EXPECT_DOUBLE_EQ(clustered_model().per_failure_rate_tb_h(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(declustered_model().per_failure_rate_tb_h(3, 0), 0.0);
+}
+
+TEST(PoolRepairModel, DeclusteredLostFractionIsHypergeometricTail) {
+  const auto m = declustered_model();
+  EXPECT_DOUBLE_EQ(m.declustered_lost_fraction(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.declustered_lost_fraction(1), 0.0);  // p_l+1 = 2 needed
+  // P(>=2 of a 4-wide stripe on 2 failed of 8 disks) = C(6,4)/C(8,4) = 15/70.
+  EXPECT_NEAR(m.declustered_lost_fraction(2), 15.0 / 70.0, 1e-12);
+  EXPECT_LT(m.declustered_lost_fraction(2), m.declustered_lost_fraction(3));
+  EXPECT_DOUBLE_EQ(m.declustered_lost_fraction(m.pool_disks), 1.0);
+}
+
+TEST(PoolRepairModel, CriticalWindowCoversDetectionPlusDemotion) {
+  const auto m = declustered_model();
+  EXPECT_GT(m.critical_window_hours(1), m.detection_hours);
+  EXPECT_GT(m.critical_volume_tb(1), 0.0);
+}
+
+TEST(LocalPoolState, DetectionThenCompletionSequencing) {
+  const auto m = clustered_model();
+  LocalPoolState pool;
+  pool.add_failure(0.0, m);
+  EXPECT_DOUBLE_EQ(pool.next_event_after(0.0, m), 0.5);  // detection first
+  const double finish = 0.5 + 20.0 / m.clustered_rate_tb_h();
+  EXPECT_NEAR(pool.next_event_after(0.5, m), finish, 1e-6);
+
+  std::vector<std::pair<double, double>> completions;
+  pool.advance_to(finish + 1.0, m,
+                  [&](double start, double end) { completions.emplace_back(start, end); });
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_DOUBLE_EQ(completions[0].first, 0.0);
+  EXPECT_NEAR(completions[0].second, finish, 1e-6);
+  EXPECT_TRUE(pool.failures.empty());
+  EXPECT_TRUE(pool.idle(finish + 1.0));
+}
+
+TEST(LocalPoolState, AdvanceTracksUnrebuiltVolume) {
+  const auto m = clustered_model();
+  LocalPoolState pool;
+  pool.add_failure(0.0, m);
+  EXPECT_DOUBLE_EQ(pool.unrebuilt_tb(), 20.0);
+  EXPECT_DOUBLE_EQ(pool.lost_stripe_fraction(m), 1.0);
+  pool.advance_to(0.5 + 10.0 / m.clustered_rate_tb_h(), m);  // half rebuilt
+  EXPECT_NEAR(pool.unrebuilt_tb(), 10.0, 1e-9);
+  EXPECT_NEAR(pool.lost_stripe_fraction(m), 0.5, 1e-9);
+}
+
+TEST(LocalPoolState, ClusteredOverlapIsCatastrophic) {
+  const auto m = clustered_model();  // p_l = 1: two concurrent failures fatal
+  LocalPoolState pool;
+  pool.add_failure(0.0, m);
+  EXPECT_FALSE(pool.catastrophic(0.0, m));
+  pool.advance_to(10.0, m);
+  pool.add_failure(10.0, m);
+  EXPECT_TRUE(pool.catastrophic(10.0, m));
+}
+
+TEST(LocalPoolState, PriorityRepairOnlyFatalInsideCriticalWindow) {
+  const auto m = declustered_model(/*priority=*/true);
+  LocalPoolState pool;
+  pool.add_failure(0.0, m);
+  pool.extend_critical_window(0.0, m);  // size 1 >= p_l opens the window
+  EXPECT_GT(pool.clear_at, 0.0);
+
+  LocalPoolState inside = pool;
+  inside.advance_to(pool.clear_at / 2.0, m);
+  inside.add_failure(pool.clear_at / 2.0, m);
+  EXPECT_TRUE(inside.catastrophic(pool.clear_at / 2.0, m));
+
+  // Identical overlap after the window has cleared is tolerated.
+  LocalPoolState after = pool;
+  after.clear_at = 1.0;
+  after.add_failure(2.0, m);
+  EXPECT_FALSE(after.catastrophic(2.0, m));
+
+  // Without priority reconstruction any p_l+1 overlap is fatal regardless.
+  const auto plain = declustered_model(/*priority=*/false);
+  EXPECT_TRUE(after.catastrophic(2.0, plain));
+}
+
+TEST(LocalPoolState, DeclusteredLossUsesHypergeometricFraction) {
+  const auto m = declustered_model();
+  LocalPoolState pool;
+  pool.add_failure(0.0, m);
+  pool.add_failure(0.0, m);
+  EXPECT_DOUBLE_EQ(pool.lost_stripe_fraction(m), m.declustered_lost_fraction(2));
+}
+
+TEST(LocalPoolState, ResetForgetsEverything) {
+  const auto m = clustered_model();
+  LocalPoolState pool;
+  pool.add_failure(0.0, m);
+  pool.extend_critical_window(0.0, m);
+  pool.reset();
+  EXPECT_TRUE(pool.failures.empty());
+  EXPECT_TRUE(pool.idle(0.0));
+  EXPECT_DOUBLE_EQ(pool.next_event_after(0.0, m), std::numeric_limits<double>::infinity());
+}
+
+}  // namespace
+}  // namespace mlec

@@ -64,6 +64,56 @@ TEST(SpecIo, LoadedSpecDrivesTheAnalyzer) {
   EXPECT_NEAR(analyzer.repair_bandwidth().single_disk_mbps, 264.4, 0.5);
 }
 
+TEST(SpecIo, UnknownKeysAreCollectedWhenAsked) {
+  std::vector<std::string> unknown;
+  SpecParsePolicy policy;
+  policy.unknown_keys = &unknown;
+  const auto spec = load_spec(IniFile::parse_string(R"(
+[failures]
+afr = 0.02
+detectoin_hours = 2.0
+)"),
+                              policy);
+  EXPECT_DOUBLE_EQ(spec.afr, 0.02);            // good keys still apply
+  EXPECT_DOUBLE_EQ(spec.detection_hours, 0.5);  // the typo'd one does not
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "failures.detectoin_hours");
+}
+
+TEST(SpecIo, StrictPolicyTurnsUnknownKeysIntoErrors) {
+  SpecParsePolicy policy;
+  policy.strict = true;
+  try {
+    load_spec(IniFile::parse_string("[datacenter]\nraks = 30\n"), policy);
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("datacenter.raks"), std::string::npos);
+  }
+}
+
+TEST(SpecIo, ScenarioKeysAreUnknownToPlainSpecs) {
+  // [sim] belongs to scenario files; load_spec must flag it, load_scenario
+  // must consume it.
+  const std::string text = "[sim]\nmissions = 5\n";
+  std::vector<std::string> unknown;
+  SpecParsePolicy policy;
+  policy.unknown_keys = &unknown;
+  load_spec(IniFile::parse_string(text), policy);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "sim.missions");
+
+  unknown.clear();
+  const auto sc = load_scenario(IniFile::parse_string(text), policy);
+  EXPECT_TRUE(unknown.empty());
+  EXPECT_EQ(sc.missions, 5u);
+}
+
+TEST(SpecIo, ExampleScenarioHasNoUnknownKeys) {
+  SpecParsePolicy policy;
+  policy.strict = true;
+  EXPECT_NO_THROW(load_scenario(IniFile::parse_string(example_scenario()), policy));
+}
+
 TEST(SpecIo, BadValuesSurfaceAsErrors) {
   EXPECT_THROW(load_spec(IniFile::parse_string("[code]\nmlec = banana\n")),
                PreconditionError);

@@ -4,6 +4,7 @@
 //
 // Commands:
 //   analyze      full deployment report (Table 2, traffic, durability)
+//   estimate     PDL/nines via the estimation strategies, cross-validated
 //   durability   nines for every scheme x repair method (Figure 10 view)
 //   burst X Y    PDL of Y simultaneous failures over X racks (Figure 5 cell)
 //   traffic      catastrophic-repair traffic per method (Figure 8 view)
@@ -12,22 +13,31 @@
 //   simulate N   fleet Monte Carlo over N mission-years
 //   advise       apply the paper's §6.1 takeaways to a site profile
 //   spec         print an annotated deployment-file template
+//   scenario     print an annotated scenario-file template
 //   ec           show the erasure-coding data-plane backends (SIMD dispatch)
 //
-// Overrides (apply after --config): --code "(10+2)/(17+3)", --scheme C/D,
-// --repair R_MIN, --afr 0.01, --detection-min 30, --racks N,
+// --config FILE loads a scenario file (a deployment file is a valid
+// scenario). Overrides (apply after --config): --code "(10+2)/(17+3)",
+// --scheme C/D, --repair R_MIN, --afr 0.01, --detection-min 30, --racks N,
 // --disks-per-enclosure N, --enclosures-per-rack N, --disk-tb N.
 // Site profile flags for advise: --bursts, --devops, --nines N,
 // --throughput-critical.
-// Campaign flags for simulate: --checkpoint FILE, --resume, --shards N,
-// --time-budget SECONDS, --target-rse X, --seed N.
+// Estimation flags for estimate: --method sim|split|dp|markov|all (default
+// all; comma lists accepted), --json, --tolerance-nines X, --missions N,
+// --split-missions N, --strict (unknown config keys are errors).
+// Campaign flags for estimate/simulate: --checkpoint FILE, --resume,
+// --shards N, --time-budget SECONDS, --target-rse X, --unit-budget N,
+// --seed N.
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/burst_pdl.hpp"
+#include "analysis/crosscheck.hpp"
 #include "analysis/fleet_sim.hpp"
 #include "analysis/tradeoff.hpp"
 #include "core/advisor.hpp"
@@ -46,62 +56,114 @@ using namespace mlec;
 [[noreturn]] void usage(const char* message = nullptr) {
   if (message != nullptr) std::cerr << "mlecctl: " << message << "\n\n";
   std::cerr <<
-      "usage: mlecctl <analyze|durability|burst|traffic|repair|tradeoff|simulate|advise|spec|ec>\n"
-      "               [--config FILE] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
+      "usage: mlecctl <analyze|estimate|durability|burst|traffic|repair|tradeoff|simulate|\n"
+      "                advise|spec|scenario|ec>\n"
+      "               [--config FILE] [--strict] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
       "               [--repair R_MIN] [--afr F] [--detection-min M] [--racks N]\n"
       "               [--enclosures-per-rack N] [--disks-per-enclosure N] [--disk-tb N]\n"
       "               [--bursts] [--devops] [--nines N] [--throughput-critical]\n"
+      "               [--method sim|split|dp|markov|all] [--json] [--tolerance-nines X]\n"
+      "               [--missions N] [--split-missions N]\n"
       "               [--checkpoint FILE] [--resume] [--shards N]\n"
-      "               [--time-budget SECONDS] [--target-rse X] [--seed N]\n";
+      "               [--time-budget SECONDS] [--target-rse X] [--unit-budget N] [--seed N]\n";
   std::exit(2);
 }
 
 struct Options {
-  SystemSpec spec;
+  Scenario scenario;
   DeploymentProfile profile;
   std::vector<std::string> positional;
-  // simulate campaign controls
+  // estimate controls
+  std::vector<std::string> methods;  ///< empty = all registered
+  bool json = false;
+  double tolerance_nines = 1.0;
+  bool strict = false;
+  // estimate/simulate campaign controls
   std::string checkpoint_path;
   bool resume = false;
   std::size_t shards = 0;
   double time_budget_s = 0.0;
   double target_rse = 0.0;
-  std::uint64_t seed = 1;
+  std::uint64_t unit_budget = 0;
+
+  const SystemSpec& spec() const { return scenario.system; }
+  SystemSpec& spec() { return scenario.system; }
 };
+
+std::vector<std::string> parse_method_list(const std::string& value) {
+  std::vector<std::string> methods;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty() && item != "all") methods.push_back(item);
+  return methods;
+}
 
 Options parse_options(int argc, char** argv) {
   Options opt;
   opt.profile.required_nines = 25.0;
+  // --strict must be known before --config is loaded, and --config must be
+  // loaded before any other flag so overrides win regardless of argument
+  // order (`--missions N --config f` must not be clobbered by the file).
+  for (int i = 2; i < argc; ++i)
+    if (std::strcmp(argv[i], "--strict") == 0) opt.strict = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string path;
+    if (arg == "--config" && i + 1 < argc) path = argv[i + 1];
+    else if (arg.rfind("--config=", 0) == 0) path = arg.substr(9);
+    else continue;
+    std::ifstream in(path);
+    if (!in) usage(("cannot open config file " + path).c_str());
+    SpecParsePolicy policy;
+    policy.strict = opt.strict;
+    opt.scenario = load_scenario(IniFile::parse(in), policy);
+  }
+  // Both "--flag value" and "--flag=value" are accepted.
+  std::string inline_value;
+  bool has_inline_value = false;
   auto need_value = [&](int& i) -> std::string {
+    if (has_inline_value) {
+      has_inline_value = false;
+      return inline_value;
+    }
     if (i + 1 >= argc) usage("missing value after flag");
     return argv[++i];
   };
   for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    has_inline_value = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline_value = true;
+        arg.erase(eq);
+      }
+    }
     try {
       if (arg == "--config") {
-        const std::string path = need_value(i);
-        std::ifstream in(path);
-        if (!in) usage(("cannot open config file " + path).c_str());
-        opt.spec = load_spec(IniFile::parse(in));
+        need_value(i);  // loaded in the pre-scan
+      } else if (arg == "--strict") {
+        // consumed in the pre-scan
       } else if (arg == "--code") {
-        opt.spec.code = parse_mlec_code(need_value(i));
+        opt.spec().code = parse_mlec_code(need_value(i));
       } else if (arg == "--scheme") {
-        opt.spec.scheme = parse_mlec_scheme(need_value(i));
+        opt.spec().scheme = parse_mlec_scheme(need_value(i));
       } else if (arg == "--repair") {
-        opt.spec.repair = parse_repair_method(need_value(i));
+        opt.spec().repair = parse_repair_method(need_value(i));
       } else if (arg == "--afr") {
-        opt.spec.afr = std::stod(need_value(i));
+        opt.spec().afr = std::stod(need_value(i));
       } else if (arg == "--detection-min") {
-        opt.spec.detection_hours = std::stod(need_value(i)) / 60.0;
+        opt.spec().detection_hours = std::stod(need_value(i)) / 60.0;
       } else if (arg == "--racks") {
-        opt.spec.dc.racks = std::stoul(need_value(i));
+        opt.spec().dc.racks = std::stoul(need_value(i));
       } else if (arg == "--enclosures-per-rack") {
-        opt.spec.dc.enclosures_per_rack = std::stoul(need_value(i));
+        opt.spec().dc.enclosures_per_rack = std::stoul(need_value(i));
       } else if (arg == "--disks-per-enclosure") {
-        opt.spec.dc.disks_per_enclosure = std::stoul(need_value(i));
+        opt.spec().dc.disks_per_enclosure = std::stoul(need_value(i));
       } else if (arg == "--disk-tb") {
-        opt.spec.dc.disk_capacity_tb = std::stod(need_value(i));
+        opt.spec().dc.disk_capacity_tb = std::stod(need_value(i));
       } else if (arg == "--bursts") {
         opt.profile.frequent_failure_bursts = true;
       } else if (arg == "--devops") {
@@ -110,6 +172,16 @@ Options parse_options(int argc, char** argv) {
         opt.profile.throughput_critical = true;
       } else if (arg == "--nines") {
         opt.profile.required_nines = std::stod(need_value(i));
+      } else if (arg == "--method") {
+        opt.methods = parse_method_list(need_value(i));
+      } else if (arg == "--json") {
+        opt.json = true;
+      } else if (arg == "--tolerance-nines") {
+        opt.tolerance_nines = std::stod(need_value(i));
+      } else if (arg == "--missions") {
+        opt.scenario.missions = std::stoull(need_value(i));
+      } else if (arg == "--split-missions") {
+        opt.scenario.split_missions = std::stoull(need_value(i));
       } else if (arg == "--checkpoint") {
         opt.checkpoint_path = need_value(i);
       } else if (arg == "--resume") {
@@ -120,13 +192,16 @@ Options parse_options(int argc, char** argv) {
         opt.time_budget_s = std::stod(need_value(i));
       } else if (arg == "--target-rse") {
         opt.target_rse = std::stod(need_value(i));
+      } else if (arg == "--unit-budget") {
+        opt.unit_budget = std::stoull(need_value(i));
       } else if (arg == "--seed") {
-        opt.seed = std::stoull(need_value(i));
+        opt.scenario.seed = std::stoull(need_value(i));
       } else if (!arg.empty() && arg[0] == '-') {
         usage(("unknown flag " + arg).c_str());
       } else {
         opt.positional.push_back(arg);
       }
+      if (has_inline_value) usage(("flag " + arg + " does not take a value").c_str());
     } catch (const std::exception& e) {
       usage(e.what());
     }
@@ -135,25 +210,54 @@ Options parse_options(int argc, char** argv) {
 }
 
 int cmd_analyze(const Options& opt) {
-  std::cout << MlecAnalyzer(opt.spec).report();
+  std::cout << MlecAnalyzer(opt.spec()).report();
+  return 0;
+}
+
+int cmd_estimate(const Options& opt) {
+  StopSource stop_source;
+  stop_source.watch_signals();  // SIGINT/SIGTERM end campaigns at a batch boundary
+  if (opt.time_budget_s > 0.0) stop_source.set_deadline_after(opt.time_budget_s);
+
+  CrosscheckOptions cc;
+  cc.methods = opt.methods;
+  cc.nines_tolerance = opt.tolerance_nines;
+  cc.estimate.pool = &global_pool();
+  cc.estimate.stop = stop_source.token();
+  cc.estimate.checkpoint_path = opt.checkpoint_path;
+  cc.estimate.resume = opt.resume;
+  cc.estimate.shards = opt.shards;
+  cc.estimate.target_rse = opt.target_rse;
+  cc.estimate.unit_budget = opt.unit_budget;
+
+  const CrosscheckReport report = run_crosscheck(opt.scenario, cc);
+  if (opt.json)
+    std::cout << report.json() << '\n';
+  else
+    std::cout << report.table();
+  if (!report.agreed()) {
+    std::cerr << "mlecctl: estimation methods diverge beyond " << opt.tolerance_nines
+              << " nines\n";
+    return 3;
+  }
   return 0;
 }
 
 int cmd_durability(const Options& opt) {
   Table t({"scheme", "R_ALL", "R_FCO", "R_HYB", "R_MIN"});
-  const auto env = opt.spec.durability_env();
+  const auto env = opt.scenario.durability_env();
   for (auto scheme : kAllMlecSchemes) {
     std::vector<std::string> row{to_string(scheme)};
     for (auto method : kAllRepairMethods) {
       try {
-        row.push_back(Table::num(mlec_durability(env, opt.spec.code, scheme, method).nines, 1));
+        row.push_back(Table::num(mlec_durability(env, opt.spec().code, scheme, method).nines, 1));
       } catch (const PreconditionError&) {
         row.push_back("n/a");  // placement constraints unmet for this scheme
       }
     }
     t.add_row(std::move(row));
   }
-  std::cout << t.to_ascii("durability (nines over the mission), " + opt.spec.code.notation());
+  std::cout << t.to_ascii("durability (nines over the mission), " + opt.spec().code.notation());
   return 0;
 }
 
@@ -161,13 +265,12 @@ int cmd_burst(const Options& opt) {
   if (opt.positional.size() != 2) usage("burst needs: mlecctl burst <racks> <failures>");
   const auto racks = static_cast<std::size_t>(std::stoul(opt.positional[0]));
   const auto failures = static_cast<std::size_t>(std::stoul(opt.positional[1]));
-  BurstPdlConfig cfg;
-  cfg.dc = opt.spec.dc;
+  BurstPdlConfig cfg = opt.scenario.burst_config();
   cfg.trials_per_cell = 4000;
   const BurstPdlEngine engine(cfg);
-  const double pdl = engine.mlec_cell(opt.spec.code, opt.spec.scheme, racks, failures);
+  const double pdl = engine.mlec_cell(opt.spec().code, opt.spec().scheme, racks, failures);
   std::cout << "PDL(" << failures << " failures over " << racks << " racks, "
-            << to_string(opt.spec.scheme) << " " << opt.spec.code.notation()
+            << to_string(opt.spec().scheme) << " " << opt.spec().code.notation()
             << ") = " << Table::num(pdl, 4) << '\n';
   return 0;
 }
@@ -176,58 +279,51 @@ int cmd_traffic(const Options& opt) {
   Table t({"method", "cross_rack_TB", "local_TB"});
   for (auto method : kAllRepairMethods) {
     const auto traffic =
-        catastrophic_injection_traffic(opt.spec.dc, opt.spec.code, opt.spec.scheme, method);
+        catastrophic_injection_traffic(opt.spec().dc, opt.spec().code, opt.spec().scheme, method);
     t.add_row({to_string(method), Table::num(traffic.cross_rack_tb(), 2),
                Table::num(traffic.local_tb(), 2)});
   }
   std::cout << t.to_ascii("catastrophic local pool repair traffic, " +
-                          to_string(opt.spec.scheme) + " " + opt.spec.code.notation());
+                          to_string(opt.spec().scheme) + " " + opt.spec().code.notation());
   return 0;
 }
 
 int cmd_repair(const Options& opt) {
-  const RepairTimeModel model(opt.spec.dc, opt.spec.bandwidth, opt.spec.code);
-  const auto row = model.table2_row(opt.spec.scheme);
+  const RepairTimeModel model(opt.spec().dc, opt.spec().bandwidth, opt.spec().code);
+  const auto row = model.table2_row(opt.spec().scheme);
   Table t({"quantity", "value"});
   t.add_row({"single-disk repair bandwidth (MB/s)", Table::num(row.single_disk_mbps, 0)});
   t.add_row({"single-disk repair time (h)",
-             Table::num(model.single_disk_repair_hours(opt.spec.scheme), 1)});
+             Table::num(model.single_disk_repair_hours(opt.spec().scheme), 1)});
   t.add_row({"pool size (TB)", Table::num(row.pool_size_tb)});
   t.add_row({"pool repair bandwidth (MB/s)", Table::num(row.pool_mbps, 0)});
   t.add_row({"pool repair time, R_ALL (h)",
-             Table::num(model.catastrophic_repair_hours(opt.spec.scheme), 1)});
-  const auto mt = model.method_repair_time(opt.spec.scheme, opt.spec.repair);
-  t.add_row({"catastrophe repair w/ " + to_string(opt.spec.repair) + " (h, net+local)",
+             Table::num(model.catastrophic_repair_hours(opt.spec().scheme), 1)});
+  const auto mt = model.method_repair_time(opt.spec().scheme, opt.spec().repair);
+  t.add_row({"catastrophe repair w/ " + to_string(opt.spec().repair) + " (h, net+local)",
              Table::num(mt.network_hours, 1) + " + " + Table::num(mt.local_hours, 1)});
-  std::cout << t.to_ascii("repair profile, " + to_string(opt.spec.scheme) + " " +
-                          opt.spec.code.notation());
+  std::cout << t.to_ascii("repair profile, " + to_string(opt.spec().scheme) + " " +
+                          opt.spec().code.notation());
   return 0;
 }
 
 int cmd_tradeoff(const Options& opt) {
-  const auto points = mlec_tradeoff(opt.spec.durability_env(), opt.spec.scheme, opt.spec.repair,
-                                    OverheadBand{}, /*measure_encoding=*/true);
+  const auto points = mlec_tradeoff(opt.scenario.durability_env(), opt.spec().scheme,
+                                    opt.spec().repair, OverheadBand{},
+                                    /*measure_encoding=*/true);
   Table t({"config", "overhead_%", "nines", "encode_GBps"});
   for (const auto& pt : points)
     t.add_row({pt.label, Table::num(100 * pt.overhead, 1), Table::num(pt.nines, 1),
                Table::num(pt.encode_gbps, 2)});
-  std::cout << t.to_ascii("~30% overhead sweep, " + to_string(opt.spec.scheme) + " with " +
-                          to_string(opt.spec.repair));
+  std::cout << t.to_ascii("~30% overhead sweep, " + to_string(opt.spec().scheme) + " with " +
+                          to_string(opt.spec().repair));
   return 0;
 }
 
 int cmd_simulate(const Options& opt) {
   const std::uint64_t missions =
       opt.positional.empty() ? 100 : std::stoull(opt.positional[0]);
-  FleetSimConfig cfg;
-  cfg.dc = opt.spec.dc;
-  cfg.code = opt.spec.code;
-  cfg.scheme = opt.spec.scheme;
-  cfg.method = opt.spec.repair;
-  cfg.bandwidth = opt.spec.bandwidth;
-  cfg.failures.afr = opt.spec.afr;
-  cfg.detection_hours = opt.spec.detection_hours;
-  cfg.mission_hours = opt.spec.mission_hours;
+  const FleetSimConfig cfg = opt.scenario.fleet_config();
   StopSource stop_source;
   stop_source.watch_signals();  // SIGINT/SIGTERM end the run at a batch boundary
   if (opt.time_budget_s > 0.0) stop_source.set_deadline_after(opt.time_budget_s);
@@ -237,9 +333,10 @@ int cmd_simulate(const Options& opt) {
   campaign.resume = opt.resume;
   campaign.shards = opt.shards;
   campaign.target_rse = opt.target_rse;
+  campaign.unit_budget = opt.unit_budget;
   campaign.stop = stop_source.token();
 
-  const auto fc = run_fleet_campaign(cfg, missions, opt.seed, campaign, &global_pool());
+  const auto fc = run_fleet_campaign(cfg, missions, opt.scenario.seed, campaign, &global_pool());
   const auto& r = fc.result;
   const auto& rep = fc.report;
 
@@ -267,8 +364,8 @@ int cmd_simulate(const Options& opt) {
   if (rep.truncated)
     t.add_row({"truncated", "yes (" + std::to_string(rep.units_done) + "/" +
                                 std::to_string(rep.units_requested) + " missions)"});
-  std::cout << t.to_ascii("fleet Monte Carlo, " + to_string(opt.spec.scheme) + " " +
-                          opt.spec.code.notation() + ", " + to_string(opt.spec.repair));
+  std::cout << t.to_ascii("fleet Monte Carlo, " + to_string(opt.spec().scheme) + " " +
+                          opt.spec().code.notation() + ", " + to_string(opt.spec().repair));
   for (const auto& s : rep.shards)
     if (s.quarantined)
       std::cerr << "mlecctl: shard " << s.shard << " quarantined after " << s.attempts
@@ -307,6 +404,7 @@ int main(int argc, char** argv) {
   try {
     const Options opt = parse_options(argc, argv);
     if (command == "analyze") return cmd_analyze(opt);
+    if (command == "estimate") return cmd_estimate(opt);
     if (command == "durability") return cmd_durability(opt);
     if (command == "burst") return cmd_burst(opt);
     if (command == "traffic") return cmd_traffic(opt);
@@ -316,6 +414,10 @@ int main(int argc, char** argv) {
     if (command == "advise") return cmd_advise(opt);
     if (command == "spec") {
       std::cout << example_spec();
+      return 0;
+    }
+    if (command == "scenario") {
+      std::cout << example_scenario();
       return 0;
     }
     usage(("unknown command " + command).c_str());
