@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <queue>
-#include <unordered_map>
+#include <span>
+#include <vector>
 
 #include "analysis/burst_pdl.hpp"
 #include "analysis/repair_time.hpp"
 #include "math/combin.hpp"
 #include "placement/pools.hpp"
+#include "sim/indexed_heap.hpp"
 #include "sim/pool_state.hpp"
+#include "util/arena.hpp"
 #include "util/error.hpp"
 #include "util/units.hpp"
 
@@ -36,26 +38,12 @@ double FleetSimResult::catastrophes_per_system_year(double mission_hours) const 
   return years > 0 ? static_cast<double>(catastrophic_pool_events) / years : 0.0;
 }
 
-namespace {
-
-/// One fleet pool: the shared state machine plus a generation counter for
-/// lazy invalidation of queued events.
-struct PoolEntry {
-  LocalPoolState state;
-  std::uint64_t generation = 0;
-};
-
-struct Catastrophe {
-  std::uint32_t pool;
-  RackId rack;
-  std::uint32_t network_pool;
-  double until;
-  double lost_fraction;
-  std::size_t failed_disks;
-};
-
-/// Shared, immutable per-run constants.
-struct RunContext {
+/// Shared, immutable per-run constants. One instance serves every shard of
+/// a simulate_fleet call or every shard engine of a campaign — the repair
+/// model's lookup tables (hypergeometric tails, per-f declustered
+/// bandwidths, critical-window lengths) are built exactly once.
+class FleetSimContext {
+ public:
   FleetSimConfig cfg;
   PoolLayout layout;
   bool local_clustered;
@@ -63,6 +51,7 @@ struct RunContext {
   std::size_t pool_disks;
   std::size_t pools_per_enclosure;
   std::size_t pools_per_rack;
+  std::size_t total_pools;
   double lambda_hour;       // per disk
   double fleet_rate;        // per hour, whole fleet
   double net_bw_tb_h;       // network-stage bandwidth for cfg.method
@@ -70,8 +59,9 @@ struct RunContext {
   double total_network_stripes;
   double rack_cover_times_pool_pick;  // D/* coverage geometry factor
   PoolRepairModel model;              // shared per-pool rebuild physics
+  std::vector<std::uint32_t> disk_pool_tab;  // disk id -> local pool id
 
-  explicit RunContext(const FleetSimConfig& config)
+  explicit FleetSimContext(const FleetSimConfig& config)
       : cfg(config), layout(config.dc, config.code, config.scheme) {
     cfg.validate();
     MLEC_REQUIRE(std::is_sorted(cfg.injected_events.begin(), cfg.injected_events.end(),
@@ -84,6 +74,7 @@ struct RunContext {
     pool_disks = layout.local_pool_disks();
     pools_per_enclosure = layout.local_pools_per_enclosure();
     pools_per_rack = layout.local_pools_per_rack();
+    total_pools = cfg.dc.total_disks() / cfg.dc.disks_per_enclosure * pools_per_enclosure;
     lambda_hour = cfg.failures.afr / units::kHoursPerYear;
     fleet_rate = lambda_hour * static_cast<double>(cfg.dc.total_disks());
 
@@ -116,14 +107,19 @@ struct RunContext {
     } else {
       rack_cover_times_pool_pick = 0.0;
     }
+
+    // The disk->pool map costs three integer divisions per lookup; on the
+    // per-failure hot path a shared table beats redoing them every draw.
+    disk_pool_tab.resize(cfg.dc.total_disks());
+    for (std::size_t d = 0; d < disk_pool_tab.size(); ++d) {
+      const std::size_t enc = d / cfg.dc.disks_per_enclosure;
+      const std::size_t within = (d % cfg.dc.disks_per_enclosure) /
+                                 (local_clustered ? pool_disks : cfg.dc.disks_per_enclosure);
+      disk_pool_tab[d] = static_cast<std::uint32_t>(enc * pools_per_enclosure + within);
+    }
   }
 
-  std::uint32_t pool_of_disk(DiskId disk) const {
-    const std::size_t enc = disk / cfg.dc.disks_per_enclosure;
-    const std::size_t within = (disk % cfg.dc.disks_per_enclosure) /
-                               (local_clustered ? pool_disks : cfg.dc.disks_per_enclosure);
-    return static_cast<std::uint32_t>(enc * pools_per_enclosure + within);
-  }
+  std::uint32_t pool_of_disk(DiskId disk) const { return disk_pool_tab[disk]; }
   RackId rack_of_pool(std::uint32_t pool) const {
     return static_cast<RackId>(pool / pools_per_rack);
   }
@@ -153,50 +149,73 @@ struct RunContext {
   }
 };
 
+std::shared_ptr<const FleetSimContext> make_fleet_context(const FleetSimConfig& config) {
+  return std::make_shared<const FleetSimContext>(config);
+}
+
+namespace {
+
+struct Catastrophe {
+  std::uint32_t pool;
+  RackId rack;
+  std::uint32_t network_pool;
+  double until;
+  double lost_fraction;
+  std::size_t failed_disks;
+};
+
+/// Per-mission inter-failure gaps are drawn this many at a time; leftovers
+/// are discarded at mission end so the Rng's journaled state at any mission
+/// boundary is independent of the batching (checkpoint/resume bit-identity).
+constexpr std::size_t kExpBatch = 32;
+
+/// One shard's mission loop. All working storage (pool arena, event heap,
+/// catastrophe list, subset-enumeration scratch, RNG batch buffer) lives on
+/// the runner and is reset — never reallocated — per mission: the steady
+/// state performs no heap traffic.
 class MissionRunner {
  public:
-  explicit MissionRunner(const RunContext& ctx) : ctx_(ctx) {}
+  explicit MissionRunner(const FleetSimContext& ctx) : ctx_(ctx) {
+    pools_.resize(ctx.total_pools);
+    events_.resize(ctx.total_pools);
+    exp_buf_.resize(kExpBatch);
+    allocs_baseline_ = pools_.allocations();
+  }
 
   void run(Rng& rng, FleetSimResult& result) {
     rng_ = &rng;
+    result_ = &result;
     ++result.missions;
     const double mission = ctx_.cfg.mission_hours;
     double t = 0.0;
-    double next_fail = rng_->exponential(ctx_.fleet_rate);
     std::size_t injected_idx = 0;
-    pools_.clear();
+    pools_.begin_trial();
+    events_.clear();
     cats_.clear();
-    events_ = {};
+    exp_pos_ = 0;
+    exp_len_ = 0;
+    double next_fail = next_gap(0.0);
 
     bool lost_this_mission = false;
 
     while (true) {
-      // Next pool event (lazy invalidation by generation).
-      while (!events_.empty()) {
-        const auto& top = events_.top();
-        auto it = pools_.find(top.pool);
-        if (it == pools_.end() || it->second.generation != top.generation) {
-          events_.pop();
-          continue;
-        }
-        break;
-      }
       double next_event = next_fail;
       const auto& injected = ctx_.cfg.injected_events;
       if (injected_idx < injected.size())
         next_event = std::min(next_event, injected[injected_idx].time_hours);
       bool pool_event = false;
-      if (!events_.empty() && events_.top().time < next_event) {
-        next_event = events_.top().time;
+      if (!events_.empty() && events_.top_key() < next_event) {
+        next_event = events_.top_key();
         pool_event = true;
       }
       if (next_event >= mission) break;
 
       if (pool_event) {
-        const auto ev = events_.top();
+        const std::uint32_t pool = events_.top_id();
         events_.pop();
-        advance_pool(ev.pool, ev.time);
-        schedule_pool(ev.pool, ev.time);
+        ++result.events_processed;
+        advance_pool(pool, next_event);
+        schedule_pool(pool, next_event);
         continue;
       }
 
@@ -208,11 +227,14 @@ class MissionRunner {
         ++injected_idx;
       } else {
         disk = static_cast<DiskId>(rng_->uniform_below(ctx_.cfg.dc.total_disks()));
-        next_fail = next_event + rng_->exponential(ctx_.fleet_rate);
+        ++result.rng_draws;
+        next_fail = next_event + next_gap(next_event);
       }
       t = next_event;
       ++result.disk_failures;
-      std::erase_if(cats_, [t](const Catastrophe& c) { return c.until <= t; });
+      ++result.events_processed;
+      if (!cats_.empty())
+        std::erase_if(cats_, [t](const Catastrophe& c) { return c.until <= t; });
 
       const std::uint32_t pool = ctx_.pool_of_disk(disk);
       if (Catastrophe* active = active_catastrophe(pool, t); active != nullptr) {
@@ -237,8 +259,9 @@ class MissionRunner {
         }
         continue;
       }
-      advance_pool(pool, t);  // may retire the pool's map entry entirely
-      auto& state = pools_[pool].state;
+      advance_pool(pool, t);  // may retire the pool entirely
+      LocalPoolState& state =
+          pools_.activate(pool, [](LocalPoolState& s) { s.reset(); });
       state.add_failure(t, ctx_.model);
       const std::size_t f_after = state.failures.size();
 
@@ -257,7 +280,9 @@ class MissionRunner {
       result.catastrophe_exposure_hours.add(exposure);
       result.cross_rack_tb += volume * (static_cast<double>(ctx_.cfg.code.network.k) + 1.0);
 
-      pools_.erase(pool);  // network repair owns the pool now
+      // Network repair owns the pool now.
+      pools_.deactivate(pool);
+      events_.remove(pool);
       cats_.push_back({pool, ctx_.rack_of_pool(pool), ctx_.network_pool_of(pool), t + exposure,
                        frac, f_after});
 
@@ -271,32 +296,71 @@ class MissionRunner {
         if (ctx_.cfg.stop_on_loss) break;
       }
     }
+
+    result.arena_allocations += pools_.allocations() - allocs_baseline_;
+    allocs_baseline_ = pools_.allocations();
   }
 
  private:
-  struct PoolEvent {
-    double time;
-    std::uint32_t pool;
-    std::uint64_t generation;
-    bool operator>(const PoolEvent& other) const { return time > other.time; }
-  };
-
-  /// Progress repairs in [state.last_advance, t] (shared state machine) and
-  /// retire pools with nothing left in flight.
-  void advance_pool(std::uint32_t pool, double t) {
-    auto it = pools_.find(pool);
-    if (it == pools_.end()) return;
-    it->second.state.advance_to(t, ctx_.model);
-    if (it->second.state.idle(t)) pools_.erase(it);
+  /// Next inter-failure gap from the batch buffer, refilling (and counting
+  /// the refill's draws) when empty. The refill size tracks the expected
+  /// number of failures left before `now` reaches mission end, so the
+  /// variates discarded at the next mission-start reset — each one a log()
+  /// the legacy core never paid for — stay near zero. The size is a pure
+  /// function of simulation state, so trajectories remain deterministic.
+  double next_gap(double now) {
+    if (exp_pos_ == exp_len_) {
+      const double expected = (ctx_.cfg.mission_hours - now) * ctx_.fleet_rate;
+      const std::size_t n =
+          std::min(kExpBatch, static_cast<std::size_t>(std::max(expected, 0.0)) + 1);
+      rng_->exponential_fill(std::span<double>(exp_buf_.data(), n), ctx_.fleet_rate);
+      result_->rng_draws += n;
+      exp_pos_ = 0;
+      exp_len_ = n;
+    }
+    return exp_buf_[exp_pos_++];
   }
 
-  /// Queue this pool's next intrinsic event (detection or completion).
+  /// Bernoulli draw with the perf counter kept honest: p <= 0 and p >= 1
+  /// consume no variate.
+  bool draw_bernoulli(double p) {
+    if (p > 0.0 && p < 1.0) ++result_->rng_draws;
+    return rng_->bernoulli(p);
+  }
+
+  /// Progress repairs in [state.last_advance, t] (shared state machine) and
+  /// retire pools with nothing left in flight — their heap entry goes too.
+  void advance_pool(std::uint32_t pool, double t) {
+    LocalPoolState* state = pools_.find(pool);
+    if (state == nullptr) return;
+    state->advance_to(t, ctx_.model);
+    if (state->idle(t)) {
+      pools_.deactivate(pool);
+      events_.remove(pool);
+    }
+  }
+
+  /// Reposition this pool's single heap entry at its next intrinsic event
+  /// (detection or completion) — updated in place, never lazily deleted.
+  ///
+  /// Only declustered pools need stepping events: their per-failure rates
+  /// interlock (pool-wide bandwidth split across detected failures), so the
+  /// piecewise-constant state machine must be walked boundary by boundary.
+  /// Clustered rebuilds are independent, and nothing observable happens
+  /// between a pool's failures — losses, catastrophes, and window checks
+  /// all fire at failure arrivals, where advance_pool() reconstructs the
+  /// interim segments and retires the pool if it drained. Scheduling no
+  /// event at all for clustered pools removes roughly two heap events per
+  /// failure from the hot loop at identical trajectories.
   void schedule_pool(std::uint32_t pool, double t) {
-    auto it = pools_.find(pool);
-    if (it == pools_.end()) return;
-    ++it->second.generation;
-    const double next = it->second.state.next_event_after(t, ctx_.model);
-    if (std::isfinite(next)) events_.push({next, pool, it->second.generation});
+    if (ctx_.local_clustered) return;
+    const LocalPoolState* state = pools_.find(pool);
+    if (state == nullptr) return;
+    const double next = state->next_event_after(t, ctx_.model);
+    if (std::isfinite(next))
+      events_.push_or_update(pool, next);
+    else
+      events_.remove(pool);  // live critical window, nothing in flight
   }
 
   /// The pool's in-flight catastrophe, if any.
@@ -316,36 +380,36 @@ class MissionRunner {
   /// (cov_new - cov_old) / (1 - cov_old) per combination.
   bool check_data_loss(const Catastrophe& newest, double t, double prev_frac = -1.0) {
     const std::size_t pn1 = ctx_.cfg.code.network.p + 1;
-    std::vector<const Catastrophe*> others;
+    others_.clear();
     for (const auto& c : cats_) {
       if (&c == &newest || c.until <= t) continue;
       if (ctx_.network_clustered) {
-        if (c.network_pool == newest.network_pool) others.push_back(&c);
+        if (c.network_pool == newest.network_pool) others_.push_back(&c);
       } else if (c.rack != newest.rack) {
-        others.push_back(&c);
+        others_.push_back(&c);
       }
     }
-    if (others.size() + 1 < pn1) return false;
+    if (others_.size() + 1 < pn1) return false;
 
     const double frac_new =
         ctx_.cfg.method == RepairMethod::kRepairAll ? 1.0 : newest.lost_fraction;
     double log_no_cover = 0.0;
-    // Enumerate (p_n)-subsets of `others` via an index odometer.
-    std::vector<std::size_t> idx(pn1 - 1);
-    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    // Enumerate (p_n)-subsets of `others_` via an index odometer.
+    idx_.resize(pn1 - 1);
+    for (std::size_t i = 0; i < idx_.size(); ++i) idx_[i] = i;
     while (true) {
       bool valid = true;
       if (!ctx_.network_clustered) {
         // Distinct racks within the subset (newest's rack already excluded).
-        for (std::size_t a = 0; a < idx.size() && valid; ++a)
-          for (std::size_t b = a + 1; b < idx.size() && valid; ++b)
-            valid = others[idx[a]]->rack != others[idx[b]]->rack;
+        for (std::size_t a = 0; a < idx_.size() && valid; ++a)
+          for (std::size_t b = a + 1; b < idx_.size() && valid; ++b)
+            valid = others_[idx_[a]]->rack != others_[idx_[b]]->rack;
       }
       if (valid) {
         double partners = 1.0;
-        for (std::size_t i : idx)
+        for (std::size_t i : idx_)
           partners *= ctx_.cfg.method == RepairMethod::kRepairAll ? 1.0
-                                                                  : others[i]->lost_fraction;
+                                                                  : others_[i]->lost_fraction;
         auto coverage_of = [&](double frac) {
           const double joint = frac * partners;
           return ctx_.network_clustered
@@ -358,48 +422,61 @@ class MissionRunner {
             prev_frac >= 0.0 && ctx_.cfg.method != RepairMethod::kRepairAll
                 ? coverage_of(prev_frac)
                 : (prev_frac >= 0.0 ? cov_new : 0.0);
-        if (cov_new >= 1.0 && cov_old < 1.0) return rng_->bernoulli(1.0);
+        if (cov_new >= 1.0 && cov_old < 1.0) return draw_bernoulli(1.0);
         if (cov_new > cov_old)
           log_no_cover += std::log1p(-cov_new) - std::log1p(-cov_old);
       }
       // Advance the odometer.
-      if (idx.empty()) break;
-      std::size_t pos = idx.size();
+      if (idx_.empty()) break;
+      std::size_t pos = idx_.size();
       while (pos > 0) {
         --pos;
-        if (idx[pos] + (idx.size() - pos) < others.size()) {
-          ++idx[pos];
-          for (std::size_t i = pos + 1; i < idx.size(); ++i) idx[i] = idx[i - 1] + 1;
+        if (idx_[pos] + (idx_.size() - pos) < others_.size()) {
+          ++idx_[pos];
+          for (std::size_t i = pos + 1; i < idx_.size(); ++i) idx_[i] = idx_[i - 1] + 1;
           break;
         }
         if (pos == 0) {
-          pos = idx.size() + 1;  // exhausted
+          pos = idx_.size() + 1;  // exhausted
           break;
         }
       }
-      if (pos > idx.size()) break;
+      if (pos > idx_.size()) break;
     }
-    return rng_->bernoulli(-std::expm1(log_no_cover));
+    return draw_bernoulli(-std::expm1(log_no_cover));
   }
 
-  const RunContext& ctx_;
-  Rng* rng_ = nullptr;  ///< caller-owned, bound for the duration of run()
-  std::unordered_map<std::uint32_t, PoolEntry> pools_;
+  const FleetSimContext& ctx_;
+  Rng* rng_ = nullptr;              ///< caller-owned, bound for the duration of run()
+  FleetSimResult* result_ = nullptr;  ///< likewise
+  TrialArena<LocalPoolState> pools_;
+  IndexedMinHeap events_;
   std::vector<Catastrophe> cats_;
-  std::priority_queue<PoolEvent, std::vector<PoolEvent>, std::greater<>> events_;
+  /// Subset-enumeration scratch, hoisted out of check_data_loss so the
+  /// per-event path performs no allocation (capacity is retained).
+  std::vector<const Catastrophe*> others_;
+  std::vector<std::size_t> idx_;
+  /// Batched inter-failure gaps; reset per mission (see kExpBatch).
+  std::vector<double> exp_buf_;
+  std::size_t exp_pos_ = 0;
+  std::size_t exp_len_ = 0;
+  std::uint64_t allocs_baseline_ = 0;
 };
 
 }  // namespace
 
 struct FleetMissionEngine::Impl {
-  RunContext ctx;
+  std::shared_ptr<const FleetSimContext> ctx;
   MissionRunner runner;
 
-  explicit Impl(const FleetSimConfig& config) : ctx(config), runner(ctx) {}
+  explicit Impl(std::shared_ptr<const FleetSimContext> context)
+      : ctx(std::move(context)), runner(*ctx) {}
 };
 
 FleetMissionEngine::FleetMissionEngine(const FleetSimConfig& config)
-    : impl_(std::make_unique<Impl>(config)) {}
+    : impl_(std::make_unique<Impl>(make_fleet_context(config))) {}
+FleetMissionEngine::FleetMissionEngine(std::shared_ptr<const FleetSimContext> context)
+    : impl_(std::make_unique<Impl>(std::move(context))) {}
 FleetMissionEngine::~FleetMissionEngine() = default;
 FleetMissionEngine::FleetMissionEngine(FleetMissionEngine&&) noexcept = default;
 FleetMissionEngine& FleetMissionEngine::operator=(FleetMissionEngine&&) noexcept = default;
@@ -410,7 +487,7 @@ void FleetMissionEngine::run_mission(Rng& rng, FleetSimResult& into) {
 
 FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missions,
                               std::uint64_t seed, ThreadPool* pool, StopToken stop) {
-  const RunContext ctx(config);
+  const auto ctx = make_fleet_context(config);
 
   const std::size_t shards =
       pool != nullptr ? std::min<std::size_t>(pool->size() * 2, missions) : 1;
@@ -418,7 +495,7 @@ FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missio
 
   auto run_shard = [&](std::size_t shard, std::uint64_t count) {
     Rng rng = Rng::for_substream(seed, shard);
-    MissionRunner runner(ctx);
+    MissionRunner runner(*ctx);
     auto& result = partial[shard];
     for (std::uint64_t m = 0; m < count; ++m) {
       if (stop.stop_requested()) {
@@ -448,6 +525,9 @@ FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missio
     merged.loss_time_hours.merge(part.loss_time_hours);
     merged.catastrophe_exposure_hours.merge(part.catastrophe_exposure_hours);
     merged.cross_rack_tb += part.cross_rack_tb;
+    merged.events_processed += part.events_processed;
+    merged.rng_draws += part.rng_draws;
+    merged.arena_allocations += part.arena_allocations;
     merged.truncated = merged.truncated || part.truncated;
   }
   return merged;

@@ -63,6 +63,12 @@ struct FleetSimResult {
   RunningStats catastrophe_exposure_hours;
   /// Cross-rack repair traffic accumulated over all missions (TB).
   double cross_rack_tb = 0;
+  /// Perf counters (DESIGN.md §10): discrete events processed (pool events
+  /// plus disk failures), RNG variates drawn (batch refills included), and
+  /// arena slot-storage growths after warm-up (0 in steady state).
+  std::uint64_t events_processed = 0;
+  std::uint64_t rng_draws = 0;
+  std::uint64_t arena_allocations = 0;
   /// True when a stop token ended the sweep before all requested missions
   /// ran; `missions` then counts only the completed ones, so the PDL
   /// estimate and its interval remain valid (just wider).
@@ -75,6 +81,16 @@ struct FleetSimResult {
   ProportionEstimate::Interval pdl_interval() const;
   double catastrophes_per_system_year(double mission_hours) const;
 };
+
+/// Immutable per-run constants of the fleet simulator: validated config,
+/// pool layout/indexing, failure rates, and the finalized PoolRepairModel
+/// lookup tables. Built once and shared read-only across every shard of a
+/// run (or every shard of a campaign) instead of being recomputed per
+/// engine. Opaque: the definition lives in fleet_sim.cpp.
+class FleetSimContext;
+
+/// Build (and validate) the shared context for `config`.
+std::shared_ptr<const FleetSimContext> make_fleet_context(const FleetSimConfig& config);
 
 /// Run `missions` independent missions. When `pool` is provided, missions
 /// are sharded across its workers (deterministic per-shard seeding via
@@ -91,6 +107,10 @@ FleetSimResult simulate_fleet(const FleetSimConfig& config, std::uint64_t missio
 class FleetMissionEngine {
  public:
   explicit FleetMissionEngine(const FleetSimConfig& config);
+  /// Share an already-built context (campaign shards of one run should all
+  /// use this form so the lookup tables exist once per process, not per
+  /// shard).
+  explicit FleetMissionEngine(std::shared_ptr<const FleetSimContext> context);
   ~FleetMissionEngine();
   FleetMissionEngine(FleetMissionEngine&&) noexcept;
   FleetMissionEngine& operator=(FleetMissionEngine&&) noexcept;

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "runtime/campaign.hpp"
 #include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,6 +57,15 @@ struct Estimate {
   bool truncated = false;
   bool converged = false;
   bool resumed = false;
+
+  // Perf counters (campaign-backed methods; zero for the closed forms).
+  std::uint64_t events_processed = 0;  ///< discrete sim events handled
+  std::uint64_t rng_draws = 0;         ///< RNG variates consumed
+  std::uint64_t arena_allocations = 0; ///< arena growths after warm-up (sim)
+  double elapsed_s = 0.0;              ///< campaign wall-clock seconds
+  /// Full campaign report — per-shard done/elapsed drives the `--perf`
+  /// trials-per-second table. Empty shards for the analytic methods.
+  CampaignReport campaign;
 };
 
 /// Execution knobs shared by all estimators; only the campaign-backed

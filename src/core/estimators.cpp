@@ -93,6 +93,11 @@ class SimEstimator final : public Estimator {
     e.truncated = run.report.truncated;
     e.converged = run.report.converged;
     e.resumed = run.report.resumed;
+    e.events_processed = run.result.events_processed;
+    e.rng_draws = run.result.rng_draws;
+    e.arena_allocations = run.result.arena_allocations;
+    e.elapsed_s = run.report.elapsed_s;
+    e.campaign = run.report;
     return e;
   }
 };
@@ -169,6 +174,10 @@ class SplitEstimator final : public Estimator {
     e.truncated = stage1_run.report.truncated;
     e.converged = stage1_run.report.converged;
     e.resumed = stage1_run.report.resumed;
+    e.events_processed = stage1_run.events_processed;
+    e.rng_draws = stage1_run.rng_draws;
+    e.elapsed_s = stage1_run.report.elapsed_s;
+    e.campaign = stage1_run.report;
     return e;
   }
 };

@@ -43,6 +43,7 @@ struct CampaignRunner::ShardState {
   bool finished = false;
   bool quarantined = false;
   std::string error;
+  double elapsed_s = 0.0;  ///< wall time across this invocation's attempts
 };
 
 CampaignRunner::CampaignRunner(CampaignConfig config, WorkerFactory factory, RseEstimator rse)
@@ -136,6 +137,14 @@ void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
 
 void CampaignRunner::run_shard(std::uint32_t shard) {
   auto& st = states_[shard];
+  const auto started = std::chrono::steady_clock::now();
+  struct Timer {
+    std::chrono::steady_clock::time_point start;
+    double& into;
+    ~Timer() {
+      into += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    }
+  } timer{started, st.elapsed_s};
   while (!st.finished && !st.quarantined) {
     const std::uint64_t stream =
         static_cast<std::uint64_t>(shard) | (static_cast<std::uint64_t>(st.attempt) << 32);
@@ -185,6 +194,7 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
 }
 
 std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* pool) {
+  const auto run_started = std::chrono::steady_clock::now();
   std::size_t shard_count = config_.shards;
   if (shard_count == 0) shard_count = pool != nullptr ? pool->size() * 2 : 1;
   shard_count = std::clamp<std::size_t>(shard_count, 1, config_.total_units);
@@ -226,9 +236,12 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
     outcome.done = st.done;
     outcome.quarantined = st.quarantined;
     outcome.error = st.error;
+    outcome.elapsed_s = st.elapsed_s;
     report.shards.push_back(std::move(outcome));
     report.units_done += st.done;
   }
+  report.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - run_started).count();
   report.converged = converged_.load();
   report.truncated = truncated_.load() && !report.converged && !report.complete();
 

@@ -76,6 +76,10 @@ struct ShardOutcome {
   std::uint64_t done = 0;
   bool quarantined = false;
   std::string error;            ///< what() of the last failure, if any
+  /// Wall-clock seconds this shard spent in the current invocation (all
+  /// attempts; excludes resumed prior runs). done / elapsed_s is the
+  /// shard's units-per-second throughput.
+  double elapsed_s = 0.0;
 };
 
 /// Structured result of a campaign run, alongside the merged accumulator.
@@ -87,6 +91,7 @@ struct CampaignReport {
   bool converged = false;   ///< target_rse reached before total_units
   bool resumed = false;     ///< state was restored from a journal
   double achieved_rse = 0.0;  ///< final estimator value (NaN-free; 0 if unset)
+  double elapsed_s = 0.0;   ///< wall-clock seconds of this invocation's run()
 
   std::size_t quarantined() const;
   bool complete() const { return units_done == units_requested; }

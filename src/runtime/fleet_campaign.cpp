@@ -17,6 +17,9 @@ constexpr const char* kCatastrophes = "catastrophic_pool_events";
 constexpr const char* kCrossRackTb = "cross_rack_tb";
 constexpr const char* kLossTime = "loss_time_hours";
 constexpr const char* kExposure = "catastrophe_exposure_hours";
+constexpr const char* kEvents = "events_processed";
+constexpr const char* kRngDraws = "rng_draws";
+constexpr const char* kArenaAllocs = "arena_allocations";
 
 }  // namespace
 
@@ -29,6 +32,9 @@ void accumulate_fleet_result(const FleetSimResult& result, CampaignAccumulator& 
   acc.scalar(kCrossRackTb) += result.cross_rack_tb;
   acc.stats(kLossTime).merge(result.loss_time_hours);
   acc.stats(kExposure).merge(result.catastrophe_exposure_hours);
+  acc.counter(kEvents) += result.events_processed;
+  acc.counter(kRngDraws) += result.rng_draws;
+  acc.counter(kArenaAllocs) += result.arena_allocations;
 }
 
 FleetSimResult fleet_result_from(const CampaignAccumulator& acc) {
@@ -41,13 +47,18 @@ FleetSimResult fleet_result_from(const CampaignAccumulator& acc) {
   result.cross_rack_tb = acc.scalar(kCrossRackTb);
   result.loss_time_hours = acc.stats(kLossTime);
   result.catastrophe_exposure_hours = acc.stats(kExposure);
+  result.events_processed = acc.counter(kEvents);
+  result.rng_draws = acc.counter(kRngDraws);
+  result.arena_allocations = acc.counter(kArenaAllocs);
   return result;
 }
 
 std::string fleet_campaign_fingerprint(const FleetSimConfig& config) {
   std::ostringstream os;
   os.precision(17);
-  os << "fleet-v1;dc=" << config.dc.racks << 'x' << config.dc.enclosures_per_rack << 'x'
+  // v2: the sim core's RNG consumption changed (batched inter-failure gaps),
+  // so journals written by the v1 core must not resume into this one.
+  os << "fleet-v2;dc=" << config.dc.racks << 'x' << config.dc.enclosures_per_rack << 'x'
      << config.dc.disks_per_enclosure << ";disk_tb=" << config.dc.disk_capacity_tb
      << ";chunk_kb=" << config.dc.chunk_kb << ";code=" << config.code.notation()
      << ";scheme=" << to_string(config.scheme) << ";method=" << to_string(config.method)
@@ -81,8 +92,11 @@ FleetCampaignResult run_fleet_campaign(const FleetSimConfig& config, std::uint64
   campaign.fingerprint = fleet_campaign_fingerprint(config);
   campaign.stop = options.stop;
 
-  auto factory = [&config](std::uint32_t, Rng& rng) -> CampaignRunner::UnitRunner {
-    auto engine = std::make_shared<FleetMissionEngine>(config);
+  // One immutable context (validated config + lookup tables) shared by every
+  // shard's engine; each engine keeps only its own mutable trial state.
+  auto context = make_fleet_context(config);
+  auto factory = [context](std::uint32_t, Rng& rng) -> CampaignRunner::UnitRunner {
+    auto engine = std::make_shared<FleetMissionEngine>(context);
     return [engine, &rng](CampaignAccumulator& acc) {
       FleetSimResult one;
       engine->run_mission(rng, one);

@@ -14,6 +14,8 @@ constexpr const char* kPoolYears = "pool_years";
 constexpr const char* kLostFraction = "lost_stripe_fraction";
 constexpr const char* kUnrebuiltTb = "unrebuilt_tb";
 constexpr const char* kRepairHours = "single_disk_repair_hours";
+constexpr const char* kEvents = "events_processed";
+constexpr const char* kRngDraws = "rng_draws";
 
 }  // namespace
 
@@ -35,6 +37,8 @@ void accumulate_local_pool_result(const LocalPoolSimResult& result, CampaignAccu
     unrebuilt.add(s.unrebuilt_tb);
   }
   acc.stats(kRepairHours).merge(result.single_disk_repair_hours);
+  acc.counter(kEvents) += result.events_processed;
+  acc.counter(kRngDraws) += result.rng_draws;
 }
 
 std::string local_pool_campaign_fingerprint(const LocalPoolSimConfig& config) {
@@ -94,6 +98,8 @@ LocalPoolCampaignResult run_local_pool_campaign(const LocalPoolSimConfig& config
   out.lost_stripe_fraction = merged.stats(kLostFraction);
   out.unrebuilt_tb = merged.stats(kUnrebuiltTb);
   out.single_disk_repair_hours = merged.stats(kRepairHours);
+  out.events_processed = merged.counter(kEvents);
+  out.rng_draws = merged.counter(kRngDraws);
   out.report = std::move(report);
   return out;
 }

@@ -40,6 +40,9 @@ struct LocalPoolCampaignResult {
   RunningStats lost_stripe_fraction;  ///< per-catastrophe lost fraction
   RunningStats unrebuilt_tb;          ///< per-catastrophe missing data
   RunningStats single_disk_repair_hours;
+  /// Perf counters merged from the shard simulators.
+  std::uint64_t events_processed = 0;
+  std::uint64_t rng_draws = 0;
   CampaignReport report;
 
   double catastrophe_rate_per_year() const {

@@ -1,0 +1,151 @@
+// Indexed d-ary min-heap with decrease-key / increase-key / remove.
+//
+// The fleet simulator queues at most one intrinsic event (detection or
+// rebuild completion) per local pool, but that event moves every time the
+// pool's state changes. A plain std::priority_queue forces lazy deletion:
+// stale entries pile up and every reschedule pays a push plus later a pop.
+// This heap keys entries by a dense id (the pool index) and keeps an
+// id -> position table, so a reschedule is an in-place sift and a retired
+// pool's event is removed outright — the queue never holds garbage.
+//
+// Ordering is strict-weak by (key, id), so the pop sequence is a pure
+// function of the contained set — deterministic regardless of the
+// push/update history, which the simulators rely on for reproducibility.
+// 4-ary layout: shallower than binary for the same size, and the 4-child
+// min scan is branch-friendly on the small heaps the simulator produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace mlec {
+
+class IndexedMinHeap {
+ public:
+  /// Size the id universe to [0, universe) and clear the heap.
+  void resize(std::size_t universe) {
+    heap_.clear();
+    pos_.assign(universe, 0);
+  }
+
+  /// Remove all entries. O(size), not O(universe).
+  void clear() {
+    for (const Node& n : heap_) pos_[n.id] = 0;
+    heap_.clear();
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  std::size_t universe() const { return pos_.size(); }
+
+  bool contains(std::uint32_t id) const { return pos_[id] != 0; }
+
+  /// Key of a contained id.
+  double key_of(std::uint32_t id) const {
+    MLEC_ASSERT(contains(id));
+    return heap_[pos_[id] - 1].key;
+  }
+
+  /// Insert `id` with `key`, or move it to `key` if already present
+  /// (decrease and increase both supported).
+  void push_or_update(std::uint32_t id, double key) {
+    MLEC_ASSERT(id < pos_.size());
+    if (pos_[id] == 0) {
+      heap_.push_back({key, id});
+      pos_[id] = static_cast<std::uint32_t>(heap_.size());
+      sift_up(heap_.size() - 1);
+    } else {
+      const std::size_t i = pos_[id] - 1;
+      const double old = heap_[i].key;
+      heap_[i].key = key;
+      if (key < old) sift_up(i);
+      else if (key > old) sift_down(i);
+    }
+  }
+
+  /// Remove `id` if present; returns whether anything was removed.
+  bool remove(std::uint32_t id) {
+    if (pos_[id] == 0) return false;
+    const std::size_t i = pos_[id] - 1;
+    pos_[id] = 0;
+    const std::size_t last = heap_.size() - 1;
+    if (i != last) {
+      const Node moved = heap_[last];
+      heap_.pop_back();
+      heap_[i] = moved;
+      pos_[moved.id] = static_cast<std::uint32_t>(i + 1);
+      // The replacement can be smaller or larger than the hole's parent.
+      sift_up(i);
+      sift_down(pos_[moved.id] - 1);
+    } else {
+      heap_.pop_back();
+    }
+    return true;
+  }
+
+  std::uint32_t top_id() const {
+    MLEC_ASSERT(!heap_.empty());
+    return heap_.front().id;
+  }
+  double top_key() const {
+    MLEC_ASSERT(!heap_.empty());
+    return heap_.front().key;
+  }
+
+  void pop() {
+    MLEC_ASSERT(!heap_.empty());
+    remove(heap_.front().id);
+  }
+
+ private:
+  struct Node {
+    double key;
+    std::uint32_t id;
+  };
+  static constexpr std::size_t kArity = 4;
+
+  static bool less(const Node& a, const Node& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.id < b.id;
+  }
+
+  void sift_up(std::size_t i) {
+    const Node node = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!less(node, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i + 1);
+      i = parent;
+    }
+    heap_[i] = node;
+    pos_[node.id] = static_cast<std::uint32_t>(i + 1);
+  }
+
+  void sift_down(std::size_t i) {
+    const Node node = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t first = i * kArity + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t last = std::min(first + kArity, n);
+      for (std::size_t c = first + 1; c < last; ++c)
+        if (less(heap_[c], heap_[best])) best = c;
+      if (!less(heap_[best], node)) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i + 1);
+      i = best;
+    }
+    heap_[i] = node;
+    pos_[node.id] = static_cast<std::uint32_t>(i + 1);
+  }
+
+  std::vector<Node> heap_;
+  std::vector<std::uint32_t> pos_;  ///< id -> heap index + 1; 0 = absent
+};
+
+}  // namespace mlec

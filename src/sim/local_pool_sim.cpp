@@ -60,10 +60,14 @@ LocalPoolSimResult simulate_local_pool(const LocalPoolSimConfig& cfg, std::uint6
     result.single_disk_repair_hours.add(finish - start);
   };
 
+  // One pool state reused across missions: reset() keeps the failure
+  // vector's capacity, so the mission loop allocates nothing.
+  LocalPoolState pool;
   for (std::uint64_t m = 0; m < missions; ++m) {
     double t = 0.0;
     double next_fail = rng.exponential(pool_rate);
-    LocalPoolState pool;
+    ++result.rng_draws;
+    pool.reset();
 
     while (true) {
       // Earliest upcoming event: failure arrival, or the pool's own next
@@ -72,9 +76,11 @@ LocalPoolSimResult simulate_local_pool(const LocalPoolSimConfig& cfg, std::uint6
       if (next_event >= cfg.mission_hours) break;
       pool.advance_to(next_event, model, record_repair);
       t = next_event;
+      ++result.events_processed;
       if (next_event < next_fail) continue;  // detection/completion handled above
 
       next_fail = t + rng.exponential(pool_rate);
+      ++result.rng_draws;
       pool.add_failure(t, model);
 
       if (pool.catastrophic(t, model)) {
@@ -105,6 +111,8 @@ LocalPoolSimResult merge_results(std::vector<LocalPoolSimResult> shards,
     merged.catastrophes += shard.catastrophes;
     merged.pool_years += shard.pool_years;
     merged.single_disk_repair_hours.merge(shard.single_disk_repair_hours);
+    merged.events_processed += shard.events_processed;
+    merged.rng_draws += shard.rng_draws;
     for (auto& sample : shard.samples) {
       if (merged.samples.size() >= max_samples) break;
       merged.samples.push_back(sample);

@@ -74,6 +74,10 @@ struct LocalPoolSimResult {
   double pool_years = 0.0;  ///< total simulated pool-time in years
   std::vector<CatastropheSample> samples;
   RunningStats single_disk_repair_hours;  ///< observed per-disk rebuild times
+  /// Perf counters: discrete events processed (failures plus pool
+  /// detections/completions) and RNG variates drawn.
+  std::uint64_t events_processed = 0;
+  std::uint64_t rng_draws = 0;
 
   /// Catastrophes per pool-year (the splitting stage-1 rate).
   double catastrophe_rate_per_year() const {

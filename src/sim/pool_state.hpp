@@ -46,11 +46,17 @@ struct PoolRepairModel {
   void finalize() {
     const std::size_t max_f = std::min<std::size_t>(pool_disks, 64);
     frac_tab_.assign(max_f + 1, 0.0);
-    for (std::size_t f = 0; f <= max_f; ++f)
+    decl_bw_tab_.assign(max_f + 1, 0.0);
+    crit_win_tab_.assign(max_f + 1, 0.0);
+    clustered_rate_ = disk_eff_mbps * units::kSecondsPerHour * 1e6 / 1e12;
+    for (std::size_t f = 0; f <= max_f; ++f) {
       frac_tab_[f] = hypergeom_tail_geq(static_cast<std::int64_t>(pool_disks),
                                         static_cast<std::int64_t>(f),
                                         static_cast<std::int64_t>(code.width()),
                                         static_cast<std::int64_t>(code.p + 1));
+      decl_bw_tab_[f] = declustered_bw_raw(f);
+      crit_win_tab_[f] = detection_hours + critical_volume_tb(f) / decl_bw_tab_[f];
+    }
   }
 
   double chunks_per_disk() const { return disk_capacity_tb * 1e12 / (chunk_kb * 1e3); }
@@ -63,13 +69,13 @@ struct PoolRepairModel {
   /// Clustered: each failed disk rebuilds onto its own spare at the spare's
   /// write bandwidth.
   double clustered_rate_tb_h() const {
-    return disk_eff_mbps * units::kSecondsPerHour * 1e6 / 1e12;
+    return crit_win_tab_.empty() ? disk_eff_mbps * units::kSecondsPerHour * 1e6 / 1e12
+                                 : clustered_rate_;
   }
   /// Declustered: pool-wide aggregate bandwidth with f concurrent failures
-  /// (Table 2's (n-f) * disk_eff / (k_l+1)).
+  /// (Table 2's (n-f) * disk_eff / (k_l+1)). Table-backed after finalize().
   double declustered_bw_tb_h(std::size_t f) const {
-    return static_cast<double>(pool_disks - f) * disk_eff_mbps /
-           static_cast<double>(code.k + 1) * units::kSecondsPerHour * 1e6 / 1e12;
+    return f < decl_bw_tab_.size() ? decl_bw_tab_[f] : declustered_bw_raw(f);
   }
   /// Rebuild rate (TB/h) applied to EACH detected failure given the pool's
   /// concurrent-failure and detected counts. Zero while nothing is detected.
@@ -96,12 +102,23 @@ struct PoolRepairModel {
   }
   /// Length of the critical window opened by reaching f concurrent failures:
   /// detection plus demoting the critical class at declustered bandwidth.
+  /// Table-backed after finalize() — the raw form recomputes a
+  /// hypergeometric pmf, far too costly for the per-failure hot path.
   double critical_window_hours(std::size_t f) const {
-    return detection_hours + critical_volume_tb(f) / declustered_bw_tb_h(f);
+    if (f < crit_win_tab_.size()) return crit_win_tab_[f];
+    return detection_hours + critical_volume_tb(f) / declustered_bw_raw(f);
   }
 
  private:
-  std::vector<double> frac_tab_;  ///< declustered_lost_fraction by f
+  double declustered_bw_raw(std::size_t f) const {
+    return static_cast<double>(pool_disks - f) * disk_eff_mbps /
+           static_cast<double>(code.k + 1) * units::kSecondsPerHour * 1e6 / 1e12;
+  }
+
+  std::vector<double> frac_tab_;      ///< declustered_lost_fraction by f
+  std::vector<double> decl_bw_tab_;   ///< declustered_bw_tb_h by f
+  std::vector<double> crit_win_tab_;  ///< critical_window_hours by f
+  double clustered_rate_ = 0.0;       ///< clustered_rate_tb_h after finalize()
 };
 
 /// One in-flight disk failure: when it happened, when the repair system

@@ -83,6 +83,22 @@ double Rng::exponential(double rate) {
   return -std::log1p(-uniform()) / rate;
 }
 
+void Rng::uniform_fill(std::span<double> out) {
+  // Same per-element transform as uniform(): the fill must stay
+  // bit-identical to repeated single draws on the same stream.
+  for (double& v : out) v = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+void Rng::exponential_fill(std::span<double> out, double rate) {
+  MLEC_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  // Same expression as exponential(): dividing (not multiplying by a
+  // precomputed reciprocal) keeps the fill bit-identical to single draws.
+  for (double& v : out) {
+    const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    v = -std::log1p(-u) / rate;
+  }
+}
+
 double Rng::weibull(double shape, double scale) {
   MLEC_REQUIRE(shape > 0.0 && scale > 0.0, "weibull parameters must be positive");
   return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);

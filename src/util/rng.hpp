@@ -65,6 +65,16 @@ class Rng {
   /// time). Requires rate > 0.
   double exponential(double rate);
 
+  /// Fill `out` with uniform [0, 1) doubles. Bit-identical to calling
+  /// uniform() out.size() times on the same stream — the block form exists
+  /// so hot loops amortize call overhead, not to change the variates.
+  void uniform_fill(std::span<double> out);
+
+  /// Fill `out` with Exp(rate) variates via the inverse CDF. Bit-identical
+  /// to calling exponential(rate) out.size() times on the same stream.
+  /// Requires rate > 0.
+  void exponential_fill(std::span<double> out, double rate);
+
   /// Weibull(shape, scale) sample. Requires shape > 0 and scale > 0.
   double weibull(double shape, double scale);
 

@@ -1,0 +1,148 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace mlec {
+namespace {
+
+struct Slot {
+  std::vector<int> payload;
+  int resets = 0;
+};
+
+TEST(TrialArena, StartsInactive) {
+  TrialArena<Slot> arena;
+  arena.resize(16);
+  EXPECT_EQ(arena.universe(), 16u);
+  EXPECT_EQ(arena.active_count(), 0u);
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    EXPECT_FALSE(arena.active(id));
+    EXPECT_EQ(arena.find(id), nullptr);
+  }
+}
+
+TEST(TrialArena, ActivateResetsOnceAndFindsAfterwards) {
+  TrialArena<Slot> arena;
+  arena.resize(4);
+  auto reset = [](Slot& s) {
+    s.payload.clear();
+    ++s.resets;
+  };
+  Slot& a = arena.activate(2, reset);
+  EXPECT_EQ(a.resets, 1);
+  a.payload.push_back(7);
+
+  // A second activate of the same id must return the same live slot
+  // without resetting it.
+  Slot& again = arena.activate(2, reset);
+  EXPECT_EQ(&again, &a);
+  EXPECT_EQ(again.resets, 1);
+  EXPECT_EQ(again.payload, (std::vector<int>{7}));
+
+  ASSERT_NE(arena.find(2), nullptr);
+  EXPECT_EQ(arena.find(2), &a);
+  EXPECT_TRUE(arena.active(2));
+  EXPECT_EQ(arena.active_count(), 1u);
+}
+
+TEST(TrialArena, DeactivateRemovesFromActiveSet) {
+  TrialArena<Slot> arena;
+  arena.resize(8);
+  auto reset = [](Slot& s) { s.payload.clear(); };
+  arena.activate(1, reset);
+  arena.activate(5, reset);
+  arena.activate(3, reset);
+  arena.deactivate(5);
+  EXPECT_FALSE(arena.active(5));
+  EXPECT_EQ(arena.find(5), nullptr);
+  EXPECT_EQ(arena.active_count(), 2u);
+  // Swap-remove must keep the other ids intact.
+  std::set<std::uint32_t> active(arena.active_ids().begin(), arena.active_ids().end());
+  EXPECT_EQ(active, (std::set<std::uint32_t>{1, 3}));
+  arena.deactivate(5);  // double deactivate is a no-op
+  EXPECT_EQ(arena.active_count(), 2u);
+}
+
+TEST(TrialArena, BeginTrialDeactivatesEveryoneButRecyclesSlots) {
+  TrialArena<Slot> arena;
+  arena.resize(8);
+  auto reset = [](Slot& s) {
+    s.payload.clear();
+    ++s.resets;
+  };
+  Slot& a = arena.activate(6, reset);
+  a.payload.assign(100, 42);  // grow the slot's heap capacity
+  const std::size_t capacity = a.payload.capacity();
+
+  arena.begin_trial();
+  EXPECT_EQ(arena.active_count(), 0u);
+  EXPECT_FALSE(arena.active(6));
+
+  // Re-activation resets the value (second reset) into the SAME slot, so
+  // the vector capacity survives — the zero-allocation recycling invariant.
+  Slot& b = arena.activate(6, reset);
+  EXPECT_EQ(&b, &a);
+  EXPECT_EQ(b.resets, 2);
+  EXPECT_TRUE(b.payload.empty());
+  EXPECT_GE(b.payload.capacity(), capacity);
+}
+
+TEST(TrialArena, AllocationsCountOnlyGrowth) {
+  TrialArena<Slot> arena;
+  EXPECT_EQ(arena.allocations(), 0u);
+  arena.resize(8);
+  EXPECT_EQ(arena.allocations(), 1u);
+  arena.resize(8);  // same size: no growth
+  EXPECT_EQ(arena.allocations(), 1u);
+  arena.resize(4);  // shrink keeps storage
+  EXPECT_EQ(arena.allocations(), 1u);
+  arena.resize(32);
+  EXPECT_EQ(arena.allocations(), 2u);
+
+  // Steady-state trial loop: no further growth regardless of activity.
+  auto reset = [](Slot& s) { s.payload.clear(); };
+  for (int trial = 0; trial < 100; ++trial) {
+    arena.begin_trial();
+    for (std::uint32_t id = 0; id < 32; id += 3) arena.activate(id, reset);
+    arena.deactivate(3);
+  }
+  EXPECT_EQ(arena.allocations(), 2u);
+}
+
+TEST(TrialArena, ActiveIdsTracksMembershipThroughChurn) {
+  TrialArena<int> arena;
+  arena.resize(64);
+  std::set<std::uint32_t> model;
+  auto reset = [](int& v) { v = 0; };
+  std::uint64_t x = 88172645463325252ULL;  // xorshift, deterministic churn
+  auto next = [&x]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int step = 0; step < 10000; ++step) {
+    const auto id = static_cast<std::uint32_t>(next() % 64);
+    if (next() % 3 == 0) {
+      arena.deactivate(id);
+      model.erase(id);
+    } else {
+      arena.activate(id, reset);
+      model.insert(id);
+    }
+    if (step % 997 == 0) {
+      arena.begin_trial();
+      model.clear();
+    }
+    ASSERT_EQ(arena.active_count(), model.size());
+  }
+  const std::set<std::uint32_t> active(arena.active_ids().begin(), arena.active_ids().end());
+  EXPECT_EQ(active, model);
+}
+
+}  // namespace
+}  // namespace mlec

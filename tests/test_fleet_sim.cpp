@@ -43,6 +43,52 @@ TEST(FleetSim, FailureCountMatchesPoissonRate) {
   EXPECT_NEAR(per_mission, 96.0, 5.0);
 }
 
+TEST(FleetSim, SameSeedIsBitIdentical) {
+  const auto cfg = hot_fleet(MlecScheme::kCC);
+  const auto a = simulate_fleet(cfg, 120, 7);
+  const auto b = simulate_fleet(cfg, 120, 7);
+  EXPECT_EQ(a.missions, b.missions);
+  EXPECT_EQ(a.data_loss_missions, b.data_loss_missions);
+  EXPECT_EQ(a.data_loss_events, b.data_loss_events);
+  EXPECT_EQ(a.disk_failures, b.disk_failures);
+  EXPECT_EQ(a.catastrophic_pool_events, b.catastrophic_pool_events);
+  EXPECT_EQ(a.cross_rack_tb, b.cross_rack_tb);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.rng_draws, b.rng_draws);
+}
+
+TEST(FleetSim, SharedContextEngineMatchesPerConfigEngine) {
+  const auto cfg = hot_fleet(MlecScheme::kDD);
+  const auto context = make_fleet_context(cfg);
+  FleetMissionEngine from_config(cfg);
+  FleetMissionEngine from_context(context);
+  Rng rng_a = Rng::for_substream(11, 0);
+  Rng rng_b = Rng::for_substream(11, 0);
+  FleetSimResult a, b;
+  for (int m = 0; m < 40; ++m) {
+    from_config.run_mission(rng_a, a);
+    from_context.run_mission(rng_b, b);
+  }
+  EXPECT_EQ(a.disk_failures, b.disk_failures);
+  EXPECT_EQ(a.data_loss_missions, b.data_loss_missions);
+  EXPECT_EQ(a.catastrophic_pool_events, b.catastrophic_pool_events);
+  EXPECT_EQ(a.cross_rack_tb, b.cross_rack_tb);
+  EXPECT_EQ(rng_a.state(), rng_b.state());
+}
+
+TEST(FleetSim, PerfCountersArePopulatedAndAllocationFree) {
+  const auto cfg = hot_fleet(MlecScheme::kCC);
+  const auto r = simulate_fleet(cfg, 100, 5);
+  // Every disk failure is an event, and pool events add more on top.
+  EXPECT_GE(r.events_processed, r.disk_failures);
+  EXPECT_GT(r.events_processed, 0u);
+  // At least one variate per sampled failure (gap batches + disk picks).
+  EXPECT_GT(r.rng_draws, r.disk_failures);
+  // The pool arena is fully allocated at engine construction: the mission
+  // loop never grows it.
+  EXPECT_EQ(r.arena_allocations, 0u);
+}
+
 class FleetSchemes : public ::testing::TestWithParam<MlecScheme> {};
 
 TEST_P(FleetSchemes, CatastrophesAndTrafficAccumulate) {

@@ -1,0 +1,196 @@
+#include "sim/indexed_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mlec {
+namespace {
+
+TEST(IndexedMinHeap, StartsEmpty) {
+  IndexedMinHeap heap;
+  heap.resize(8);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.universe(), 8u);
+  for (std::uint32_t id = 0; id < 8; ++id) EXPECT_FALSE(heap.contains(id));
+  EXPECT_FALSE(heap.remove(3));
+}
+
+TEST(IndexedMinHeap, PushPopOrdersByKeyThenId) {
+  IndexedMinHeap heap;
+  heap.resize(8);
+  heap.push_or_update(5, 3.0);
+  heap.push_or_update(1, 1.0);
+  heap.push_or_update(7, 2.0);
+  heap.push_or_update(2, 2.0);  // same key as 7: lower id pops first
+  std::vector<std::uint32_t> order;
+  while (!heap.empty()) {
+    order.push_back(heap.top_id());
+    heap.pop();
+  }
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 2, 7, 5}));
+}
+
+TEST(IndexedMinHeap, UpdateMovesEntryBothDirections) {
+  IndexedMinHeap heap;
+  heap.resize(4);
+  heap.push_or_update(0, 10.0);
+  heap.push_or_update(1, 20.0);
+  heap.push_or_update(2, 30.0);
+  EXPECT_EQ(heap.size(), 3u);
+
+  heap.push_or_update(2, 5.0);  // decrease-key
+  EXPECT_EQ(heap.size(), 3u);
+  EXPECT_EQ(heap.top_id(), 2u);
+  EXPECT_EQ(heap.key_of(2), 5.0);
+
+  heap.push_or_update(2, 25.0);  // increase-key
+  EXPECT_EQ(heap.top_id(), 0u);
+  EXPECT_EQ(heap.key_of(2), 25.0);
+}
+
+TEST(IndexedMinHeap, RemoveDropsOnlyThatEntry) {
+  IndexedMinHeap heap;
+  heap.resize(4);
+  heap.push_or_update(0, 1.0);
+  heap.push_or_update(1, 2.0);
+  heap.push_or_update(2, 3.0);
+  EXPECT_TRUE(heap.remove(1));
+  EXPECT_FALSE(heap.contains(1));
+  EXPECT_FALSE(heap.remove(1));
+  EXPECT_EQ(heap.size(), 2u);
+  EXPECT_EQ(heap.top_id(), 0u);
+  heap.pop();
+  EXPECT_EQ(heap.top_id(), 2u);
+}
+
+TEST(IndexedMinHeap, ClearForgetsEverything) {
+  IndexedMinHeap heap;
+  heap.resize(4);
+  heap.push_or_update(0, 1.0);
+  heap.push_or_update(3, 2.0);
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(0));
+  EXPECT_FALSE(heap.contains(3));
+  heap.push_or_update(3, 0.5);  // usable again after clear
+  EXPECT_EQ(heap.top_id(), 3u);
+}
+
+/// Reference model: an ordered set of (key, id) — exactly the heap's
+/// contract, including the deterministic (key, id) tie-break.
+class Reference {
+ public:
+  explicit Reference(std::size_t universe) : key_(universe, 0.0), in_(universe, false) {}
+
+  void push_or_update(std::uint32_t id, double key) {
+    if (in_[id]) entries_.erase({key_[id], id});
+    entries_.insert({key, id});
+    key_[id] = key;
+    in_[id] = true;
+  }
+  bool remove(std::uint32_t id) {
+    if (!in_[id]) return false;
+    entries_.erase({key_[id], id});
+    in_[id] = false;
+    return true;
+  }
+  bool contains(std::uint32_t id) const { return in_[id]; }
+  double key_of(std::uint32_t id) const { return key_[id]; }
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::pair<double, std::uint32_t> top() const { return *entries_.begin(); }
+  void pop_top() {
+    auto it = entries_.begin();
+    in_[it->second] = false;
+    entries_.erase(it);
+  }
+
+ private:
+  std::set<std::pair<double, std::uint32_t>> entries_;
+  std::vector<double> key_;
+  std::vector<bool> in_;
+};
+
+TEST(IndexedMinHeap, RandomizedDifferentialAgainstOrderedSet) {
+  constexpr std::size_t kUniverse = 64;
+  IndexedMinHeap heap;
+  heap.resize(kUniverse);
+  Reference ref(kUniverse);
+  Rng rng(0xfeedULL);
+
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint64_t op = rng.uniform_below(10);
+    const auto id = static_cast<std::uint32_t>(rng.uniform_below(kUniverse));
+    if (op < 4) {  // push or update (fresh key; may decrease or increase)
+      const double key = rng.uniform() * 100.0;
+      heap.push_or_update(id, key);
+      ref.push_or_update(id, key);
+    } else if (op < 6) {  // remove by id
+      EXPECT_EQ(heap.remove(id), ref.remove(id));
+    } else if (op < 8) {  // pop the minimum
+      ASSERT_EQ(heap.empty(), ref.empty());
+      if (!heap.empty()) {
+        const auto [key, top] = ref.top();
+        EXPECT_EQ(heap.top_id(), top);
+        EXPECT_EQ(heap.top_key(), key);
+        heap.pop();
+        ref.pop_top();
+      }
+    } else if (op < 9) {  // targeted decrease-key on the current max-ish entry
+      if (ref.contains(id)) {
+        const double key = ref.key_of(id) / 2.0;
+        heap.push_or_update(id, key);
+        ref.push_or_update(id, key);
+      }
+    } else {  // point queries
+      ASSERT_EQ(heap.contains(id), ref.contains(id));
+      if (ref.contains(id)) EXPECT_EQ(heap.key_of(id), ref.key_of(id));
+    }
+    ASSERT_EQ(heap.size(), ref.size());
+  }
+
+  // Drain: the full pop sequence must match the ordered set exactly.
+  while (!ref.empty()) {
+    const auto [key, top] = ref.top();
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top_id(), top);
+    EXPECT_EQ(heap.top_key(), key);
+    heap.pop();
+    ref.pop_top();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(IndexedMinHeap, MatchesPriorityQueueSemanticsWithoutUpdates) {
+  // Pure push/pop (no decrease-key) must behave like std::priority_queue
+  // over (key, id) min-ordering.
+  using Entry = std::pair<double, std::uint32_t>;
+  IndexedMinHeap heap;
+  heap.resize(512);
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  Rng rng(99);
+  for (std::uint32_t id = 0; id < 512; ++id) {
+    const double key = rng.uniform();
+    heap.push_or_update(id, key);
+    pq.push({key, id});
+  }
+  while (!pq.empty()) {
+    ASSERT_FALSE(heap.empty());
+    EXPECT_EQ(heap.top_key(), pq.top().first);
+    EXPECT_EQ(heap.top_id(), pq.top().second);
+    heap.pop();
+    pq.pop();
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+}  // namespace mlec

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "util/error.hpp"
@@ -168,6 +171,73 @@ TEST(Rng, StateRoundTripReplaysSequence) {
 TEST(Rng, SetStateRejectsAllZero) {
   Rng rng(1);
   EXPECT_THROW(rng.set_state({0, 0, 0, 0}), PreconditionError);
+}
+
+TEST(Rng, UniformFillIsBitIdenticalToSingleDraws) {
+  Rng fill_rng(123), single_rng(123);
+  std::array<double, 257> filled{};  // odd size: no block-boundary luck
+  fill_rng.uniform_fill(filled);
+  for (double v : filled) EXPECT_EQ(v, single_rng.uniform());
+  EXPECT_EQ(fill_rng.state(), single_rng.state());
+}
+
+TEST(Rng, ExponentialFillIsBitIdenticalToSingleDraws) {
+  const double rate = 3.25;
+  Rng fill_rng(7), single_rng(7);
+  std::array<double, 100> filled{};
+  fill_rng.exponential_fill(filled, rate);
+  for (double v : filled) EXPECT_EQ(v, single_rng.exponential(rate));
+  EXPECT_EQ(fill_rng.state(), single_rng.state());
+}
+
+TEST(Rng, ExponentialFillMomentsMatchTheory) {
+  const double rate = 0.5;  // mean 2, variance 4
+  Rng rng(2024);
+  std::vector<double> xs(200000);
+  rng.exponential_fill(xs, rate);
+  double sum = 0.0;
+  for (double x : xs) {
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  EXPECT_NEAR(mean, 1.0 / rate, 0.02);
+  double sq = 0.0;
+  for (double x : xs) sq += (x - mean) * (x - mean);
+  const double variance = sq / static_cast<double>(xs.size());
+  EXPECT_NEAR(variance, 1.0 / (rate * rate), 0.1);
+}
+
+TEST(Rng, UniformFillCoversUnitInterval) {
+  Rng rng(55);
+  std::vector<double> xs(100000);
+  rng.uniform_fill(xs);
+  double lo = 1.0, hi = 0.0, sum = 0.0;
+  for (double x : xs) {
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    sum += x;
+  }
+  EXPECT_LT(lo, 1e-3);
+  EXPECT_GT(hi, 1.0 - 1e-3);
+  EXPECT_NEAR(sum / static_cast<double>(xs.size()), 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialFillRejectsNonPositiveRate) {
+  Rng rng(1);
+  std::array<double, 4> buf{};
+  EXPECT_THROW(rng.exponential_fill(buf, 0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential_fill(buf, -1.0), PreconditionError);
+}
+
+TEST(Rng, EmptyFillsLeaveStateUntouched) {
+  Rng rng(9);
+  const auto before = rng.state();
+  rng.uniform_fill({});
+  rng.exponential_fill({}, 1.0);
+  EXPECT_EQ(rng.state(), before);
 }
 
 TEST(Rng, SubstreamsAreDeterministicAndDistinct) {

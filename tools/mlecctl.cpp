@@ -27,7 +27,7 @@
 // --split-missions N, --strict (unknown config keys are errors).
 // Campaign flags for estimate/simulate: --checkpoint FILE, --resume,
 // --shards N, --time-budget SECONDS, --target-rse X, --unit-budget N,
-// --seed N.
+// --seed N, --perf (print per-shard throughput and sim-core counters).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -65,7 +65,8 @@ using namespace mlec;
       "               [--method sim|split|dp|markov|all] [--json] [--tolerance-nines X]\n"
       "               [--missions N] [--split-missions N]\n"
       "               [--checkpoint FILE] [--resume] [--shards N]\n"
-      "               [--time-budget SECONDS] [--target-rse X] [--unit-budget N] [--seed N]\n";
+      "               [--time-budget SECONDS] [--target-rse X] [--unit-budget N] [--seed N]\n"
+      "               [--perf]\n";
   std::exit(2);
 }
 
@@ -85,6 +86,7 @@ struct Options {
   double time_budget_s = 0.0;
   double target_rse = 0.0;
   std::uint64_t unit_budget = 0;
+  bool perf = false;  ///< print per-shard throughput + sim-core counters
 
   const SystemSpec& spec() const { return scenario.system; }
   SystemSpec& spec() { return scenario.system; }
@@ -196,6 +198,8 @@ Options parse_options(int argc, char** argv) {
         opt.unit_budget = std::stoull(need_value(i));
       } else if (arg == "--seed") {
         opt.scenario.seed = std::stoull(need_value(i));
+      } else if (arg == "--perf") {
+        opt.perf = true;
       } else if (!arg.empty() && arg[0] == '-') {
         usage(("unknown flag " + arg).c_str());
       } else {
@@ -212,6 +216,25 @@ Options parse_options(int argc, char** argv) {
 int cmd_analyze(const Options& opt) {
   std::cout << MlecAnalyzer(opt.spec()).report();
   return 0;
+}
+
+/// Per-shard throughput plus the sim-core counters for one campaign-backed
+/// run (`--perf`).
+void print_perf(const std::string& title, const CampaignReport& rep, std::uint64_t trials,
+                std::uint64_t events, std::uint64_t rng_draws, std::uint64_t arena_allocs) {
+  Table t({"shard", "trials", "elapsed_s", "trials/s"});
+  for (const auto& s : rep.shards)
+    t.add_row({std::to_string(s.shard), std::to_string(s.done), Table::num(s.elapsed_s, 3),
+               s.elapsed_s > 0.0
+                   ? Table::num(static_cast<double>(s.done) / s.elapsed_s, 0)
+                   : "-"});
+  std::cout << t.to_ascii(title);
+  std::cout << "  total: " << trials << " trials in " << Table::num(rep.elapsed_s, 3) << " s";
+  if (rep.elapsed_s > 0.0)
+    std::cout << " (" << Table::num(static_cast<double>(trials) / rep.elapsed_s, 0)
+              << " trials/s)";
+  std::cout << ", " << events << " events, " << rng_draws << " RNG draws, " << arena_allocs
+            << " arena allocations\n";
 }
 
 int cmd_estimate(const Options& opt) {
@@ -235,6 +258,14 @@ int cmd_estimate(const Options& opt) {
     std::cout << report.json() << '\n';
   else
     std::cout << report.table();
+  if (opt.perf) {
+    for (const auto& row : report.rows) {
+      if (!row.ran() || row.estimate.campaign.shards.empty()) continue;
+      print_perf("perf, method " + row.method, row.estimate.campaign, row.estimate.samples,
+                 row.estimate.events_processed, row.estimate.rng_draws,
+                 row.estimate.arena_allocations);
+    }
+  }
   if (!report.agreed()) {
     std::cerr << "mlecctl: estimation methods diverge beyond " << opt.tolerance_nines
               << " nines\n";
@@ -366,6 +397,9 @@ int cmd_simulate(const Options& opt) {
                                 std::to_string(rep.units_requested) + " missions)"});
   std::cout << t.to_ascii("fleet Monte Carlo, " + to_string(opt.spec().scheme) + " " +
                           opt.spec().code.notation() + ", " + to_string(opt.spec().repair));
+  if (opt.perf)
+    print_perf("perf, fleet simulation", rep, r.missions, r.events_processed, r.rng_draws,
+               r.arena_allocations);
   for (const auto& s : rep.shards)
     if (s.quarantined)
       std::cerr << "mlecctl: shard " << s.shard << " quarantined after " << s.attempts
