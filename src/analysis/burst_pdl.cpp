@@ -1,8 +1,9 @@
 #include "analysis/burst_pdl.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+#include <utility>
 
 #include "math/allocation.hpp"
 #include "math/combin.hpp"
@@ -12,6 +13,32 @@
 #include "util/rng.hpp"
 
 namespace mlec {
+
+namespace {
+
+/// Iterate (key, value) pairs as per-key groups in ascending-key order,
+/// preserving insertion order within a key; `fn(values)` returning false
+/// stops the sweep. Deterministic replacement for hash-map grouping inside
+/// the trial loops: group iteration feeds floating-point log-survival sums,
+/// so its order must be a pure function of the trial inputs, never of the
+/// standard library's hash layout.
+template <typename T, typename Fn>
+void for_each_group(std::vector<std::pair<std::size_t, T>>& grouped, std::vector<T>& scratch,
+                    Fn&& fn) {
+  std::stable_sort(grouped.begin(), grouped.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t begin = 0;
+  while (begin < grouped.size()) {
+    scratch.clear();
+    std::size_t end = begin;
+    while (end < grouped.size() && grouped[end].first == grouped[begin].first)
+      scratch.push_back(grouped[end++].second);
+    if (!fn(scratch)) return;
+    begin = end;
+  }
+}
+
+}  // namespace
 
 double saturating_loss(double per_stripe, double stripes) {
   if (per_stripe <= 0.0 || stripes <= 0.0) return 0.0;
@@ -204,6 +231,9 @@ double BurstPdlEngine::mlec_cell(const MlecCode& code, MlecScheme scheme, std::s
 
   double pdl_sum = 0.0;
   std::vector<double> group_probs;
+  std::vector<std::pair<std::size_t, double>> grouped_probs;
+  std::vector<std::pair<std::size_t, std::size_t>> grouped_counts;
+  std::vector<std::size_t> group_counts_scratch;
   for (std::size_t trial = 0; trial < config_.trials_per_cell; ++trial) {
     const auto counts = alloc.sample(racks, failures, rng);
     const auto rack_ids = rng.sample_without_replacement(dc.racks, racks);
@@ -213,18 +243,19 @@ double BurstPdlEngine::mlec_cell(const MlecCode& code, MlecScheme scheme, std::s
       // C/C: per group, each of the pools_per_rack positions loses iff >=
       // p_n+1 of its member pools (one per rack, slot probability q) are
       // catastrophic.
-      std::unordered_map<std::size_t, std::vector<double>> groups;
+      grouped_probs.clear();
       for (std::size_t i = 0; i < racks; ++i)
-        groups[rack_ids[i] / net_width].push_back(q_tab[counts[i]]);
+        grouped_probs.emplace_back(rack_ids[i] / net_width, q_tab[counts[i]]);
       double log_survival = 0.0;
-      for (const auto& [g, probs] : groups) {
+      for_each_group(grouped_probs, group_probs, [&](const std::vector<double>& probs) {
         const double s = poisson_binomial_tail_geq(probs, static_cast<std::int64_t>(pn1));
         if (s >= 1.0) {
           log_survival = -std::numeric_limits<double>::infinity();
-          break;
+          return false;
         }
         log_survival += static_cast<double>(pools_per_rack) * std::log1p(-s);
-      }
+        return true;
+      });
       pdl_trial = -std::expm1(log_survival);
     } else if (network_clustered && !local_clustered) {
       // C/D: one Dp pool per enclosure; a network pool is (group, enclosure
@@ -233,11 +264,12 @@ double BurstPdlEngine::mlec_cell(const MlecCode& code, MlecScheme scheme, std::s
       // network stripe whose local stripes are among the lost ones. Both
       // the alignment probability and the conditional stripe loss are
       // computed analytically from the per-rack failure counts.
-      std::unordered_map<std::size_t, std::vector<std::size_t>> groups;
+      grouped_counts.clear();
       for (std::size_t i = 0; i < racks; ++i)
-        groups[rack_ids[i] / net_width].push_back(counts[i]);
+        grouped_counts.emplace_back(rack_ids[i] / net_width, counts[i]);
       double log_survival = 0.0;
-      for (const auto& [g, group_counts] : groups) {
+      for_each_group(grouped_counts, group_counts_scratch,
+                     [&](const std::vector<std::size_t>& group_counts) {
         group_probs.clear();
         double pi_weighted = 0.0, weight = 0.0;
         for (std::size_t f : group_counts) {
@@ -247,19 +279,20 @@ double BurstPdlEngine::mlec_cell(const MlecCode& code, MlecScheme scheme, std::s
           pi_weighted += a * enc_pi_cond_tab[f];
           weight += a;
         }
-        if (group_probs.size() < pn1) continue;
+        if (group_probs.size() < pn1) return true;
         const double q = poisson_binomial_tail_geq(group_probs, static_cast<std::int64_t>(pn1));
-        if (q <= 0.0) continue;
+        if (q <= 0.0) return true;
         const double pi_typ = pi_weighted / weight;
         const double cond_loss =
             saturating_loss(std::pow(pi_typ, static_cast<double>(pn1)), stripes_per_pool);
         const double position_loss = q * cond_loss;
         if (position_loss >= 1.0) {
           log_survival = -std::numeric_limits<double>::infinity();
-          break;
+          return false;
         }
         log_survival += static_cast<double>(enclosures) * std::log1p(-position_loss);
-      }
+        return true;
+      });
       pdl_trial = -std::expm1(log_survival);
     } else if (!network_clustered && local_clustered) {
       // D/C: data loss needs >= p_n+1 racks with a catastrophic pool plus a
@@ -336,6 +369,8 @@ double BurstPdlEngine::slec_cell(const SlecCode& code, SlecScheme scheme, std::s
   }
 
   double pdl_sum = 0.0;
+  std::vector<double> group_probs;
+  std::vector<std::pair<std::size_t, double>> grouped_probs;
   for (std::size_t trial = 0; trial < config_.trials_per_cell; ++trial) {
     const auto counts = alloc.sample(racks, failures, rng);
     const auto rack_ids = rng.sample_without_replacement(dc.racks, racks);
@@ -360,19 +395,20 @@ double BurstPdlEngine::slec_cell(const SlecCode& code, SlecScheme scheme, std::s
       }
     } else if (scheme.placement == Placement::kClustered) {
       // Net-Cp: pools are disk positions repeated across each group's racks.
-      std::unordered_map<std::size_t, std::vector<double>> groups;
+      grouped_probs.clear();
       for (std::size_t i = 0; i < racks; ++i)
-        groups[rack_ids[i] / width].push_back(static_cast<double>(counts[i]) /
-                                              static_cast<double>(D));
+        grouped_probs.emplace_back(rack_ids[i] / width, static_cast<double>(counts[i]) /
+                                                            static_cast<double>(D));
       double log_survival = 0.0;
-      for (const auto& [g, probs] : groups) {
+      for_each_group(grouped_probs, group_probs, [&](const std::vector<double>& probs) {
         const double ppos = poisson_binomial_tail_geq(probs, static_cast<std::int64_t>(p1));
         if (ppos >= 1.0) {
           log_survival = -std::numeric_limits<double>::infinity();
-          break;
+          return false;
         }
         log_survival += static_cast<double>(D) * std::log1p(-ppos);
-      }
+        return true;
+      });
       pdl_trial = -std::expm1(log_survival);
     } else {
       // Net-Dp: each chunk in a random rack; per-rack chunk-loss f/D.

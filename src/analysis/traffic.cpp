@@ -8,6 +8,7 @@ double lost_chunk_fraction(std::size_t pool_disks, std::size_t width, std::size_
                            std::size_t failed) {
   MLEC_REQUIRE(width <= pool_disks, "stripe cannot be wider than its pool");
   if (failed <= pl) return 0.0;
+  // lint:allow(float-eq): both operands are std::size_t; `width` is a double elsewhere in this file
   if (width == pool_disks) return 1.0;  // clustered: every stripe spans every disk
   // A chunk on a failed disk belongs to a lost stripe iff at least p_l of the
   // other failed disks host the stripe's remaining width-1 chunks. With

@@ -170,22 +170,27 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
       st.finished = true;
       return;
     } catch (const std::exception& e) {
-      std::scoped_lock lock(mutex_);
-      st.error = e.what();
-      // Retry from scratch on a fresh substream: the failed attempt's partial
-      // accumulation (committed or not) is discarded so a mid-stream fault
-      // cannot bias the surviving statistics.
-      st.done = 0;
-      st.acc = CampaignAccumulator{};
-      st.has_checkpoint = false;
-      if (st.attempt + 1 >= config_.max_attempts) {
-        st.quarantined = true;
-        write_journal_locked();
-        return;
+      std::uint32_t retry_attempt = 0;
+      {
+        std::scoped_lock lock(mutex_);
+        st.error = e.what();
+        // Retry from scratch on a fresh substream: the failed attempt's
+        // partial accumulation (committed or not) is discarded so a
+        // mid-stream fault cannot bias the surviving statistics.
+        st.done = 0;
+        st.acc = CampaignAccumulator{};
+        st.has_checkpoint = false;
+        if (st.attempt + 1 >= config_.max_attempts) {
+          st.quarantined = true;
+          write_journal_locked();
+          return;
+        }
+        retry_attempt = ++st.attempt;
       }
-      ++st.attempt;
+      // Back off outside the campaign mutex: holding it here would stall
+      // every other shard's commit for the whole (exponential) sleep.
       if (config_.retry_backoff_ms > 0.0) {
-        const double factor = std::pow(2.0, static_cast<double>(st.attempt - 1));
+        const double factor = std::pow(2.0, static_cast<double>(retry_attempt - 1));
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
             config_.retry_backoff_ms * factor));
       }

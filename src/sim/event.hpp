@@ -54,6 +54,7 @@ class EventQueue {
     std::uint64_t seq;
     Callback fn;
     bool operator>(const Event& other) const {
+      // lint:allow(float-eq): strict-weak-order tie-break, not a tolerance check
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }

@@ -16,6 +16,7 @@ namespace mlec {
 namespace {
 void sort_trace(FailureTrace& trace) {
   std::sort(trace.begin(), trace.end(), [](const FailureEvent& a, const FailureEvent& b) {
+    // lint:allow(float-eq): strict-weak-order tie-break, not a tolerance check
     if (a.time_hours != b.time_hours) return a.time_hours < b.time_hours;
     return a.disk < b.disk;
   });

@@ -45,14 +45,14 @@ class IndexedMinHeap {
 
   /// Key of a contained id.
   double key_of(std::uint32_t id) const {
-    MLEC_ASSERT(contains(id));
+    MLEC_ASSERT(contains(id), "key_of() requires a contained id");
     return heap_[pos_[id] - 1].key;
   }
 
   /// Insert `id` with `key`, or move it to `key` if already present
   /// (decrease and increase both supported).
   void push_or_update(std::uint32_t id, double key) {
-    MLEC_ASSERT(id < pos_.size());
+    MLEC_ASSERT(id < pos_.size(), "id outside the sized universe");
     if (pos_[id] == 0) {
       heap_.push_back({key, id});
       pos_[id] = static_cast<std::uint32_t>(heap_.size());
@@ -87,16 +87,16 @@ class IndexedMinHeap {
   }
 
   std::uint32_t top_id() const {
-    MLEC_ASSERT(!heap_.empty());
+    MLEC_ASSERT(!heap_.empty(), "top_id() on an empty heap");
     return heap_.front().id;
   }
   double top_key() const {
-    MLEC_ASSERT(!heap_.empty());
+    MLEC_ASSERT(!heap_.empty(), "top_key() on an empty heap");
     return heap_.front().key;
   }
 
   void pop() {
-    MLEC_ASSERT(!heap_.empty());
+    MLEC_ASSERT(!heap_.empty(), "pop() on an empty heap");
     remove(heap_.front().id);
   }
 
@@ -108,6 +108,7 @@ class IndexedMinHeap {
   static constexpr std::size_t kArity = 4;
 
   static bool less(const Node& a, const Node& b) {
+    // lint:allow(float-eq): strict-weak-order tie-break, not a tolerance check
     if (a.key != b.key) return a.key < b.key;
     return a.id < b.id;
   }

@@ -23,6 +23,7 @@
 
 #include "math/combin.hpp"
 #include "placement/codes.hpp"
+#include "util/error.hpp"
 #include "util/units.hpp"
 
 namespace mlec {
@@ -44,6 +45,8 @@ struct PoolRepairModel {
   double disk_eff_mbps = 40.0;  ///< effective (capped) per-disk bandwidth
 
   void finalize() {
+    MLEC_ASSERT(pool_disks >= code.width(), "pool narrower than its code");
+    MLEC_ASSERT(disk_eff_mbps > 0.0, "finalize() needs a positive disk bandwidth");
     const std::size_t max_f = std::min<std::size_t>(pool_disks, 64);
     frac_tab_.assign(max_f + 1, 0.0);
     decl_bw_tab_.assign(max_f + 1, 0.0);
@@ -146,6 +149,8 @@ struct LocalPoolState {
   /// Record a disk failure at time t. Call advance_to(t, ...) first so
   /// rebuild progress is current.
   void add_failure(double t, const PoolRepairModel& m) {
+    MLEC_ASSERT(failures.empty() || t <= last_advance,
+                "advance_to(t) must run before add_failure(t)");
     if (failures.empty()) last_advance = t;  // fresh (or long-idle) pool
     failures.push_back({t, t + m.detection_hours, m.disk_capacity_tb});
   }
@@ -212,6 +217,7 @@ struct LocalPoolState {
   /// on_complete(start_time, finish_time) for each rebuild that finishes.
   template <typename OnComplete>
   void advance_to(double t, const PoolRepairModel& m, OnComplete&& on_complete) {
+    MLEC_ASSERT(failures.empty() || t >= last_advance, "pool time cannot flow backwards");
     double now = last_advance;
     while (now < t && !failures.empty()) {
       std::size_t detected = 0;

@@ -173,7 +173,7 @@ RepairExecution MaterializedSystem::execute(RepairMethod method) {
           wanted |= via_network[i][j];
         }
         if (!wanted) continue;
-        MLEC_ASSERT(lost.size() <= pn);
+        MLEC_ASSERT(lost.size() <= pn, "network repair given more erasures than parities");
         // Decode into scratch shards so chunks slated for local repair stay
         // missing until their own stage.
         std::vector<std::vector<gf::byte_t>> shards(locals_per_stripe);
@@ -195,7 +195,7 @@ RepairExecution MaterializedSystem::execute(RepairMethod method) {
     for (std::size_t i = 0; i < locals_per_stripe; ++i) {
       auto& fp = failed_positions[s][i];
       if (fp.empty()) continue;
-      MLEC_ASSERT(fp.size() <= pl);
+      MLEC_ASSERT(fp.size() <= pl, "local repair given more erasures than parities");
       local_code_.decode(contents_[s][i], fp);
       ++exec.local_decodes;
       exec.chunks_rebuilt += fp.size();

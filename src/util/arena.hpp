@@ -57,7 +57,7 @@ class TrialArena {
   /// the recycled slot only on that inactive->active edge.
   template <typename Reset>
   T& activate(std::uint32_t id, Reset&& reset) {
-    MLEC_ASSERT(id < slots_.size());
+    MLEC_ASSERT(id < slots_.size(), "id outside the sized universe");
     if (pos_[id] == 0) {
       active_.push_back(id);
       pos_[id] = static_cast<std::uint32_t>(active_.size());

@@ -1,0 +1,53 @@
+#include "util/error.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace mlec {
+
+namespace {
+
+ContractMode mode_from_env() {
+  const char* v = std::getenv("MLEC_CONTRACTS");
+  if (v != nullptr && std::strcmp(v, "abort") == 0) return ContractMode::kAbort;
+  return ContractMode::kThrow;
+}
+
+std::atomic<ContractMode>& mode_slot() {
+  static std::atomic<ContractMode> mode{mode_from_env()};
+  return mode;
+}
+
+}  // namespace
+
+ContractMode contract_mode() noexcept { return mode_slot().load(std::memory_order_relaxed); }
+
+void set_contract_mode(ContractMode mode) noexcept {
+  mode_slot().store(mode, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+[[noreturn]] void contract_failed(ContractKind kind, const char* expr, const std::string& msg,
+                                  std::source_location loc) {
+  const char* label =
+      kind == ContractKind::kPrecondition ? "precondition failed" : "invariant violated";
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": " << label << ": " << expr;
+  if (!msg.empty()) os << " (" << msg << ')';
+  const std::string text = os.str();
+  if (contract_mode() == ContractMode::kAbort) {
+    std::fprintf(stderr, "mlec: %s\n", text.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  if (kind == ContractKind::kPrecondition) throw PreconditionError(text);
+  throw InternalError(text);
+}
+
+}  // namespace detail
+
+}  // namespace mlec

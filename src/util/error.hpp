@@ -1,12 +1,25 @@
-// Error-handling helpers shared across the library.
+// Error-handling and contract macros shared across the library.
 //
-// The library reports precondition violations with exceptions carrying the
-// failing expression and location; hot inner loops use MLEC_ASSERT which
-// compiles out in release builds.
+// Two macro families report broken contracts, both capturing the failing
+// expression, an optional message, and the source location:
+//
+//  * MLEC_REQUIRE(expr, msg) — documented preconditions on public entry
+//    points. Always compiled, in every build type.
+//  * MLEC_ASSERT(expr[, msg]) — internal invariants (library bugs). Active
+//    in Debug/sanitizer builds, compiled out under NDEBUG so the simulation
+//    hot loops (event heap, trial arena, pool state machine) pay nothing in
+//    Release.
+//
+// Violations are reported through one process-wide handler with two modes:
+// throw (default: PreconditionError / InternalError carrying the formatted
+// capture) or abort (print the capture to stderr, then std::abort() so a
+// debugger/sanitizer sees the exact frame). The mode is resolved once from
+// the MLEC_CONTRACTS environment variable ("throw" or "abort") and can be
+// overridden programmatically with set_contract_mode(). See DESIGN.md §11
+// for the policy on which checks belong to which family.
 #pragma once
 
 #include <source_location>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -24,31 +37,60 @@ class InternalError : public std::logic_error {
   using std::logic_error::logic_error;
 };
 
+/// How a violated contract is reported (see file comment).
+enum class ContractMode {
+  kThrow,  ///< throw PreconditionError / InternalError (default)
+  kAbort,  ///< print the capture to stderr and std::abort()
+};
+
+/// Current process-wide mode. First call resolves MLEC_CONTRACTS from the
+/// environment ("abort" selects kAbort; anything else keeps kThrow).
+ContractMode contract_mode() noexcept;
+
+/// Override the mode (tests, embedders). Thread-safe.
+void set_contract_mode(ContractMode mode) noexcept;
+
 namespace detail {
-[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg,
-                                            const std::source_location loc) {
-  std::ostringstream os;
-  os << loc.file_name() << ':' << loc.line() << ": precondition failed: " << expr;
-  if (!msg.empty()) os << " (" << msg << ')';
-  throw PreconditionError(os.str());
-}
+
+/// Kind of contract that failed; selects the exception type in throw mode
+/// and the stderr label in abort mode.
+enum class ContractKind { kPrecondition, kInvariant };
+
+/// Format "<file>:<line>: <kind> failed: <expr> (<msg>)" and report it per
+/// contract_mode(). Never returns.
+[[noreturn]] void contract_failed(ContractKind kind, const char* expr, const std::string& msg,
+                                  std::source_location loc);
+
 }  // namespace detail
 
 }  // namespace mlec
 
-/// Validate a documented precondition; throws mlec::PreconditionError.
-#define MLEC_REQUIRE(expr, msg)                                                     \
-  do {                                                                              \
-    if (!(expr))                                                                    \
-      ::mlec::detail::throw_precondition(#expr, (msg), std::source_location::current()); \
+/// Validate a documented precondition; reports via the contract handler
+/// (throws mlec::PreconditionError in the default mode). Always active.
+#define MLEC_REQUIRE(expr, msg)                                                       \
+  do {                                                                                \
+    if (!(expr))                                                                      \
+      ::mlec::detail::contract_failed(::mlec::detail::ContractKind::kPrecondition,    \
+                                      #expr, (msg), std::source_location::current()); \
   } while (0)
 
-/// Internal invariant check; active only in debug builds.
+/// Internal invariant check with an optional message:
+/// MLEC_ASSERT(expr) or MLEC_ASSERT(expr, "context"). Active only in
+/// builds without NDEBUG; reports via the contract handler (throws
+/// mlec::InternalError in the default mode).
 #ifndef NDEBUG
-#define MLEC_ASSERT(expr)                                                   \
-  do {                                                                      \
-    if (!(expr)) throw ::mlec::InternalError("assertion failed: " #expr);   \
+#define MLEC_DETAIL_ASSERT2(expr, msg)                                              \
+  do {                                                                              \
+    if (!(expr))                                                                    \
+      ::mlec::detail::contract_failed(::mlec::detail::ContractKind::kInvariant,     \
+                                      #expr, (msg),                                 \
+                                      std::source_location::current());             \
   } while (0)
+#define MLEC_DETAIL_ASSERT1(expr) MLEC_DETAIL_ASSERT2(expr, "")
 #else
-#define MLEC_ASSERT(expr) ((void)0)
+#define MLEC_DETAIL_ASSERT2(expr, msg) ((void)0)
+#define MLEC_DETAIL_ASSERT1(expr) ((void)0)
 #endif
+#define MLEC_DETAIL_ASSERT_PICK(a, b, macro, ...) macro
+#define MLEC_ASSERT(...) \
+  MLEC_DETAIL_ASSERT_PICK(__VA_ARGS__, MLEC_DETAIL_ASSERT2, MLEC_DETAIL_ASSERT1)(__VA_ARGS__)

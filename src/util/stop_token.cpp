@@ -29,8 +29,15 @@ struct StopState {
   std::atomic<std::int64_t> deadline_ns{0};
   std::atomic<bool> watch_signals{false};
 
+  // Ordering contract: request_stop() publishes with release and this
+  // polling path observes with acquire, so anything the canceller wrote
+  // before requesting the stop (a reason string, flushed partial state) is
+  // visible to a worker that sees stopped == true and winds down. The
+  // signal path stays relaxed on purpose: an async signal handler performs
+  // no prior writes worth publishing, and the flag itself is the entire
+  // message.
   bool stop_requested() const noexcept {
-    if (stopped.load(std::memory_order_relaxed)) return true;
+    if (stopped.load(std::memory_order_acquire)) return true;
     if (watch_signals.load(std::memory_order_relaxed) &&
         g_signal_stop.load(std::memory_order_relaxed))
       return true;
@@ -46,7 +53,11 @@ bool StopToken::stop_requested() const noexcept {
 
 StopSource::StopSource() : state_(std::make_shared<detail::StopState>()) {}
 
-void StopSource::request_stop() noexcept { state_->stopped.store(true); }
+void StopSource::request_stop() noexcept {
+  // Release pairs with the acquire load in StopState::stop_requested(); see
+  // the ordering contract there.
+  state_->stopped.store(true, std::memory_order_release);
+}
 
 bool StopSource::stop_requested() const noexcept { return state_->stop_requested(); }
 

@@ -2,14 +2,31 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "util/error.hpp"
 
 namespace mlec {
 
+namespace {
+
+/// MLEC_THREADS overrides the default worker count (0/unset/garbage =
+/// hardware concurrency). Lets sanitizer CI force real parallelism on
+/// small runners and benchmarks pin reproducible pool sizes.
+std::size_t default_threads() {
+  if (const char* env = std::getenv("MLEC_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0) threads = default_threads();
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
 }

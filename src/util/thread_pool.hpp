@@ -19,7 +19,8 @@ namespace mlec {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// Spawns `threads` workers; 0 means the MLEC_THREADS environment
+  /// variable when set, else std::thread::hardware_concurrency()
   /// (at least 1).
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();

@@ -1,0 +1,76 @@
+// Contract-macro policy tests: expression/message/location capture, the
+// throw-vs-abort mode switch, and the Release compilation guarantees that
+// keep MLEC_ASSERT out of the simulation hot loops.
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlec {
+namespace {
+
+TEST(Contracts, RequireCapturesExpressionMessageAndLocation) {
+  try {
+    MLEC_REQUIRE(1 + 1 == 3, "arithmetic still works");
+    FAIL() << "MLEC_REQUIRE did not report";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("arithmetic still works"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("precondition failed"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, RequirePassesWithoutSideEffects) {
+  int evaluations = 0;
+  MLEC_REQUIRE(++evaluations > 0, "must not report");
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifndef NDEBUG
+TEST(Contracts, AssertThrowsInternalErrorWithCapture) {
+  try {
+    MLEC_ASSERT(2 < 1, "ordering invariant");
+    FAIL() << "MLEC_ASSERT did not report";
+  } catch (const InternalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("ordering invariant"), std::string::npos) << what;
+    EXPECT_NE(what.find("invariant violated"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, AssertSupportsMessagelessForm) {
+  EXPECT_THROW(MLEC_ASSERT(false), InternalError);
+}
+#else
+TEST(Contracts, AssertCompiledOutInRelease) {
+  // The expression must not even be evaluated: hot-loop checks are free.
+  int evaluations = 0;
+  MLEC_ASSERT(++evaluations > 0, "never evaluated");
+  MLEC_ASSERT(false);
+  EXPECT_EQ(evaluations, 0);
+}
+#endif
+
+TEST(ContractsDeathTest, AbortModeAbortsWithCaptureOnStderr) {
+  EXPECT_DEATH(
+      {
+        set_contract_mode(ContractMode::kAbort);
+        MLEC_REQUIRE(false, "fail fast");
+      },
+      "precondition failed: false \\(fail fast\\)");
+}
+
+TEST(Contracts, ModeIsReadableAndRestorable) {
+  const ContractMode before = contract_mode();
+  set_contract_mode(ContractMode::kAbort);
+  EXPECT_EQ(contract_mode(), ContractMode::kAbort);
+  set_contract_mode(before);
+  EXPECT_EQ(contract_mode(), before);
+}
+
+}  // namespace
+}  // namespace mlec

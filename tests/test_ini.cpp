@@ -56,6 +56,42 @@ TEST(Ini, MalformedInputRejected) {
   EXPECT_THROW(IniFile::parse_string("= value\n"), PreconditionError);
 }
 
+// Fuzz-derived regressions: shapes the INI fuzzer generates must produce
+// line-numbered diagnostics (or parse benignly), never crash or hang.
+TEST(Ini, FuzzDuplicateSectionsMergeWithLaterWins) {
+  const auto ini =
+      IniFile::parse_string("[datacenter]\nracks = 6\n[datacenter]\nracks = 12\n");
+  EXPECT_EQ(ini.get_size("datacenter", "racks", 0), 12u);
+}
+
+TEST(Ini, FuzzTruncatedLineDiagnosedWithLineNumber) {
+  try {
+    IniFile::parse_string("[code]\nmlec = (2+1)/(3+1)\nscheme");
+    FAIL() << "truncated key-only line must not parse";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Ini, FuzzNonUtf8BytesAreCarriedOpaquely) {
+  // Values are byte strings, not text: invalid UTF-8 must survive untouched.
+  const std::string value = "\xff\xfe\x80"
+                            "caf\xc3\xa9";
+  const auto ini = IniFile::parse_string("[scenario]\nname = " + value + "\n");
+  EXPECT_EQ(ini.get_string("scenario", "name", ""), value);
+}
+
+TEST(Ini, FuzzControlBytesInKeyPositionDiagnosed) {
+  EXPECT_THROW(IniFile::parse_string("\x01\x02\x03\n"), PreconditionError);
+  EXPECT_NO_THROW(IniFile::parse_string("\x01\x02 = \x03\n"));  // odd but well-formed
+}
+
+TEST(Ini, FuzzWhitespaceOnlyAndUnterminatedFinalLine) {
+  EXPECT_EQ(IniFile::parse_string("  \t\r\n\n \t").entries(), 0u);
+  const auto ini = IniFile::parse_string("[s]\nk = v");  // no trailing newline
+  EXPECT_EQ(ini.get_string("s", "k", ""), "v");
+}
+
 TEST(Ini, MalformedValuesRejectedOnAccess) {
   const auto ini = IniFile::parse_string("[s]\nnum = abc\nint = 2.5\nflag = maybe\n");
   EXPECT_THROW(ini.get_double("s", "num", 0.0), PreconditionError);

@@ -121,5 +121,59 @@ TEST(SpecIo, BadValuesSurfaceAsErrors) {
                PreconditionError);
 }
 
+// Fuzz-derived regressions: every malformed scenario the INI fuzzer found
+// interesting must end in a PreconditionError diagnostic, never a crash,
+// an InternalError, or a silently wrong Scenario.
+TEST(SpecIo, FuzzMalformedScenariosDiagnoseNotCrash) {
+  const char* cases[] = {
+      "[sim]\nmissions = NaN\nseed = -1\n",
+      "[sim]\nmissions = 1e999\n",
+      "[code]\nmlec = (2+1)/\n",
+      "[code]\nmlec = (0+0)/(0+0)\n",
+      "[datacenter]\nracks = 0\n",
+      "[datacenter]\nracks = 2.5\n",
+      "[failures]\nafr = -0.5\n",
+      "[bursts]\nracks = 1,2,\n",
+  };
+  std::vector<std::string> unknown;
+  SpecParsePolicy policy;
+  policy.unknown_keys = &unknown;
+  for (const char* text : cases) {
+    SCOPED_TRACE(text);
+    try {
+      (void)load_scenario(IniFile::parse_string(text), policy);
+      // Some shapes load but must then fail validation downstream; either
+      // way no other exception type may escape.
+    } catch (const PreconditionError&) {
+      // expected diagnostic path
+    }
+  }
+}
+
+TEST(SpecIo, FuzzDuplicateSectionScenarioLoadsLastValue) {
+  std::vector<std::string> unknown;
+  SpecParsePolicy policy;
+  policy.unknown_keys = &unknown;
+  const auto scenario = load_scenario(
+      IniFile::parse_string("[datacenter]\nracks = 6\n[datacenter]\nracks = 12\n"
+                            "[failures]\nafr = 0.02\n"),
+      policy);
+  EXPECT_EQ(scenario.system.dc.racks, 12u);
+  EXPECT_TRUE(unknown.empty());
+}
+
+TEST(SpecIo, FuzzNonUtf8ScenarioNameRoundTrips) {
+  std::vector<std::string> unknown;
+  SpecParsePolicy policy;
+  policy.unknown_keys = &unknown;
+  const std::string name = "\xff\x80 bytes";
+  const auto scenario =
+      load_scenario(IniFile::parse_string("[scenario]\nname = " + name + "\n"), policy);
+  EXPECT_EQ(scenario.name, name);
+  const auto again =
+      load_scenario(IniFile::parse_string(format_scenario(scenario)), policy);
+  EXPECT_EQ(again.name, name);
+}
+
 }  // namespace
 }  // namespace mlec

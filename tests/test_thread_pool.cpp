@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <vector>
 
@@ -123,6 +124,18 @@ TEST(ThreadPool, SumIsCorrectUnderContention) {
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
   EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(ThreadPool, EnvOverrideSizesDefaultConstruction) {
+  // MLEC_THREADS forces the default worker count (sanitizer CI uses it to
+  // get real concurrency on small runners). Garbage values fall back to
+  // hardware concurrency; an explicit count always wins.
+  ASSERT_EQ(setenv("MLEC_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool{}.size(), 3u);
+  EXPECT_EQ(ThreadPool{2}.size(), 2u);
+  ASSERT_EQ(setenv("MLEC_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool{}.size(), 1u);
+  ASSERT_EQ(unsetenv("MLEC_THREADS"), 0);
 }
 
 }  // namespace
