@@ -1,0 +1,75 @@
+// Chaos harness: sweep every registered fault point and prove the system
+// survives it.
+//
+// Each case arms one MLEC_FAULTS schedule and asserts the robustness
+// contract the ISSUE of record demands: every injected crash, hang, or
+// corruption must end in either a bit-identical resumed estimate or an
+// explicitly degraded partial estimate — never an abort, a deadlock, or a
+// silently wrong number. The case families:
+//
+//   crash-*        fork a child, inject `crash` (std::_Exit mid-write) at a
+//                  journal or checkpoint fault point, then resume in the
+//                  parent and require the estimate bit-identical to the
+//                  un-faulted baseline.
+//   corrupt-*      truncate / bit-flip / de-magic a checkpoint journal left
+//                  by a partial run, then resume and require bit-identity
+//                  (damaged shards recompute their deterministic substreams).
+//   hang/throw-*   delay- and throw-injected shards must retry (watchdog
+//                  timeout or exception), then either complete cleanly or
+//                  quarantine into an explicitly degraded estimate.
+//   fallback-*     a throwing estimator must not take down `--method=all`;
+//                  DegradePolicy::kFailFast must raise DegradedError.
+//   repair-*       the byte-exact repair executor survives an injected
+//                  throw and still verifies afterwards.
+//
+// Case order is load-bearing: the fork-based crash cases run FIRST, before
+// anything touches the global thread pool, so the child never forks a
+// multi-threaded process (the repair cases, which materialize stripes on
+// the pool, run last). Campaign cases run single-threaded so fault-point
+// hit ordering — and therefore which shard a trigger lands on — is
+// deterministic.
+//
+// Driven by `mlecctl chaos` and tests/test_chaos.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace mlec {
+
+struct ChaosOptions {
+  /// Directory for the journals the cases crash, corrupt, and resume.
+  /// Empty uses a process-unique directory under the system temp dir.
+  std::string workdir;
+  /// Run only the cases whose name contains one of these substrings;
+  /// empty runs the full sweep (including the fault-point coverage check).
+  std::vector<std::string> only;
+  /// Campaign shard count for the faulted runs (single-threaded execution
+  /// keeps hit order deterministic regardless of this).
+  std::size_t shards = 2;
+};
+
+struct ChaosCaseResult {
+  std::string name;
+  std::string faults;  ///< MLEC_FAULTS schedule the case armed ("" = none)
+  bool passed = false;
+  std::string detail;  ///< what held, or how it failed
+};
+
+struct ChaosReport {
+  std::vector<ChaosCaseResult> cases;
+
+  bool all_passed() const;
+  std::size_t failures() const;
+  std::string table() const;
+};
+
+/// Run the chaos sweep against `scenario` (its missions/seed control the
+/// campaign size; keep missions modest — every case runs a campaign).
+/// Never leaves a fault schedule armed, even on failure paths.
+ChaosReport run_chaos(const Scenario& scenario, const ChaosOptions& options = {});
+
+}  // namespace mlec

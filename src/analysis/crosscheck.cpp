@@ -90,10 +90,11 @@ std::string CrosscheckReport::table() const {
       continue;
     }
     const auto iv = nines_interval(row.estimate);
-    t.add_row({row.method, "ok", Table::num(row.estimate.pdl, 4), fmt_nines(row.estimate.nines),
+    t.add_row({row.method, row.estimate.degraded ? "degraded" : "ok",
+               Table::num(row.estimate.pdl, 4), fmt_nines(row.estimate.nines),
                fmt_nines(iv.lo) + " .. " + fmt_nines(iv.hi),
                row.estimate.stochastic ? std::to_string(row.estimate.samples) : "closed form",
-               row.estimate.provenance});
+               row.estimate.degraded ? row.estimate.degrade_note : row.estimate.provenance});
   }
   std::ostringstream os;
   const std::string title = "cross-method estimation, " + to_string(scenario.system.scheme) +
@@ -177,6 +178,11 @@ std::string CrosscheckReport::json() const {
     os << ", \"truncated\": " << (e.truncated ? "true" : "false");
     os << ", \"converged\": " << (e.converged ? "true" : "false");
     os << ", \"resumed\": " << (e.resumed ? "true" : "false");
+    os << ", \"degraded\": " << (e.degraded ? "true" : "false");
+    if (e.degraded) {
+      os << ", \"degrade_note\": ";
+      json_string(os, e.degrade_note);
+    }
     os << ", \"provenance\": ";
     json_string(os, e.provenance);
     os << '}';
@@ -226,6 +232,9 @@ CrosscheckReport run_crosscheck(const Scenario& scenario, const CrosscheckOption
       try {
         row.estimate = estimator->estimate(scenario, options.estimate);
       } catch (const std::exception& e) {
+        if (options.fail_fast) throw;
+        // Fall back past the failed method: a crash in one engine must not
+        // mask the comparison between the others.
         row.failed = true;
         row.error = e.what();
       }

@@ -30,6 +30,9 @@ struct CrosscheckOptions {
   /// Two methods agree when their nines intervals are at most this far
   /// apart (0 = intervals must overlap exactly).
   double nines_tolerance = 1.0;
+  /// Rethrow the first estimator failure instead of recording it in the
+  /// row and continuing with the remaining methods.
+  bool fail_fast = false;
   /// Execution knobs forwarded to every estimator.
   EstimateOptions estimate;
 };

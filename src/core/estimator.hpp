@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,23 @@
 #include "util/thread_pool.hpp"
 
 namespace mlec {
+
+/// What a campaign-backed estimator does when shards exhaust their retry
+/// attempts and are quarantined.
+enum class DegradePolicy {
+  /// Return a partial Estimate built from the surviving shards, flagged
+  /// `degraded` with its 95% interval widened by 1/(1 - missing fraction).
+  kDegrade,
+  /// Throw DegradedError instead of returning a partial answer.
+  kFailFast,
+};
+
+/// Thrown under DegradePolicy::kFailFast when quarantined shards left part
+/// of the sweep uncomputed.
+class DegradedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One method's answer for one scenario.
 struct Estimate {
@@ -57,6 +75,11 @@ struct Estimate {
   bool truncated = false;
   bool converged = false;
   bool resumed = false;
+  /// Quarantined shards left part of the sweep uncomputed: pdl/nines come
+  /// from the surviving units and [pdl_lo, pdl_hi] has been widened by
+  /// 1/(1 - missing fraction) to price in the lost coverage.
+  bool degraded = false;
+  std::string degrade_note;  ///< human-readable account of what was lost
 
   // Perf counters (campaign-backed methods; zero for the closed forms).
   std::uint64_t events_processed = 0;  ///< discrete sim events handled
@@ -84,6 +107,13 @@ struct EstimateOptions {
   double target_rse = 0.0;
   /// Max missions this invocation (0 = unlimited).
   std::uint64_t unit_budget = 0;
+  /// Missions a shard runs between journal commits.
+  std::uint64_t checkpoint_every = 256;
+  /// Shard watchdog deadline in seconds; 0 disables (see
+  /// CampaignConfig::shard_timeout_s).
+  double shard_timeout_s = 0.0;
+  /// Quarantined-shard policy: partial degraded Estimate vs DegradedError.
+  DegradePolicy degrade = DegradePolicy::kDegrade;
 };
 
 class Estimator {

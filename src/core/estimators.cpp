@@ -1,7 +1,9 @@
 #include "core/estimator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
+#include <sstream>
 
 #include "analysis/burst_pdl.hpp"
 #include "analysis/durability.hpp"
@@ -12,6 +14,7 @@
 #include "runtime/fleet_campaign.hpp"
 #include "runtime/pool_campaign.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/units.hpp"
 
 namespace mlec {
@@ -31,6 +34,38 @@ void require_applicable(const Estimator& estimator, const Scenario& scenario) {
   if (!why.empty())
     throw PreconditionError(std::string(estimator.name()) +
                             " estimator cannot run this scenario: " + why);
+}
+
+/// Apply the quarantined-shard policy to a campaign-backed estimate.
+/// kFailFast throws; kDegrade marks the estimate and widens its interval by
+/// 1/(1 - missing fraction) — the surviving units are an unbiased sample
+/// (shard partitions are exchangeable under the substream scheme), but the
+/// lost coverage is priced into the uncertainty instead of hidden.
+void apply_degrade_policy(Estimate& e, const CampaignReport& report, DegradePolicy policy) {
+  if (!report.degraded()) return;
+  const std::string account =
+      std::to_string(report.quarantined()) + " of " + std::to_string(report.shards.size()) +
+      " shards quarantined; " + std::to_string(report.units_done) + " of " +
+      std::to_string(report.units_requested) + " units computed";
+  if (policy == DegradePolicy::kFailFast)
+    throw DegradedError(e.method + " estimate degraded: " + account);
+  e.degraded = true;
+  if (report.units_done == 0) {
+    // Nothing survived: no point estimate is defensible, so report the
+    // vacuous interval rather than a silently wrong number.
+    e.pdl_lo = 0.0;
+    e.pdl_hi = 1.0;
+    e.degrade_note = account + "; no usable interval";
+    return;
+  }
+  const double widen = static_cast<double>(report.units_requested) /
+                       static_cast<double>(report.units_done);
+  e.pdl_lo = std::max(0.0, e.pdl - (e.pdl - e.pdl_lo) * widen);
+  e.pdl_hi = std::min(1.0, e.pdl + (e.pdl_hi - e.pdl) * widen);
+  std::ostringstream note;
+  note.precision(3);
+  note << account << "; 95% interval widened x" << widen;
+  e.degrade_note = note.str();
 }
 
 /// Shared applicability limits of the exponential-only analytic pipelines.
@@ -63,11 +98,14 @@ class SimEstimator final : public Estimator {
 
   Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
     require_applicable(*this, scenario);
+    MLEC_FAULT_POINT("estimator.sim.pre");
 
     FleetCampaignOptions campaign;
     campaign.checkpoint_path = method_checkpoint(options, name());
     campaign.resume = options.resume;
     campaign.shards = options.shards;
+    campaign.checkpoint_every = options.checkpoint_every;
+    campaign.shard_timeout_s = options.shard_timeout_s;
     campaign.target_rse = options.target_rse;
     campaign.unit_budget = options.unit_budget;
     campaign.stop = options.stop;
@@ -98,6 +136,7 @@ class SimEstimator final : public Estimator {
     e.arena_allocations = run.result.arena_allocations;
     e.elapsed_s = run.report.elapsed_s;
     e.campaign = run.report;
+    apply_degrade_policy(e, run.report, options.degrade);
     return e;
   }
 };
@@ -124,11 +163,14 @@ class SplitEstimator final : public Estimator {
 
   Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
     require_applicable(*this, scenario);
+    MLEC_FAULT_POINT("estimator.split.pre");
 
     LocalPoolCampaignOptions campaign;
     campaign.checkpoint_path = method_checkpoint(options, name());
     campaign.resume = options.resume;
     campaign.shards = options.shards;
+    campaign.checkpoint_every = options.checkpoint_every;
+    campaign.shard_timeout_s = options.shard_timeout_s;
     campaign.target_rse = options.target_rse;
     campaign.unit_budget = options.unit_budget;
     campaign.stop = options.stop;
@@ -178,6 +220,7 @@ class SplitEstimator final : public Estimator {
     e.rng_draws = stage1_run.rng_draws;
     e.elapsed_s = stage1_run.report.elapsed_s;
     e.campaign = stage1_run.report;
+    apply_degrade_policy(e, stage1_run.report, options.degrade);
     return e;
   }
 };
@@ -204,6 +247,7 @@ class DpEstimator final : public Estimator {
   Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
     (void)options;  // pure closed form: nothing to checkpoint or parallelize
     require_applicable(*this, scenario);
+    MLEC_FAULT_POINT("estimator.dp.pre");
 
     const DurabilityEnv env = scenario.durability_env();
     const MlecDurabilityResult indep =
@@ -261,6 +305,7 @@ class MarkovEstimator final : public Estimator {
   Estimate estimate(const Scenario& scenario, const EstimateOptions& options) const override {
     (void)options;  // pure closed form
     require_applicable(*this, scenario);
+    MLEC_FAULT_POINT("estimator.markov.pre");
 
     const DurabilityEnv env = scenario.durability_env();
     const MlecCode& code = scenario.system.code;

@@ -9,14 +9,28 @@
 
 #include "runtime/journal.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace mlec {
+
+namespace {
+
+/// Raised inside a shard attempt when its watchdog token fires; funnels
+/// into the same retry/quarantine path as workload exceptions but is
+/// counted separately (ShardOutcome::timeouts).
+class ShardTimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace
 
 void CampaignConfig::validate() const {
   MLEC_REQUIRE(total_units > 0, "campaign needs at least one unit of work");
   MLEC_REQUIRE(checkpoint_every > 0, "checkpoint interval must be positive");
   MLEC_REQUIRE(max_attempts >= 1, "at least one attempt per shard required");
   MLEC_REQUIRE(retry_backoff_ms >= 0.0, "retry backoff must be non-negative");
+  MLEC_REQUIRE(shard_timeout_s >= 0.0, "shard timeout must be non-negative");
   MLEC_REQUIRE(target_rse >= 0.0, "target RSE must be non-negative");
 }
 
@@ -43,7 +57,15 @@ struct CampaignRunner::ShardState {
   bool finished = false;
   bool quarantined = false;
   std::string error;
+  std::uint32_t timeouts = 0;  ///< attempts cancelled by the watchdog
   double elapsed_s = 0.0;  ///< wall time across this invocation's attempts
+  // Watchdog view of the shard (all guarded by the campaign mutex): a shard
+  // is watched only while `running`; `last_progress` is refreshed at every
+  // commit; `attempt_stop` is replaced at each attempt start so cancelling
+  // one attempt cannot leak into its retry.
+  bool running = false;
+  std::chrono::steady_clock::time_point last_progress{};
+  StopSource attempt_stop;
 };
 
 CampaignRunner::CampaignRunner(CampaignConfig config, WorkerFactory factory, RseEstimator rse)
@@ -96,14 +118,24 @@ void CampaignRunner::write_journal_locked() {
 }
 
 void CampaignRunner::restore_from_journal() {
-  const auto journal = CampaignJournal::load_file(config_.checkpoint_path);
-  MLEC_REQUIRE(journal.seed == config_.seed, "campaign journal seed mismatch");
-  MLEC_REQUIRE(journal.total_units == config_.total_units,
+  JournalLoadResult loaded = CampaignJournal::recover_file(config_.checkpoint_path);
+  if (loaded.status == JournalLoadResult::Status::kMissing) return;
+  if (!loaded.usable()) {
+    // Corruption is an operational hazard, not a configuration error: fall
+    // back to a fresh start (bit-identical to a never-checkpointed run) and
+    // surface the damage through the report instead of aborting.
+    resume_warning_ = loaded.warning + " — starting fresh";
+    return;
+  }
+  // A *valid* journal for the wrong campaign is a user error: resuming it
+  // would silently mix incompatible statistics, so these still throw.
+  MLEC_REQUIRE(loaded.seed == config_.seed, "campaign journal seed mismatch");
+  MLEC_REQUIRE(loaded.total_units == config_.total_units,
                "campaign journal total-unit mismatch");
-  MLEC_REQUIRE(journal.shards == states_.size(), "campaign journal shard-count mismatch");
-  MLEC_REQUIRE(journal.fingerprint == fingerprint_of(config_.fingerprint),
+  MLEC_REQUIRE(loaded.shards == states_.size(), "campaign journal shard-count mismatch");
+  MLEC_REQUIRE(loaded.fingerprint == fingerprint_of(config_.fingerprint),
                "campaign journal belongs to a different workload configuration");
-  for (const auto& rec : journal.records) {
+  for (const auto& rec : loaded.records) {
     MLEC_REQUIRE(rec.shard < states_.size(), "campaign journal shard id out of range");
     auto& st = states_[rec.shard];
     MLEC_REQUIRE(rec.assigned == st.assigned, "campaign journal shard partition mismatch");
@@ -115,24 +147,32 @@ void CampaignRunner::restore_from_journal() {
     st.has_checkpoint = rec.done > 0;
     st.finished = rec.done == rec.assigned;
   }
+  // Shards whose records were dropped with the damaged tail simply keep
+  // their fresh-start state and recompute their deterministic substreams.
   resumed_ = true;
+  resume_warning_ = loaded.warning;
 }
 
 void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
                             const Rng& rng, std::uint64_t done, std::uint32_t attempt) {
-  std::scoped_lock lock(mutex_);
-  auto& st = states_[shard];
-  invocation_units_.fetch_add(done - st.done, std::memory_order_relaxed);
-  st.acc = acc;
-  st.rng_state = rng.state();
-  st.done = done;
-  st.attempt = attempt;
-  st.has_checkpoint = true;
-  write_journal_locked();
-  if (config_.target_rse > 0.0 && rse_ != nullptr) {
-    const double rse = rse_(merged_locked());
-    if (rse <= config_.target_rse) converged_.store(true, std::memory_order_relaxed);
+  MLEC_FAULT_POINT("campaign.checkpoint.pre");
+  {
+    std::scoped_lock lock(mutex_);
+    auto& st = states_[shard];
+    invocation_units_.fetch_add(done - st.done, std::memory_order_relaxed);
+    st.acc = acc;
+    st.rng_state = rng.state();
+    st.done = done;
+    st.attempt = attempt;
+    st.has_checkpoint = true;
+    st.last_progress = std::chrono::steady_clock::now();  // watchdog heartbeat
+    write_journal_locked();
+    if (config_.target_rse > 0.0 && rse_ != nullptr) {
+      const double rse = rse_(merged_locked());
+      if (rse <= config_.target_rse) converged_.store(true, std::memory_order_relaxed);
+    }
   }
+  MLEC_FAULT_POINT("campaign.checkpoint.post");
 }
 
 void CampaignRunner::run_shard(std::uint32_t shard) {
@@ -151,21 +191,45 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
     Rng rng = Rng::for_substream(config_.seed, stream);
     CampaignAccumulator acc;
     std::uint64_t done;
+    StopToken attempt_token;
     {
       std::scoped_lock lock(mutex_);
       if (st.has_checkpoint) rng.set_state(st.rng_state);
       acc = st.acc;
       done = st.done;
+      st.attempt_stop = StopSource{};  // fresh per attempt: no stale cancels
+      attempt_token = st.attempt_stop.token();
+      st.last_progress = std::chrono::steady_clock::now();
+      st.running = true;
     }
+    // Injected fault delays on this thread poll the attempt token, so the
+    // watchdog can cut a hung (delay-injected) shard loose mid-sleep.
+    fault::ScopedCancellation cancel_scope(attempt_token);
     try {
       auto worker = factory_(shard, rng);
       MLEC_REQUIRE(worker != nullptr, "campaign worker factory returned null");
       while (done < st.assigned) {
-        if (should_stop()) return;  // progress up to `done` is committed
+        if (should_stop()) {  // progress up to `done` is committed
+          std::scoped_lock lock(mutex_);
+          st.running = false;
+          return;
+        }
+        MLEC_FAULT_POINT("shard.slow");
+        if (attempt_token.stop_requested())
+          throw ShardTimeoutError("shard " + std::to_string(shard) +
+                                  " made no progress within " +
+                                  std::to_string(config_.shard_timeout_s) + "s");
         const std::uint64_t batch = std::min(config_.checkpoint_every, st.assigned - done);
-        for (std::uint64_t u = 0; u < batch; ++u) worker(acc);
+        for (std::uint64_t u = 0; u < batch; ++u) {
+          MLEC_FAULT_POINT("pool.task.throw");
+          worker(acc);
+        }
         done += batch;
         commit(shard, acc, rng, done, st.attempt);
+      }
+      {
+        std::scoped_lock lock(mutex_);
+        st.running = false;
       }
       st.finished = true;
       return;
@@ -173,7 +237,9 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
       std::uint32_t retry_attempt = 0;
       {
         std::scoped_lock lock(mutex_);
+        st.running = false;
         st.error = e.what();
+        if (dynamic_cast<const ShardTimeoutError*>(&e) != nullptr) ++st.timeouts;
         // Retry from scratch on a fresh substream: the failed attempt's
         // partial accumulation (committed or not) is discarded so a
         // mid-stream fault cannot bias the surviving statistics.
@@ -191,8 +257,17 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
       // every other shard's commit for the whole (exponential) sleep.
       if (config_.retry_backoff_ms > 0.0) {
         const double factor = std::pow(2.0, static_cast<double>(retry_attempt - 1));
+        // Jitter is drawn from seeded SplitMix64 over (seed, shard,
+        // attempt), never wall clock or rand(): retries stay reproducible
+        // run-to-run while still de-synchronizing across shards.
+        std::uint64_t jitter_state = config_.seed ^
+                                     (static_cast<std::uint64_t>(shard) *
+                                      0x9e3779b97f4a7c15ULL) ^
+                                     retry_attempt;
+        const double jitter =
+            0.5 + static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
         std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            config_.retry_backoff_ms * factor));
+            config_.retry_backoff_ms * factor * jitter));
       }
     }
   }
@@ -215,6 +290,29 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
       std::filesystem::exists(config_.checkpoint_path))
     restore_from_journal();
 
+  // The watchdog polls each running shard's commit heartbeat and fires the
+  // shard's per-attempt StopSource once it goes stale; the shard observes
+  // the token at its next batch boundary (or mid fault-delay) and converts
+  // it into a retryable timeout.
+  std::atomic<bool> watchdog_exit{false};
+  std::thread watchdog;
+  if (config_.shard_timeout_s > 0.0) {
+    watchdog = std::thread([this, &watchdog_exit] {
+      const auto timeout = std::chrono::duration<double>(config_.shard_timeout_s);
+      const auto poll = std::chrono::duration<double>(
+          std::max(config_.shard_timeout_s / 8.0, 0.001));
+      while (!watchdog_exit.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(poll);
+        const auto now = std::chrono::steady_clock::now();
+        std::scoped_lock lock(mutex_);
+        for (auto& st : states_) {
+          if (!st.running || st.attempt_stop.stop_requested()) continue;
+          if (now - st.last_progress > timeout) st.attempt_stop.request_stop();
+        }
+      }
+    });
+  }
+
   if (pool != nullptr && shard_count > 1) {
     pool->parallel_chunks(0, shard_count, shard_count,
                           [&](std::size_t shard, std::size_t, std::size_t) {
@@ -225,12 +323,18 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
       run_shard(static_cast<std::uint32_t>(s));
   }
 
+  if (watchdog.joinable()) {
+    watchdog_exit.store(true, std::memory_order_relaxed);
+    watchdog.join();
+  }
+
   std::scoped_lock lock(mutex_);
   write_journal_locked();
 
   CampaignReport report;
   report.units_requested = config_.total_units;
   report.resumed = resumed_;
+  report.resume_warning = resume_warning_;
   report.shards.reserve(shard_count);
   for (std::uint32_t s = 0; s < shard_count; ++s) {
     const auto& st = states_[s];
@@ -240,6 +344,7 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
     outcome.assigned = st.assigned;
     outcome.done = st.done;
     outcome.quarantined = st.quarantined;
+    outcome.timeouts = st.timeouts;
     outcome.error = st.error;
     outcome.elapsed_s = st.elapsed_s;
     report.shards.push_back(std::move(outcome));

@@ -14,9 +14,14 @@
 //    boundaries; partial results stay statistically valid and the report is
 //    flagged `truncated`.
 //  * shard fault isolation — a throwing shard restarts on a fresh RNG
-//    substream with exponential backoff, up to `max_attempts`; persistent
-//    failures are quarantined into the CampaignReport (shard id, attempts,
-//    what()) instead of aborting the sweep.
+//    substream with deterministically jittered exponential backoff, up to
+//    `max_attempts`; persistent failures are quarantined into the
+//    CampaignReport (shard id, attempts, what()) instead of aborting the
+//    sweep, and the report is flagged `degraded()`.
+//  * shard watchdog — with `shard_timeout_s` set, a supervisor thread
+//    watches each shard's commit heartbeat; a stalled attempt is cancelled
+//    cooperatively (per-attempt StopToken, also registered as the thread's
+//    fault-delay cancellation) and treated as a failed attempt.
 //  * adaptive stopping — when `target_rse` is set and the workload supplies
 //    an RSE estimator, the campaign ends early once the estimate's relative
 //    standard error falls below target; the report is flagged `converged`.
@@ -53,8 +58,17 @@ struct CampaignConfig {
   bool resume = false;
   /// Attempts per shard before quarantine (>= 1).
   std::size_t max_attempts = 3;
-  /// Base backoff between shard retries; attempt k sleeps 2^k * this.
+  /// Base backoff between shard retries; attempt k sleeps ~2^k * this,
+  /// scaled by a deterministic seeded jitter in [0.5, 1.5) so retrying
+  /// shards do not stampede the journal in lockstep.
   double retry_backoff_ms = 100.0;
+  /// Watchdog deadline: a shard whose attempt makes no commit progress for
+  /// this many seconds is cancelled cooperatively (its attempt StopToken
+  /// fires, which also cuts short injected fault delays) and funnels into
+  /// the normal retry/quarantine path. 0 disables the watchdog. Must
+  /// comfortably exceed the wall time of one checkpoint batch, since
+  /// commits are the progress heartbeat.
+  double shard_timeout_s = 0.0;
   /// Target relative standard error for adaptive stopping; 0 disables.
   double target_rse = 0.0;
   /// Max units to run in this invocation (across all shards, approximately —
@@ -75,6 +89,7 @@ struct ShardOutcome {
   std::uint64_t assigned = 0;
   std::uint64_t done = 0;
   bool quarantined = false;
+  std::uint32_t timeouts = 0;   ///< attempts cancelled by the shard watchdog
   std::string error;            ///< what() of the last failure, if any
   /// Wall-clock seconds this shard spent in the current invocation (all
   /// attempts; excludes resumed prior runs). done / elapsed_s is the
@@ -92,9 +107,16 @@ struct CampaignReport {
   bool resumed = false;     ///< state was restored from a journal
   double achieved_rse = 0.0;  ///< final estimator value (NaN-free; 0 if unset)
   double elapsed_s = 0.0;   ///< wall-clock seconds of this invocation's run()
+  /// Non-empty when resume found a damaged or unusable journal and had to
+  /// recover partially or start fresh (the run itself proceeded normally).
+  std::string resume_warning;
 
   std::size_t quarantined() const;
   bool complete() const { return units_done == units_requested; }
+  /// True when quarantined shards left part of the sweep uncomputed: the
+  /// merged result is statistically valid but based on fewer units than
+  /// requested. Consumers should surface this (see Estimate::degraded).
+  bool degraded() const { return quarantined() > 0; }
 };
 
 class CampaignRunner {
@@ -141,6 +163,7 @@ class CampaignRunner {
   /// drives the unit_budget check.
   std::atomic<std::uint64_t> invocation_units_{0};
   bool resumed_ = false;
+  std::string resume_warning_;
 };
 
 /// Relative standard error of a Bernoulli proportion estimate

@@ -87,6 +87,7 @@ FleetCampaignResult run_fleet_campaign(const FleetSimConfig& config, std::uint64
   campaign.resume = options.resume;
   campaign.max_attempts = options.max_attempts;
   campaign.retry_backoff_ms = options.retry_backoff_ms;
+  campaign.shard_timeout_s = options.shard_timeout_s;
   campaign.target_rse = options.target_rse;
   campaign.unit_budget = options.unit_budget;
   campaign.fingerprint = fleet_campaign_fingerprint(config);

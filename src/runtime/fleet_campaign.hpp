@@ -24,6 +24,9 @@ struct FleetCampaignOptions {
   std::size_t shards = 0;  ///< 0 = derive from the pool
   std::size_t max_attempts = 3;
   double retry_backoff_ms = 100.0;
+  /// Shard watchdog deadline in seconds; 0 disables (see
+  /// CampaignConfig::shard_timeout_s).
+  double shard_timeout_s = 0.0;
   /// Stop early once the PDL estimate's relative standard error drops below
   /// this (0 disables adaptive stopping).
   double target_rse = 0.0;

@@ -4,15 +4,269 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
 
 #include "runtime/io_detail.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace mlec {
 
 namespace {
+
 constexpr char kMagic[8] = {'M', 'L', 'E', 'C', 'C', 'A', 'M', 'P'};
 constexpr std::uint8_t kFlagQuarantined = 1;
+constexpr std::size_t kPreambleSize = sizeof kMagic + 4;  // magic + u32 version
+constexpr std::size_t kFrameHeaderSize = 8;               // u32 len + u32 crc
+// A shard record is the accumulator (a handful of named slots) plus fixed
+// fields — far below a megabyte. The cap exists so a corrupt length field
+// cannot drive a multi-gigabyte allocation before the CRC check runs.
+constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+// Likewise for counts read out of (possibly hostile) headers.
+constexpr std::uint32_t kMaxPlausibleShards = 1u << 20;
+
+std::uint32_t peek_u32(const std::string& data, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[offset + i])) << (8 * i);
+  return v;
+}
+
+void write_frame(std::ostream& out, const std::string& payload) {
+  using namespace campaign_io;
+  write_u32(out, static_cast<std::uint32_t>(payload.size()));
+  write_u32(out, crc32(payload));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+/// Extract the next length-framed, CRC-verified payload starting at
+/// `offset`. Returns false — without advancing — on truncation, an
+/// implausible length, or a checksum mismatch; `why` says which.
+bool next_frame(const std::string& data, std::size_t& offset, std::string& payload,
+                const char*& why) {
+  if (data.size() - offset < kFrameHeaderSize) {
+    why = "truncated frame header";
+    return false;
+  }
+  const std::uint32_t len = peek_u32(data, offset);
+  const std::uint32_t expected_crc = peek_u32(data, offset + 4);
+  if (len > kMaxFramePayload) {
+    why = "implausible frame length";
+    return false;
+  }
+  if (data.size() - offset - kFrameHeaderSize < len) {
+    why = "truncated frame payload";
+    return false;
+  }
+  if (crc32(data.data() + offset + kFrameHeaderSize, len) != expected_crc) {
+    why = "frame checksum mismatch";
+    return false;
+  }
+  payload.assign(data, offset + kFrameHeaderSize, len);
+  offset += kFrameHeaderSize + len;
+  return true;
+}
+
+std::string header_payload(const CampaignJournal& journal) {
+  using namespace campaign_io;
+  std::ostringstream os(std::ios::binary);
+  write_u64(os, journal.seed);
+  write_u64(os, journal.total_units);
+  write_u32(os, journal.shards);
+  write_u64(os, journal.fingerprint);
+  write_u32(os, static_cast<std::uint32_t>(journal.records.size()));
+  return std::move(os).str();
+}
+
+std::string record_payload(const ShardRecord& rec) {
+  using namespace campaign_io;
+  std::ostringstream os(std::ios::binary);
+  write_u32(os, rec.shard);
+  write_u32(os, rec.attempt);
+  write_u8(os, rec.quarantined ? kFlagQuarantined : 0);
+  write_u64(os, rec.assigned);
+  write_u64(os, rec.done);
+  for (const auto word : rec.rng_state) write_u64(os, word);
+  rec.acc.save(os);
+  return std::move(os).str();
+}
+
+/// Payload parsers reuse the campaign_io readers over an in-memory stream;
+/// a payload that runs short (CRC-valid but semantically malformed) throws
+/// PreconditionError, which recover_from_buffer() converts to a drop.
+struct HeaderFields {
+  std::uint64_t seed = 0;
+  std::uint64_t total_units = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint32_t count = 0;
+};
+
+HeaderFields parse_header(const std::string& payload) {
+  using namespace campaign_io;
+  std::istringstream in(payload, std::ios::binary);
+  HeaderFields h;
+  h.seed = read_u64(in);
+  h.total_units = read_u64(in);
+  h.shards = read_u32(in);
+  h.fingerprint = read_u64(in);
+  h.count = read_u32(in);
+  MLEC_REQUIRE(h.shards <= kMaxPlausibleShards && h.count <= kMaxPlausibleShards,
+               "campaign journal header implausible");
+  return h;
+}
+
+ShardRecord parse_record(const std::string& payload) {
+  using namespace campaign_io;
+  std::istringstream in(payload, std::ios::binary);
+  ShardRecord rec;
+  rec.shard = read_u32(in);
+  rec.attempt = read_u32(in);
+  rec.quarantined = (read_u8(in) & kFlagQuarantined) != 0;
+  rec.assigned = read_u64(in);
+  rec.done = read_u64(in);
+  for (auto& word : rec.rng_state) word = read_u64(in);
+  rec.acc = CampaignAccumulator::load(in);
+  return rec;
+}
+
+JournalLoadResult unusable(std::string warning) {
+  JournalLoadResult result;
+  result.status = JournalLoadResult::Status::kUnusable;
+  result.warning = std::move(warning);
+  return result;
+}
+
+JournalLoadResult recover_from_buffer(const std::string& data) {
+  if (data.size() < kPreambleSize ||
+      !std::equal(kMagic, kMagic + sizeof kMagic, data.data()))
+    return unusable("not a campaign journal (bad magic)");
+  const std::uint32_t version = peek_u32(data, sizeof kMagic);
+  if (version == 1)
+    return unusable(
+        "campaign journal is format v1 (pre-checksum); v1 cannot be validated "
+        "and is not migrated — delete the journal to start fresh");
+  if (version != kCampaignJournalVersion)
+    return unusable("unsupported campaign journal version " + std::to_string(version));
+
+  std::size_t offset = kPreambleSize;
+  std::string payload;
+  const char* why = "";
+  if (!next_frame(data, offset, payload, why))
+    return unusable(std::string("campaign journal header unreadable: ") + why);
+
+  JournalLoadResult result;
+  HeaderFields header;
+  try {
+    header = parse_header(payload);
+  } catch (const PreconditionError& e) {
+    return unusable(std::string("campaign journal header malformed: ") + e.what());
+  }
+  result.seed = header.seed;
+  result.total_units = header.total_units;
+  result.shards = header.shards;
+  result.fingerprint = header.fingerprint;
+
+  // Per-record damage truncates: everything before the first bad frame is
+  // trusted (each frame was independently CRC-verified), everything after
+  // is dropped because frame boundaries can no longer be located.
+  std::vector<bool> seen(header.shards, false);
+  std::string tail_warning;
+  result.records.reserve(header.count);
+  std::size_t i = 0;
+  for (; i < header.count; ++i) {
+    if (!next_frame(data, offset, payload, why)) {
+      tail_warning = why;
+      break;
+    }
+    ShardRecord rec;
+    try {
+      rec = parse_record(payload);
+    } catch (const PreconditionError&) {
+      tail_warning = "malformed record payload";
+      break;
+    }
+    if (rec.shard >= header.shards) {
+      tail_warning = "record shard id out of range";
+      break;
+    }
+    if (seen[rec.shard]) {
+      tail_warning = "duplicate shard record";
+      break;
+    }
+    seen[rec.shard] = true;
+    result.records.push_back(std::move(rec));
+  }
+  result.records_recovered = result.records.size();
+  result.records_dropped = header.count - i;
+  if (tail_warning.empty() && offset != data.size())
+    tail_warning = "trailing bytes after last record";
+  if (tail_warning.empty()) {
+    result.status = JournalLoadResult::Status::kOk;
+  } else {
+    result.status = JournalLoadResult::Status::kRecovered;
+    result.warning = "campaign journal damaged (" + tail_warning + "): kept " +
+                     std::to_string(result.records_recovered) + " of " +
+                     std::to_string(header.count) +
+                     " shard records; dropped shards will be recomputed";
+  }
+  return result;
+}
+
+std::string slurp(std::istream& in) {
+  std::ostringstream os;
+  os << in.rdbuf();
+  return std::move(os).str();
+}
+
+#ifndef _WIN32
+void write_file_durable(const std::string& path, const std::string& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  MLEC_REQUIRE(fd >= 0, "cannot open campaign journal for writing: " + path + ": " +
+                            std::strerror(errno));
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      throw PreconditionError("campaign journal write failed: " + path + ": " +
+                              std::strerror(err));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw PreconditionError("campaign journal fsync failed: " + path + ": " +
+                            std::strerror(err));
+  }
+  MLEC_REQUIRE(::close(fd) == 0, "campaign journal close failed: " + path);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  // Some filesystems refuse O_RDONLY on directories; the rename itself is
+  // still atomic, so degrade to best-effort rather than failing the save.
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+#endif
+
 }  // namespace
 
 std::uint64_t fingerprint_of(const std::string& identity) {
@@ -28,69 +282,73 @@ void CampaignJournal::save(std::ostream& out) const {
   using namespace campaign_io;
   out.write(kMagic, sizeof kMagic);
   write_u32(out, kCampaignJournalVersion);
-  write_u64(out, seed);
-  write_u64(out, total_units);
-  write_u32(out, shards);
-  write_u64(out, fingerprint);
-  write_u32(out, static_cast<std::uint32_t>(records.size()));
-  for (const auto& rec : records) {
-    write_u32(out, rec.shard);
-    write_u32(out, rec.attempt);
-    write_u8(out, rec.quarantined ? kFlagQuarantined : 0);
-    write_u64(out, rec.assigned);
-    write_u64(out, rec.done);
-    for (const auto word : rec.rng_state) write_u64(out, word);
-    rec.acc.save(out);
-  }
+  write_frame(out, header_payload(*this));
+  for (const auto& rec : records) write_frame(out, record_payload(rec));
 }
 
 CampaignJournal CampaignJournal::load(std::istream& in) {
-  using namespace campaign_io;
-  char magic[sizeof kMagic];
-  in.read(magic, sizeof magic);
-  MLEC_REQUIRE(in.good() && std::equal(magic, magic + sizeof magic, kMagic),
-               "not a campaign journal (bad magic)");
-  const std::uint32_t version = read_u32(in);
-  MLEC_REQUIRE(version == kCampaignJournalVersion,
-               "unsupported campaign journal version " + std::to_string(version));
+  JournalLoadResult result = recover(in);
+  MLEC_REQUIRE(result.status == JournalLoadResult::Status::kOk,
+               result.warning.empty() ? "campaign journal unreadable" : result.warning);
   CampaignJournal journal;
-  journal.seed = read_u64(in);
-  journal.total_units = read_u64(in);
-  journal.shards = read_u32(in);
-  journal.fingerprint = read_u64(in);
-  const std::uint32_t count = read_u32(in);
-  MLEC_REQUIRE(count == journal.shards, "campaign journal record count mismatch");
-  journal.records.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    ShardRecord rec;
-    rec.shard = read_u32(in);
-    rec.attempt = read_u32(in);
-    rec.quarantined = (read_u8(in) & kFlagQuarantined) != 0;
-    rec.assigned = read_u64(in);
-    rec.done = read_u64(in);
-    for (auto& word : rec.rng_state) word = read_u64(in);
-    rec.acc = CampaignAccumulator::load(in);
-    journal.records.push_back(std::move(rec));
-  }
+  journal.seed = result.seed;
+  journal.total_units = result.total_units;
+  journal.shards = result.shards;
+  journal.fingerprint = result.fingerprint;
+  journal.records = std::move(result.records);
+  MLEC_REQUIRE(journal.records.size() == journal.shards,
+               "campaign journal record count mismatch");
   return journal;
 }
 
+JournalLoadResult CampaignJournal::recover(std::istream& in) {
+  if (!in.good()) return unusable("campaign journal stream unreadable");
+  return recover_from_buffer(slurp(in));
+}
+
 void CampaignJournal::save_file(const std::string& path) const {
+  MLEC_FAULT_POINT("journal.save.pre");
   const std::string tmp = path + ".tmp";
+  std::ostringstream os(std::ios::binary);
+  save(os);
+  const std::string bytes = std::move(os).str();
+#ifndef _WIN32
+  write_file_durable(tmp, bytes);
+  MLEC_FAULT_POINT("journal.rename.pre");
+  MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot atomically replace campaign journal: " + path);
+  MLEC_FAULT_POINT("journal.rename.post");
+  fsync_parent_dir(path);
+#else
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     MLEC_REQUIRE(out.good(), "cannot open campaign journal for writing: " + tmp);
-    save(out);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     MLEC_REQUIRE(out.good(), "campaign journal write failed: " + tmp);
   }
+  MLEC_FAULT_POINT("journal.rename.pre");
+  std::remove(path.c_str());
   MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
                "cannot atomically replace campaign journal: " + path);
+  MLEC_FAULT_POINT("journal.rename.post");
+#endif
 }
 
 CampaignJournal CampaignJournal::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   MLEC_REQUIRE(in.good(), "cannot open campaign journal: " + path);
   return load(in);
+}
+
+JournalLoadResult CampaignJournal::recover_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    JournalLoadResult result;
+    result.status = JournalLoadResult::Status::kMissing;
+    result.warning = "no campaign journal at " + path;
+    return result;
+  }
+  return recover(in);
 }
 
 }  // namespace mlec

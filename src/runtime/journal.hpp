@@ -1,16 +1,38 @@
 // Campaign checkpoint journal: the on-disk format behind resumable sweeps.
 //
-// A journal is a single versioned binary file, rewritten atomically
-// (tmp + rename) at every checkpoint. Layout (little-endian):
+// A journal is a single versioned binary file, rewritten crash-safely at
+// every checkpoint: serialize to `path + ".tmp"`, fsync the tmp file,
+// rename over `path`, then fsync the parent directory so the rename itself
+// is durable. A crash at any instant leaves either the previous journal or
+// the new one — never a torn file (torn *bytes* are additionally caught by
+// per-record CRCs, below).
 //
-//   header:  magic "MLECCAMP" | u32 version | u64 seed | u64 total_units
-//            | u32 shards | u64 fingerprint (FNV-1a of the workload's
-//            config identity — resuming under a different config refuses)
-//   records: one per shard —
-//            u32 shard | u32 attempt | u8 flags (1 = quarantined)
-//            | u64 assigned | u64 done | 4 x u64 rng state
-//            | accumulator (counters, scalars, RunningStats — see
-//              CampaignAccumulator serialization)
+// Format v2 (little-endian). Every record after the fixed preamble is
+// length-framed and checksummed:
+//
+//   preamble: magic "MLECCAMP" | u32 version (= 2)
+//   frame:    u32 payload_len | u32 crc32(payload) | payload bytes
+//   frame 0:  header payload — u64 seed | u64 total_units | u32 shards
+//             | u64 fingerprint (FNV-1a of the workload's config identity —
+//             resuming under a different config refuses) | u32 record_count
+//   frames 1..record_count: one shard record each —
+//             u32 shard | u32 attempt | u8 flags (1 = quarantined)
+//             | u64 assigned | u64 done | 4 x u64 rng state
+//             | accumulator (counters, scalars, RunningStats — see
+//               CampaignAccumulator serialization)
+//
+// Two read paths share the parser:
+//   * load()/load_file() — strict: any damage throws PreconditionError.
+//   * recover()/recover_file() — resilient: returns a typed
+//     JournalLoadResult. A corrupt or truncated tail is dropped at the last
+//     CRC-valid record (shards whose records were lost simply restart their
+//     deterministic substreams, so the resumed campaign is still
+//     bit-identical); an unusable preamble/header falls back to a fresh
+//     start. recover never throws on malformed bytes.
+//
+// Version 1 files (pre-CRC) are reported unusable with a migration warning
+// rather than parsed: their unframed layout cannot distinguish truncation
+// from garbage, which is the hole v2 closes.
 //
 // Resume restores each shard's accumulator and RNG state exactly, so a run
 // killed between checkpoints replays only the tail of the last batch and
@@ -26,7 +48,7 @@
 
 namespace mlec {
 
-inline constexpr std::uint32_t kCampaignJournalVersion = 1;
+inline constexpr std::uint32_t kCampaignJournalVersion = 2;
 
 /// Persistent per-shard progress record.
 struct ShardRecord {
@@ -39,6 +61,31 @@ struct ShardRecord {
   CampaignAccumulator acc;
 };
 
+struct CampaignJournal;
+
+/// Typed outcome of the resilient read path (CampaignJournal::recover).
+struct JournalLoadResult {
+  enum class Status {
+    kOk,         ///< fully intact: every framed record parsed and verified
+    kRecovered,  ///< damaged tail dropped at the last CRC-valid record
+    kMissing,    ///< no file at the given path (recover_file only)
+    kUnusable,   ///< bad magic/version/header or no valid records: start fresh
+  };
+
+  Status status = Status::kUnusable;
+  std::vector<ShardRecord> records;  ///< recovered records (usable() states only)
+  std::uint64_t seed = 0;
+  std::uint64_t total_units = 0;
+  std::uint32_t shards = 0;
+  std::uint64_t fingerprint = 0;
+  std::size_t records_recovered = 0;
+  std::size_t records_dropped = 0;  ///< records lost to the damaged tail
+  std::string warning;              ///< human-readable damage description ("" when kOk)
+
+  /// True when the caller can resume from `records` (possibly a subset).
+  bool usable() const { return status == Status::kOk || status == Status::kRecovered; }
+};
+
 struct CampaignJournal {
   std::uint64_t seed = 0;
   std::uint64_t total_units = 0;
@@ -47,13 +94,20 @@ struct CampaignJournal {
   std::vector<ShardRecord> records;
 
   void save(std::ostream& out) const;
+  /// Strict load: throws PreconditionError on any malformed, truncated, or
+  /// checksum-failing input. Equivalent to recover() + requiring kOk.
   static CampaignJournal load(std::istream& in);
+  /// Resilient load: never throws on malformed bytes (see file comment).
+  static JournalLoadResult recover(std::istream& in);
 
-  /// Atomic file write: serialize to `path + ".tmp"`, then rename over
-  /// `path` so readers never observe a torn journal.
+  /// Crash-safe file write: serialize to `path + ".tmp"`, fsync it, rename
+  /// over `path`, fsync the parent directory. Fault points:
+  /// journal.save.pre, journal.rename.pre, journal.rename.post.
   void save_file(const std::string& path) const;
-  /// Load `path`; throws PreconditionError on malformed/unversioned data.
+  /// Strict file load; throws PreconditionError on malformed data.
   static CampaignJournal load_file(const std::string& path);
+  /// Resilient file load; kMissing when the path does not exist.
+  static JournalLoadResult recover_file(const std::string& path);
 };
 
 /// FNV-1a hash of an arbitrary identity string (workload config text).

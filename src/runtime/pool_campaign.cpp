@@ -69,6 +69,7 @@ LocalPoolCampaignResult run_local_pool_campaign(const LocalPoolSimConfig& config
   campaign.resume = options.resume;
   campaign.max_attempts = options.max_attempts;
   campaign.retry_backoff_ms = options.retry_backoff_ms;
+  campaign.shard_timeout_s = options.shard_timeout_s;
   campaign.target_rse = options.target_rse;
   campaign.unit_budget = options.unit_budget;
   campaign.fingerprint = local_pool_campaign_fingerprint(config);

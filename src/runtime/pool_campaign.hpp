@@ -25,6 +25,9 @@ struct LocalPoolCampaignOptions {
   std::size_t shards = 0;  ///< 0 = derive from the pool
   std::size_t max_attempts = 3;
   double retry_backoff_ms = 100.0;
+  /// Shard watchdog deadline in seconds; 0 disables (see
+  /// CampaignConfig::shard_timeout_s).
+  double shard_timeout_s = 0.0;
   /// Stop early once the catastrophe count's Poisson relative standard
   /// error (1/sqrt(count)) drops below this (0 disables).
   double target_rse = 0.0;

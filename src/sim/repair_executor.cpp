@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -82,6 +83,7 @@ const std::vector<gf::byte_t>& MaterializedSystem::chunk(std::size_t stripe, std
 }
 
 RepairExecution MaterializedSystem::execute(RepairMethod method) {
+  MLEC_FAULT_POINT("repair.execute.pre");
   const auto& code = map_.layout().code();
   const std::size_t kn = code.network.k, pn = code.network.p;
   const std::size_t kl = code.local.k, pl = code.local.p;

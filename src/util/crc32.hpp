@@ -1,0 +1,44 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for on-disk record
+// integrity — the checksum behind the campaign journal's framed records.
+// Table-driven, one byte per step: journal records are hundreds of bytes,
+// so a slice-by-8 variant would be complexity without a measurable win.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mlec {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) c = (c >> 1) ^ ((c & 1u) != 0 ? 0xEDB88320u : 0u);
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `size` bytes at `data`. `seed` chains incremental updates:
+/// crc32(b, crc32(a)) == crc32(a ++ b).
+inline std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < size; ++i)
+    c = detail::kCrc32Table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+inline std::uint32_t crc32(std::string_view bytes, std::uint32_t seed = 0) {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace mlec

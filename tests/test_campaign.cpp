@@ -3,16 +3,25 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "runtime/fleet_campaign.hpp"
 #include "runtime/journal.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 
 namespace mlec {
 namespace {
@@ -83,7 +92,7 @@ TEST(CampaignJournal, RoundTripsThroughFile) {
   journal.shards = 1;
   journal.fingerprint = fingerprint_of("workload-v1");
   ShardRecord rec;
-  rec.shard = 1;
+  rec.shard = 0;  // v2 validates shard ids against the header's shard count
   rec.attempt = 2;
   rec.assigned = 50;
   rec.done = 30;
@@ -99,7 +108,7 @@ TEST(CampaignJournal, RoundTripsThroughFile) {
   EXPECT_EQ(back.shards, 1u);
   EXPECT_EQ(back.fingerprint, journal.fingerprint);
   ASSERT_EQ(back.records.size(), 1u);
-  EXPECT_EQ(back.records[0].shard, 1u);
+  EXPECT_EQ(back.records[0].shard, 0u);
   EXPECT_EQ(back.records[0].rng_state, (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
   EXPECT_TRUE(back.records[0].acc == rec.acc);
   std::remove(path.c_str());
@@ -113,6 +122,112 @@ TEST(CampaignJournal, RejectsGarbage) {
   }
   EXPECT_THROW(CampaignJournal::load_file(path), PreconditionError);
   std::remove(path.c_str());
+}
+
+/// A journal with two shard records, written through the real save path so
+/// the damage tests below operate on genuine v2 framing.
+std::string write_sample_journal(const std::string& name) {
+  CampaignJournal journal;
+  journal.seed = 21;
+  journal.total_units = 64;
+  journal.shards = 2;
+  journal.fingerprint = fingerprint_of("damage-tests");
+  for (std::uint32_t shard = 0; shard < 2; ++shard) {
+    ShardRecord rec;
+    rec.shard = shard;
+    rec.attempt = 1;
+    rec.assigned = 32;
+    rec.done = 16;
+    rec.rng_state = {shard + 1ull, 2, 3, 4};
+    rec.acc.counter("missions") = 16;
+    journal.records.push_back(rec);
+  }
+  const auto path = temp_path(name);
+  journal.save_file(path);
+  return path;
+}
+
+TEST(CampaignJournal, RecoverOnIntactFileIsOk) {
+  const auto path = write_sample_journal("journal_intact.bin");
+  const auto result = CampaignJournal::recover_file(path);
+  EXPECT_EQ(result.status, JournalLoadResult::Status::kOk);
+  EXPECT_TRUE(result.usable());
+  EXPECT_TRUE(result.warning.empty());
+  EXPECT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records_dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, RecoverTruncatedTailKeepsTheValidPrefix) {
+  const auto path = write_sample_journal("journal_truncated.bin");
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 7);  // tear the last record
+  const auto result = CampaignJournal::recover_file(path);
+  EXPECT_EQ(result.status, JournalLoadResult::Status::kRecovered);
+  EXPECT_TRUE(result.usable());
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].shard, 0u);
+  EXPECT_EQ(result.records_dropped, 1u);
+  EXPECT_NE(result.warning.find("dropped"), std::string::npos);
+  // The strict path must keep refusing the same bytes.
+  EXPECT_THROW(CampaignJournal::load_file(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, RecoverBitFlipDropsTheDamagedRecord) {
+  const auto path = write_sample_journal("journal_flipped.bin");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    f.seekp(size - 10);  // inside the last record's payload
+    char b = 0;
+    f.seekg(size - 10);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(size - 10);
+    f.write(&b, 1);
+  }
+  const auto result = CampaignJournal::recover_file(path);
+  EXPECT_EQ(result.status, JournalLoadResult::Status::kRecovered);
+  EXPECT_EQ(result.records.size(), 1u);
+  EXPECT_THROW(CampaignJournal::load_file(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, RecoverBadMagicIsUnusable) {
+  const auto path = write_sample_journal("journal_bad_magic.bin");
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("XXXX", 4);
+  }
+  const auto result = CampaignJournal::recover_file(path);
+  EXPECT_EQ(result.status, JournalLoadResult::Status::kUnusable);
+  EXPECT_FALSE(result.usable());
+  EXPECT_FALSE(result.warning.empty());
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, RecoverV1JournalReportsMigration) {
+  const auto path = temp_path("journal_v1.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("MLECCAMP", 8);
+    const std::uint32_t v1 = 1;
+    out.write(reinterpret_cast<const char*>(&v1), 4);
+    const std::string stale(40, '\0');
+    out.write(stale.data(), static_cast<std::streamsize>(stale.size()));
+  }
+  const auto result = CampaignJournal::recover_file(path);
+  EXPECT_EQ(result.status, JournalLoadResult::Status::kUnusable);
+  EXPECT_NE(result.warning.find("v1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CampaignJournal, RecoverMissingFile) {
+  const auto result = CampaignJournal::recover_file(temp_path("journal_never_written.bin"));
+  EXPECT_EQ(result.status, JournalLoadResult::Status::kMissing);
+  EXPECT_FALSE(result.usable());
 }
 
 TEST(Campaign, RunsToCompletionWithoutCheckpointing) {
@@ -233,6 +348,64 @@ TEST(Campaign, PersistentlyFailingShardIsQuarantined) {
   EXPECT_FALSE(report.complete());
 }
 
+TEST(Campaign, WatchdogTimesOutHungShardAndRetrySucceeds) {
+  // Shard 0's first attempt stalls ~80 ms per unit against a 40 ms watchdog
+  // deadline; the watchdog flags the attempt, the shard raises a timeout at
+  // the next batch boundary, and the retry (which does not stall) finishes
+  // the campaign cleanly.
+  auto first_attempt_stalls = std::make_shared<std::atomic<bool>>(true);
+  auto factory = [first_attempt_stalls](std::uint32_t shard,
+                                        Rng&) -> CampaignRunner::UnitRunner {
+    const bool stall = shard == 0 && first_attempt_stalls->exchange(false);
+    return [stall](CampaignAccumulator& acc) {
+      if (stall) std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      ++acc.counter("units");
+    };
+  };
+  CampaignConfig cfg;
+  cfg.total_units = 16;
+  cfg.seed = 17;
+  cfg.shards = 2;
+  cfg.checkpoint_every = 2;
+  cfg.shard_timeout_s = 0.04;
+  cfg.max_attempts = 3;
+  cfg.retry_backoff_ms = 0.0;
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(acc.counter("units"), 16u);
+  EXPECT_EQ(report.quarantined(), 0u);
+  EXPECT_GE(report.shards[0].attempts, 2u);
+  EXPECT_GE(report.shards[0].timeouts, 1u);
+  EXPECT_EQ(report.shards[1].timeouts, 0u);
+}
+
+TEST(Campaign, ResumeFromDamagedJournalStartsFreshWithWarning) {
+  // A resume pointed at an unusable journal must not abort: it starts fresh
+  // and surfaces the damage in the report.
+  const auto path = temp_path("journal_unusable_resume.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a journal";
+  }
+  auto factory = [](std::uint32_t, Rng&) -> CampaignRunner::UnitRunner {
+    return [](CampaignAccumulator& acc) { ++acc.counter("units"); };
+  };
+  CampaignConfig cfg;
+  cfg.total_units = 16;
+  cfg.seed = 3;
+  cfg.shards = 2;
+  cfg.checkpoint_path = path;
+  cfg.resume = true;
+  CampaignRunner runner(cfg, factory);
+  const auto [acc, report] = runner.run();
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(acc.counter("units"), 16u);
+  EXPECT_FALSE(report.resumed);
+  EXPECT_NE(report.resume_warning.find("starting fresh"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(Campaign, AdaptiveStoppingConvergesEarly) {
   auto factory = [](std::uint32_t, Rng& rng) -> CampaignRunner::UnitRunner {
     return [&rng](CampaignAccumulator& acc) {
@@ -330,6 +503,69 @@ TEST(FleetCampaign, KillAndResumeIsBitIdenticalToUninterruptedRun) {
   expect_identical(resumed.result, full.result);
   std::remove(path.c_str());
 }
+
+#ifndef _WIN32
+TEST(FleetCampaign, CrashAtEveryCheckpointBoundaryResumesBitIdentical) {
+  // The crash-recovery acceptance sweep: kill the campaign (std::_Exit, no
+  // flushing — a simulated power cut) at EVERY checkpoint boundary in turn,
+  // resume from whatever journal survived, and require the final result
+  // bit-identical to an uninterrupted run. Forked children never touch the
+  // thread pool (single-threaded campaigns), so fork stays safe.
+  const auto cfg = small_fleet();
+  const std::uint64_t missions = 32;
+  const std::uint64_t seed = 404;
+
+  FleetCampaignOptions options;
+  options.shards = 2;
+  options.checkpoint_every = 4;
+  const auto full = run_fleet_campaign(cfg, missions, seed, options);
+  ASSERT_TRUE(full.report.complete());
+
+  int boundaries_hit = 0;
+  for (int hit = 1; hit <= 64; ++hit) {
+    const auto path =
+        temp_path("fleet_crash_at_" + std::to_string(hit) + ".bin");
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: crash on the hit-th completed checkpoint. _Exit codes: 42 is
+      // the injected crash, 64 means the run outlived the schedule (no more
+      // boundaries to kill), anything else is a real failure.
+      fault::configure("campaign.checkpoint.post=crash@hit=" + std::to_string(hit));
+      FleetCampaignOptions child = options;
+      child.checkpoint_path = path;
+      try {
+        (void)run_fleet_campaign(cfg, missions, seed, child);
+        std::_Exit(64);
+      } catch (...) {
+        std::_Exit(65);
+      }
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    const int code = WEXITSTATUS(status);
+    if (code == 64) break;  // past the last checkpoint: sweep complete
+    ASSERT_EQ(code, 42) << "child failed for a reason other than the injected crash";
+    ++boundaries_hit;
+
+    FleetCampaignOptions resume = options;
+    resume.checkpoint_path = path;
+    resume.resume = true;
+    const auto resumed = run_fleet_campaign(cfg, missions, seed, resume);
+    EXPECT_TRUE(resumed.report.complete()) << "crash at checkpoint " << hit;
+    expect_identical(resumed.result, full.result);
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+  }
+  // The sweep must have actually exercised crash points (32 missions / 2
+  // shards / every 4 units -> several checkpoints plus the final saves).
+  EXPECT_GE(boundaries_hit, 4);
+}
+#endif  // !_WIN32
 
 TEST(FleetCampaign, AdaptiveStoppingOnPdl) {
   auto cfg = small_fleet();

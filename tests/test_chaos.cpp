@@ -1,0 +1,173 @@
+#include "analysis/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/fault.hpp"
+#include "util/stop_token.hpp"
+
+namespace mlec {
+namespace {
+
+/// Every test leaves the global fault registry disarmed, pass or fail —
+/// a leaked schedule would poison unrelated tests in this process.
+class FaultGuard : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::clear(); }
+};
+
+using FaultRegistry = FaultGuard;
+
+TEST_F(FaultRegistry, DisarmedByDefaultAndPointsAreFree) {
+  ASSERT_FALSE(fault::enabled());
+  MLEC_FAULT_POINT("test.nonexistent");  // must be a no-op, not a crash
+  EXPECT_EQ(fault::hit_count("test.nonexistent"), 0u);
+}
+
+TEST_F(FaultRegistry, ThrowFiresOnExactlyTheNthHit) {
+  fault::configure("test.point=throw@hit=3");
+  EXPECT_TRUE(fault::enabled());
+  MLEC_FAULT_POINT("test.point");
+  MLEC_FAULT_POINT("test.point");
+  EXPECT_THROW(MLEC_FAULT_POINT("test.point"), fault::FaultInjectedError);
+  MLEC_FAULT_POINT("test.point");  // hit 4: past the trigger, fires no more
+  EXPECT_EQ(fault::hit_count("test.point"), 4u);
+}
+
+TEST_F(FaultRegistry, FirstNFiresOnEveryLeadingHit) {
+  fault::configure("test.point=throw@first=2");
+  EXPECT_THROW(MLEC_FAULT_POINT("test.point"), fault::FaultInjectedError);
+  EXPECT_THROW(MLEC_FAULT_POINT("test.point"), fault::FaultInjectedError);
+  MLEC_FAULT_POINT("test.point");
+}
+
+TEST_F(FaultRegistry, EveryNFiresPeriodically) {
+  fault::configure("test.point=throw@every=2");
+  MLEC_FAULT_POINT("test.point");
+  EXPECT_THROW(MLEC_FAULT_POINT("test.point"), fault::FaultInjectedError);
+  MLEC_FAULT_POINT("test.point");
+  EXPECT_THROW(MLEC_FAULT_POINT("test.point"), fault::FaultInjectedError);
+}
+
+TEST_F(FaultRegistry, SeededProbabilityIsDeterministic) {
+  auto fire_pattern = [] {
+    fault::configure("test.point=throw@p=0.5,seed=9");
+    std::string pattern;
+    for (int i = 0; i < 32; ++i) {
+      try {
+        MLEC_FAULT_POINT("test.point");
+        pattern += '.';
+      } catch (const fault::FaultInjectedError&) {
+        pattern += 'X';
+      }
+    }
+    return pattern;
+  };
+  const std::string first = fire_pattern();
+  EXPECT_EQ(first, fire_pattern());  // same seed, same hits -> same pattern
+  EXPECT_NE(first.find('X'), std::string::npos);
+  EXPECT_NE(first.find('.'), std::string::npos);
+}
+
+TEST_F(FaultRegistry, MultiPointSchedulesAndRoundTrip) {
+  fault::configure("a.point=crash@hit=2;b.point=delay:250@every=3;c.point=throw");
+  const auto specs = fault::active();
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].to_string(), "a.point=crash@hit=2");
+  EXPECT_EQ(specs[1].to_string(), "b.point=delay:250@every=3");
+  EXPECT_EQ(specs[2].to_string(), "c.point=throw");
+  fault::clear();
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_TRUE(fault::active().empty());
+}
+
+TEST_F(FaultRegistry, MalformedSchedulesAreRejected) {
+  EXPECT_THROW(fault::configure("no-equals-sign"), PreconditionError);
+  EXPECT_THROW(fault::configure("p=bogus-action"), PreconditionError);
+  EXPECT_THROW(fault::configure("p=throw@hit=0"), PreconditionError);
+  EXPECT_THROW(fault::configure("p=delay"), PreconditionError);
+  EXPECT_THROW(fault::configure("p=throw@p=1.5"), PreconditionError);
+  EXPECT_FALSE(fault::enabled());  // a failed configure arms nothing
+}
+
+TEST_F(FaultRegistry, DelayIsCutShortByScopedCancellation) {
+  fault::configure("test.slow=delay:60000");
+  StopSource source;
+  source.request_stop();  // token already fired: the sleep must return fast
+  fault::ScopedCancellation scope(source.token());
+  const auto start = std::chrono::steady_clock::now();
+  MLEC_FAULT_POINT("test.slow");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+}
+
+TEST_F(FaultRegistry, KnownPointsEnumeratesTheWiredLayers) {
+  const auto& points = fault::known_points();
+  ASSERT_GE(points.size(), 10u);
+  auto has = [&](const std::string& name) {
+    for (const auto& p : points)
+      if (name == p.name) return true;
+    return false;
+  };
+  EXPECT_TRUE(has("journal.rename.pre"));
+  EXPECT_TRUE(has("campaign.checkpoint.post"));
+  EXPECT_TRUE(has("pool.task.throw"));
+  EXPECT_TRUE(has("shard.slow"));
+  EXPECT_TRUE(has("estimator.sim.pre"));
+  EXPECT_TRUE(has("repair.execute.pre"));
+}
+
+/// SLEC-as-MLEC toy system, hot enough that a few hundred missions see real
+/// failures; small enough that the full sweep (a campaign per case) stays
+/// in test-suite time.
+Scenario chaos_scenario() {
+  Scenario sc;
+  sc.name = "chaos-smoke";
+  sc.system.dc.racks = 4;
+  sc.system.dc.enclosures_per_rack = 1;
+  sc.system.dc.disks_per_enclosure = 8;
+  sc.system.dc.disk_capacity_tb = 20.0;
+  sc.system.code = {{1, 0}, {3, 1}};
+  sc.system.scheme = MlecScheme::kCC;
+  sc.system.repair = RepairMethod::kRepairAll;
+  sc.system.afr = 0.5;
+  sc.missions = 160;
+  sc.split_missions = 1600;
+  sc.seed = 42;
+  return sc;
+}
+
+TEST_F(FaultGuard, ChaosSweepSurvivesEveryKnownFaultPoint) {
+  ChaosOptions options;
+  options.workdir =
+      (std::filesystem::path(::testing::TempDir()) / "mlec-chaos-test").string();
+  const ChaosReport report = run_chaos(chaos_scenario(), options);
+  EXPECT_GE(report.cases.size(), 10u);
+  EXPECT_TRUE(report.all_passed()) << report.table();
+  std::filesystem::remove_all(options.workdir);
+}
+
+TEST_F(FaultGuard, ChaosOnlyFilterScopesTheSweep) {
+  ChaosOptions options;
+  options.workdir =
+      (std::filesystem::path(::testing::TempDir()) / "mlec-chaos-filtered").string();
+  options.only = {"quarantine"};
+  const ChaosReport report = run_chaos(chaos_scenario(), options);
+  ASSERT_GE(report.cases.size(), 1u);
+  for (const auto& c : report.cases)
+    EXPECT_NE(c.name.find("quarantine"), std::string::npos) << c.name;
+  EXPECT_TRUE(report.all_passed()) << report.table();
+  std::filesystem::remove_all(options.workdir);
+}
+
+TEST_F(FaultGuard, ChaosRefusesToRunUnderAnArmedSchedule) {
+  fault::configure("test.point=throw");
+  EXPECT_THROW(run_chaos(chaos_scenario()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mlec

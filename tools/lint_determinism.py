@@ -31,6 +31,14 @@ the machine that introduced them. This linter bans them at review time:
                   an escaping exception is std::terminate. (parallel_for /
                   parallel_chunks bodies are exempt: the pool wraps them in
                   its batch-abandon try/catch.)
+  jitter          Un-seeded randomness (rand, random_device) or any clock
+                  read — steady_clock included — on a line that computes
+                  retry backoff or jitter, in src/{sim,analysis,runtime,util}.
+                  Retry timing must derive from the campaign seed
+                  (splitmix64 over (seed, shard, attempt)) so a resumed run
+                  retries on the same schedule and fault-injection sweeps
+                  replay bit-identically; clock-derived jitter silently
+                  breaks both.
 
 Suppression: append `// lint:allow(<rule>): <justification>` to the flagged
 line, or place it alone on the preceding line. The justification is
@@ -51,6 +59,7 @@ from pathlib import Path
 # Directories each rule applies to, relative to the repo root.
 SIM_STACK = ("src/sim", "src/analysis", "src/runtime")
 SIM_LOGIC = ("src/sim", "src/analysis")
+JITTER_STACK = SIM_STACK + ("src/util",)
 ALL_SRC = ("src",)
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)(:?\s*(.*))?")
@@ -69,6 +78,12 @@ FLOAT_CMP_RE = re.compile(
     r"([A-Za-z_][\w.\[\]()>-]*|" + FLOAT_LITERAL + r")"
 )
 FLOAT_LITERAL_RE = re.compile(r"^" + FLOAT_LITERAL + r"$")
+JITTER_CONTEXT_RE = re.compile(r"\b(?:jitter|backoff)\w*", re.IGNORECASE)
+JITTER_NONDET_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand)\s*\(|\brandom_device\b"
+    r"|\b(?:system|steady|high_resolution)_clock\b"
+    r"|(?<![_\w])(?:std::)?time\s*\("
+)
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -157,6 +172,7 @@ def lint_file(path: Path, rel: str, findings: list[Finding]) -> None:
 
     in_sim_stack = rel.startswith(SIM_STACK)
     in_sim_logic = rel.startswith(SIM_LOGIC)
+    in_jitter_stack = rel.startswith(JITTER_STACK)
 
     def report(lineno: int, rule: str, message: str) -> None:
         if rule in allowed.get(lineno, set()):
@@ -181,6 +197,11 @@ def lint_file(path: Path, rel: str, findings: list[Finding]) -> None:
                 report(lineno, "unordered-iter",
                        f"iteration over unordered container '{m.group(1)}' is "
                        "implementation-ordered; use a dense index or sort first")
+        if in_jitter_stack and JITTER_CONTEXT_RE.search(line) and JITTER_NONDET_RE.search(line):
+            report(lineno, "jitter",
+                   "backoff/jitter computed from un-seeded randomness or a clock; "
+                   "derive it from the campaign seed (splitmix64 over "
+                   "(seed, shard, attempt)) so resumed runs retry identically")
         if in_sim_logic:
             for m in FLOAT_CMP_RE.finditer(line):
                 lhs, op, rhs = m.group(1), m.group(2), m.group(3)
@@ -255,6 +276,14 @@ SELF_TEST_CASES = [
     ("src/util/a.cpp",
      "pool.submit([&] { try { f(); } catch (...) { log(); } });", None),
     ("src/sim/a.cpp", 'printf("rand() is banned");', None),  # strings ignored
+    ("src/util/a.cpp", "double jitter = rand() / double(RAND_MAX);", "jitter"),
+    ("src/runtime/a.cpp",
+     "backoff_ms *= 1 + std::chrono::steady_clock::now().time_since_epoch().count() % 7;",
+     "jitter"),
+    ("src/runtime/a.cpp",
+     "const double jitter = 0.5 + (splitmix64(state) >> 11) * 0x1.0p-53;", None),
+    ("src/util/a.cpp",
+     "auto elapsed = std::chrono::steady_clock::now() - start;", None),  # not jitter code
 ]
 
 

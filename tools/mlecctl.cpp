@@ -11,6 +11,8 @@
 //   repair       repair bandwidth and times (Table 2 / Figures 6, 9)
 //   tradeoff     ~30%-overhead durability/throughput sweep (Figure 12 view)
 //   simulate N   fleet Monte Carlo over N mission-years
+//   chaos        fault-injection sweep: crash/corrupt/hang every registered
+//                fault point and verify recovery (see analysis/chaos.hpp)
 //   advise       apply the paper's §6.1 takeaways to a site profile
 //   spec         print an annotated deployment-file template
 //   scenario     print an annotated scenario-file template
@@ -27,7 +29,13 @@
 // --split-missions N, --strict (unknown config keys are errors).
 // Campaign flags for estimate/simulate: --checkpoint FILE, --resume,
 // --shards N, --time-budget SECONDS, --target-rse X, --unit-budget N,
-// --seed N, --perf (print per-shard throughput and sim-core counters).
+// --seed N, --checkpoint-every N, --shard-timeout SECONDS (watchdog; 0
+// disables), --perf (print per-shard throughput and sim-core counters).
+// Robustness flags: --faults "SPEC" arms a deterministic fault-injection
+// schedule (same syntax as MLEC_FAULTS, see util/fault.hpp); --fail-fast
+// makes quarantined shards an error instead of a degraded partial estimate
+// (--degrade restores the default); chaos accepts --workdir DIR and
+// --only SUBSTR (repeatable) to scope the sweep.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -37,6 +45,7 @@
 #include <vector>
 
 #include "analysis/burst_pdl.hpp"
+#include "analysis/chaos.hpp"
 #include "analysis/crosscheck.hpp"
 #include "analysis/fleet_sim.hpp"
 #include "analysis/tradeoff.hpp"
@@ -46,6 +55,7 @@
 #include "ec/backend.hpp"
 #include "placement/notation.hpp"
 #include "runtime/fleet_campaign.hpp"
+#include "util/fault.hpp"
 #include "util/stop_token.hpp"
 #include "util/table.hpp"
 
@@ -57,7 +67,7 @@ using namespace mlec;
   if (message != nullptr) std::cerr << "mlecctl: " << message << "\n\n";
   std::cerr <<
       "usage: mlecctl <analyze|estimate|durability|burst|traffic|repair|tradeoff|simulate|\n"
-      "                advise|spec|scenario|ec>\n"
+      "                chaos|advise|spec|scenario|ec>\n"
       "               [--config FILE] [--strict] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
       "               [--repair R_MIN] [--afr F] [--detection-min M] [--racks N]\n"
       "               [--enclosures-per-rack N] [--disks-per-enclosure N] [--disk-tb N]\n"
@@ -66,7 +76,8 @@ using namespace mlec;
       "               [--missions N] [--split-missions N]\n"
       "               [--checkpoint FILE] [--resume] [--shards N]\n"
       "               [--time-budget SECONDS] [--target-rse X] [--unit-budget N] [--seed N]\n"
-      "               [--perf]\n";
+      "               [--checkpoint-every N] [--shard-timeout SECONDS] [--faults \"SPEC\"]\n"
+      "               [--degrade|--fail-fast] [--workdir DIR] [--only SUBSTR] [--perf]\n";
   std::exit(2);
 }
 
@@ -86,6 +97,13 @@ struct Options {
   double time_budget_s = 0.0;
   double target_rse = 0.0;
   std::uint64_t unit_budget = 0;
+  std::uint64_t checkpoint_every = 256;
+  double shard_timeout_s = 0.0;  ///< watchdog deadline; 0 disables
+  bool fail_fast = false;        ///< quarantined shards error out vs degrade
+  std::string faults;            ///< MLEC_FAULTS-syntax schedule from --faults
+  // chaos controls
+  std::string chaos_workdir;
+  std::vector<std::string> chaos_only;
   bool perf = false;  ///< print per-shard throughput + sim-core counters
 
   const SystemSpec& spec() const { return scenario.system; }
@@ -196,6 +214,20 @@ Options parse_options(int argc, char** argv) {
         opt.target_rse = std::stod(need_value(i));
       } else if (arg == "--unit-budget") {
         opt.unit_budget = std::stoull(need_value(i));
+      } else if (arg == "--checkpoint-every") {
+        opt.checkpoint_every = std::stoull(need_value(i));
+      } else if (arg == "--shard-timeout") {
+        opt.shard_timeout_s = std::stod(need_value(i));
+      } else if (arg == "--faults") {
+        opt.faults = need_value(i);
+      } else if (arg == "--degrade") {
+        opt.fail_fast = false;
+      } else if (arg == "--fail-fast") {
+        opt.fail_fast = true;
+      } else if (arg == "--workdir") {
+        opt.chaos_workdir = need_value(i);
+      } else if (arg == "--only") {
+        opt.chaos_only.push_back(need_value(i));
       } else if (arg == "--seed") {
         opt.scenario.seed = std::stoull(need_value(i));
       } else if (arg == "--perf") {
@@ -252,6 +284,10 @@ int cmd_estimate(const Options& opt) {
   cc.estimate.shards = opt.shards;
   cc.estimate.target_rse = opt.target_rse;
   cc.estimate.unit_budget = opt.unit_budget;
+  cc.estimate.checkpoint_every = opt.checkpoint_every;
+  cc.estimate.shard_timeout_s = opt.shard_timeout_s;
+  cc.estimate.degrade = opt.fail_fast ? DegradePolicy::kFailFast : DegradePolicy::kDegrade;
+  cc.fail_fast = opt.fail_fast;
 
   const CrosscheckReport report = run_crosscheck(opt.scenario, cc);
   if (opt.json)
@@ -365,6 +401,7 @@ int cmd_simulate(const Options& opt) {
   campaign.shards = opt.shards;
   campaign.target_rse = opt.target_rse;
   campaign.unit_budget = opt.unit_budget;
+  campaign.shard_timeout_s = opt.shard_timeout_s;
   campaign.stop = stop_source.token();
 
   const auto fc = run_fleet_campaign(cfg, missions, opt.scenario.seed, campaign, &global_pool());
@@ -407,6 +444,24 @@ int cmd_simulate(const Options& opt) {
   return 0;
 }
 
+int cmd_chaos(const Options& opt) {
+  ChaosOptions chaos;
+  chaos.workdir = opt.chaos_workdir;
+  chaos.only = opt.chaos_only;
+  if (opt.shards > 0) chaos.shards = opt.shards;
+  // A full sweep runs a campaign per case; keep the per-case cost modest
+  // unless the scenario explicitly asked for more.
+  Scenario scenario = opt.scenario;
+  if (scenario.missions > 512) scenario.missions = 512;
+  const ChaosReport report = run_chaos(scenario, chaos);
+  std::cout << report.table();
+  if (!report.all_passed()) {
+    std::cerr << "mlecctl: " << report.failures() << " chaos case(s) failed\n";
+    return 4;
+  }
+  return 0;
+}
+
 int cmd_advise(const Options& opt) {
   const auto rec = advise(opt.profile);
   std::cout << "recommendation: " << rec.summary() << '\n';
@@ -437,6 +492,9 @@ int main(int argc, char** argv) {
   if (command == "ec") return cmd_ec();
   try {
     const Options opt = parse_options(argc, argv);
+    // Arm the fault-injection schedule before any command runs; the chaos
+    // harness manages its own schedules and refuses to start with one armed.
+    if (!opt.faults.empty()) fault::configure(opt.faults);
     if (command == "analyze") return cmd_analyze(opt);
     if (command == "estimate") return cmd_estimate(opt);
     if (command == "durability") return cmd_durability(opt);
@@ -445,6 +503,7 @@ int main(int argc, char** argv) {
     if (command == "repair") return cmd_repair(opt);
     if (command == "tradeoff") return cmd_tradeoff(opt);
     if (command == "simulate") return cmd_simulate(opt);
+    if (command == "chaos") return cmd_chaos(opt);
     if (command == "advise") return cmd_advise(opt);
     if (command == "spec") {
       std::cout << example_spec();
