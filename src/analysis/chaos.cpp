@@ -33,8 +33,8 @@ struct ScopedFaults {
 
 bool same_bits(double a, double b) { return std::memcmp(&a, &b, sizeof a) == 0; }
 
-/// Bit-exact comparison of everything an estimate derives from the sweep's
-/// accumulated statistics. Returns "" on equality, else the first mismatch.
+}  // namespace
+
 std::string diff_estimates(const Estimate& a, const Estimate& b) {
   const auto field = [](const char* name, double x, double y) {
     std::ostringstream os;
@@ -55,6 +55,8 @@ std::string diff_estimates(const Estimate& a, const Estimate& b) {
     return field("cross_rack_tb", a.cross_rack_tb, b.cross_rack_tb);
   return {};
 }
+
+namespace {
 
 /// Shared fixture: the sim estimator, deterministic campaign knobs, and the
 /// un-faulted baseline every crash/corruption case compares against.
@@ -465,6 +467,8 @@ ChaosReport run_chaos(const Scenario& scenario, const ChaosOptions& options) {
                             "campaign.checkpoint.pre", "campaign.checkpoint.post"})
     if (selected(options, std::string("crash-") + point)) add(run_crash_case(ctx, point));
 #endif
+  for (const ChaosExtraCase& extra : options.fork_phase)
+    if (selected(options, extra.name)) add(extra.run(scenario, options, ctx.workdir));
 
   if (selected(options, "corrupt-truncated-tail"))
     add(run_corruption_case(ctx, "corrupt-truncated-tail", Damage::kTruncateTail));
@@ -479,6 +483,10 @@ ChaosReport run_chaos(const Scenario& scenario, const ChaosOptions& options) {
   if (selected(options, "throw-quarantine-fail-fast")) add(run_fail_fast_case(ctx));
   if (selected(options, "fallback-methods")) add(run_method_fallback_case(ctx));
   if (selected(options, "fallback-dp")) add(run_estimator_dp_case(ctx));
+
+  // From here on cases may spawn threads; every fork is behind us.
+  for (const ChaosExtraCase& extra : options.late_phase)
+    if (selected(options, extra.name)) add(extra.run(scenario, options, ctx.workdir));
 
   // Last: touches the global thread pool (fork-safety, see above).
   if (selected(options, "repair-throw-then-verify")) add(run_repair_case());

@@ -33,12 +33,34 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "core/estimator.hpp"
 #include "core/scenario.hpp"
 
 namespace mlec {
+
+struct ChaosOptions;
+
+struct ChaosCaseResult {
+  std::string name;
+  std::string faults;  ///< MLEC_FAULTS schedule the case armed ("" = none)
+  bool passed = false;
+  std::string detail;  ///< what held, or how it failed
+};
+
+/// A case supplied by a layer above this library (the server registers its
+/// daemon crash/survival cases this way — analysis cannot link it). The
+/// case owns its own fault schedule via fault::configure/clear and must
+/// leave nothing armed; its `faults` string feeds the coverage check.
+struct ChaosExtraCase {
+  std::string name;  ///< drives `only` selection
+  std::function<ChaosCaseResult(const Scenario& scenario, const ChaosOptions& options,
+                                const std::string& workdir)>
+      run;
+};
 
 struct ChaosOptions {
   /// Directory for the journals the cases crash, corrupt, and resume.
@@ -50,13 +72,12 @@ struct ChaosOptions {
   /// Campaign shard count for the faulted runs (single-threaded execution
   /// keeps hit order deterministic regardless of this).
   std::size_t shards = 2;
-};
-
-struct ChaosCaseResult {
-  std::string name;
-  std::string faults;  ///< MLEC_FAULTS schedule the case armed ("" = none)
-  bool passed = false;
-  std::string detail;  ///< what held, or how it failed
+  /// Extra cases run alongside the early fork-based crash cases: they may
+  /// fork but must not spawn threads (fork safety — see file comment).
+  std::vector<ChaosExtraCase> fork_phase;
+  /// Extra cases run after every fork in the sweep: free to spawn threads
+  /// (TCP listeners, service runners).
+  std::vector<ChaosExtraCase> late_phase;
 };
 
 struct ChaosReport {
@@ -71,5 +92,12 @@ struct ChaosReport {
 /// campaign size; keep missions modest — every case runs a campaign).
 /// Never leaves a fault schedule armed, even on failure paths.
 ChaosReport run_chaos(const Scenario& scenario, const ChaosOptions& options = {});
+
+/// Bit-exact comparison of everything an Estimate derives from the sweep's
+/// accumulated statistics (samples, pdl, interval, repair metadata): ""
+/// on equality, else a description of the first mismatch. The contract
+/// every crash/resume case asserts — exported so the server's extra cases
+/// (and its tests) assert the same one.
+std::string diff_estimates(const Estimate& a, const Estimate& b);
 
 }  // namespace mlec

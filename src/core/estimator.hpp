@@ -114,6 +114,13 @@ struct EstimateOptions {
   double shard_timeout_s = 0.0;
   /// Quarantined-shard policy: partial degraded Estimate vs DegradedError.
   DegradePolicy degrade = DegradePolicy::kDegrade;
+  /// Per-commit progress feed from the underlying campaign (units done,
+  /// current RSE); the server streams these to `watch` subscribers. Must be
+  /// thread-safe — shards invoke it concurrently.
+  std::function<void(const CampaignProgress&)> progress;
+  /// ThreadPool dispatch lane for the campaign's shard chunks (see
+  /// CampaignConfig::pool_lane).
+  std::size_t pool_lane = kLaneNormal;
 };
 
 class Estimator {

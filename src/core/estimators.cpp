@@ -109,6 +109,8 @@ class SimEstimator final : public Estimator {
     campaign.target_rse = options.target_rse;
     campaign.unit_budget = options.unit_budget;
     campaign.stop = options.stop;
+    campaign.progress = options.progress;
+    campaign.pool_lane = options.pool_lane;
     const FleetCampaignResult run = run_fleet_campaign(scenario.fleet_config(), scenario.missions,
                                                        scenario.seed, campaign, options.pool);
 
@@ -174,6 +176,8 @@ class SplitEstimator final : public Estimator {
     campaign.target_rse = options.target_rse;
     campaign.unit_budget = options.unit_budget;
     campaign.stop = options.stop;
+    campaign.progress = options.progress;
+    campaign.pool_lane = options.pool_lane;
     const LocalPoolCampaignResult stage1_run = run_local_pool_campaign(
         scenario.local_pool_config(), scenario.split_missions, scenario.seed, campaign,
         options.pool);

@@ -1,11 +1,14 @@
 #include "core/spec_io.hpp"
 
+#include <cctype>
 #include <iostream>
 #include <sstream>
 #include <utility>
 
 #include "placement/notation.hpp"
+#include "runtime/journal.hpp"
 #include "util/error.hpp"
+#include "util/units.hpp"
 
 namespace mlec {
 
@@ -69,6 +72,63 @@ void check_unknown_keys(const IniFile& ini, bool scenario, const SpecParsePolicy
   if (policy.unknown_keys == nullptr) std::cerr << "warning: " << what << " (ignored)\n";
 }
 
+/// Read a size-like key that may carry a decimal storage-unit suffix
+/// (KB/MB/GB/TB/PB, case-insensitive), scaled to the key's native unit:
+/// with native = units::kTB, "18", "18TB", and "18000GB" all mean 18.
+/// Multiply-then-divide keeps round decimal spellings bit-exact
+/// (18000 * 1e9 / 1e12 == 18.0 exactly), which the scenario fingerprint
+/// relies on to treat equivalent spellings as one cache entry.
+double get_sized(const IniFile& ini, const std::string& section, const std::string& key,
+                 double fallback, double native_unit_bytes) {
+  const auto raw = ini.get(section, key);
+  if (!raw) return fallback;
+  std::string text = *raw;
+  const auto fail = [&] {
+    throw PreconditionError("malformed value for " + section + "." + key + ": '" + *raw + "'");
+  };
+
+  std::size_t digits_end = text.size();
+  while (digits_end > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[digits_end - 1])) != 0) {
+    --digits_end;
+  }
+  std::string suffix = text.substr(digits_end);
+  for (char& c : suffix) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  while (digits_end > 0 && std::isspace(static_cast<unsigned char>(text[digits_end - 1])) != 0)
+    --digits_end;
+  text.resize(digits_end);
+
+  double unit_bytes = native_unit_bytes;
+  if (!suffix.empty()) {
+    constexpr std::pair<const char*, double> kSuffixes[] = {{"KB", units::kKB},
+                                                            {"MB", units::kMB},
+                                                            {"GB", units::kGB},
+                                                            {"TB", units::kTB},
+                                                            {"PB", units::kPB}};
+    bool known = false;
+    for (const auto& [name, bytes] : kSuffixes) {
+      if (suffix == name) {
+        unit_bytes = bytes;
+        known = true;
+        break;
+      }
+    }
+    if (!known) fail();
+  }
+
+  double value = 0.0;
+  try {
+    std::size_t consumed = 0;
+    value = std::stod(text, &consumed);
+    if (consumed != text.size() || text.empty()) fail();
+  } catch (const PreconditionError&) {
+    throw;
+  } catch (const std::exception&) {
+    fail();
+  }
+  return value * unit_bytes / native_unit_bytes;
+}
+
 /// The [datacenter]/[bandwidth]/[code]/[failures] fields shared by specs
 /// and scenarios (no unknown-key pass — callers run it for their key set).
 SystemSpec load_spec_fields(const IniFile& ini) {
@@ -80,8 +140,8 @@ SystemSpec load_spec_fields(const IniFile& ini) {
   spec.dc.disks_per_enclosure =
       ini.get_size("datacenter", "disks_per_enclosure", spec.dc.disks_per_enclosure);
   spec.dc.disk_capacity_tb =
-      ini.get_double("datacenter", "disk_capacity_tb", spec.dc.disk_capacity_tb);
-  spec.dc.chunk_kb = ini.get_double("datacenter", "chunk_kb", spec.dc.chunk_kb);
+      get_sized(ini, "datacenter", "disk_capacity_tb", spec.dc.disk_capacity_tb, units::kTB);
+  spec.dc.chunk_kb = get_sized(ini, "datacenter", "chunk_kb", spec.dc.chunk_kb, units::kKB);
 
   spec.bandwidth.disk_mbps = ini.get_double("bandwidth", "disk_mbps", spec.bandwidth.disk_mbps);
   spec.bandwidth.rack_gbps = ini.get_double("bandwidth", "rack_gbps", spec.bandwidth.rack_gbps);
@@ -185,6 +245,43 @@ std::string format_scenario(const Scenario& sc) {
      << "racks = " << sc.bursts.racks << '\n'
      << "failures = " << sc.bursts.failures << '\n';
   return os.str();
+}
+
+std::string scenario_identity(const Scenario& sc) {
+  const SystemSpec& s = sc.system;
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << "mlec-scenario-identity-v1"
+     << "|racks=" << s.dc.racks
+     << "|enclosures_per_rack=" << s.dc.enclosures_per_rack
+     << "|disks_per_enclosure=" << s.dc.disks_per_enclosure
+     << "|disk_capacity_tb=" << s.dc.disk_capacity_tb
+     << "|chunk_kb=" << s.dc.chunk_kb
+     << "|disk_mbps=" << s.bandwidth.disk_mbps
+     << "|rack_gbps=" << s.bandwidth.rack_gbps
+     << "|repair_fraction=" << s.bandwidth.repair_fraction
+     << "|code=" << s.code.notation()
+     << "|scheme=" << to_string(s.scheme)
+     << "|repair=" << to_string(s.repair)
+     << "|afr=" << s.afr
+     << "|detection_hours=" << s.detection_hours
+     << "|mission_hours=" << s.mission_hours
+     << "|kind=" << to_string(sc.failure_kind)
+     << "|weibull_shape=" << sc.weibull_shape
+     << "|weibull_scale_hours=" << sc.weibull_scale_hours
+     << "|priority_repair=" << (sc.priority_repair ? 1 : 0)
+     << "|ure_per_bit=" << sc.ure_per_bit
+     << "|bursts_per_year=" << sc.bursts.bursts_per_year
+     << "|burst_racks=" << sc.bursts.racks
+     << "|burst_failures=" << sc.bursts.failures
+     << "|missions=" << sc.missions
+     << "|split_missions=" << sc.split_missions
+     << "|burst_trials=" << sc.burst_trials;
+  return os.str();
+}
+
+std::uint64_t scenario_fingerprint(const Scenario& scenario) {
+  return fingerprint_of(scenario_identity(scenario));
 }
 
 std::string example_spec() {

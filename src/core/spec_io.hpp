@@ -12,6 +12,7 @@
 // collect them or turn them into a PreconditionError.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,5 +48,18 @@ std::string format_scenario(const Scenario& scenario);
 /// Annotated templates documenting every key with the paper defaults.
 std::string example_spec();
 std::string example_scenario();
+
+/// Bit-exact structural identity of a scenario with the label (`name`)
+/// cleared and the seed excluded: every physics field and estimation knob,
+/// doubles rendered as hexfloat so distinct values never collide through
+/// rounded printing. Two submissions that differ only cosmetically (key
+/// order, comments, unit spellings like `18TB` vs `18000GB`) produce the
+/// same identity; any parameter change produces a different one.
+std::string scenario_identity(const Scenario& scenario);
+
+/// FNV-1a hash of scenario_identity() — the dedup key for the server's
+/// memo cache. The seed is excluded here because the cache key pairs the
+/// fingerprint with the explicit (method, seed, rse_target) tuple.
+std::uint64_t scenario_fingerprint(const Scenario& scenario);
 
 }  // namespace mlec

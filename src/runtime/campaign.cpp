@@ -156,6 +156,7 @@ void CampaignRunner::restore_from_journal() {
 void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
                             const Rng& rng, std::uint64_t done, std::uint32_t attempt) {
   MLEC_FAULT_POINT("campaign.checkpoint.pre");
+  CampaignProgress snapshot;
   {
     std::scoped_lock lock(mutex_);
     auto& st = states_[shard];
@@ -167,11 +168,21 @@ void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
     st.has_checkpoint = true;
     st.last_progress = std::chrono::steady_clock::now();  // watchdog heartbeat
     write_journal_locked();
-    if (config_.target_rse > 0.0 && rse_ != nullptr) {
+    if (rse_ != nullptr && (config_.target_rse > 0.0 || config_.progress != nullptr)) {
       const double rse = rse_(merged_locked());
-      if (rse <= config_.target_rse) converged_.store(true, std::memory_order_relaxed);
+      if (config_.target_rse > 0.0 && rse <= config_.target_rse)
+        converged_.store(true, std::memory_order_relaxed);
+      if (std::isfinite(rse)) snapshot.achieved_rse = rse;
+    }
+    if (config_.progress != nullptr) {
+      snapshot.shard = shard;
+      snapshot.units_total = config_.total_units;
+      for (const auto& s : states_) snapshot.units_done += s.done;
     }
   }
+  // The callback runs outside the campaign mutex so a slow subscriber fan-
+  // out cannot stall other shards' commits.
+  if (config_.progress != nullptr) config_.progress(snapshot);
   MLEC_FAULT_POINT("campaign.checkpoint.post");
 }
 
@@ -314,10 +325,12 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
   }
 
   if (pool != nullptr && shard_count > 1) {
-    pool->parallel_chunks(0, shard_count, shard_count,
-                          [&](std::size_t shard, std::size_t, std::size_t) {
-                            run_shard(static_cast<std::uint32_t>(shard));
-                          });
+    pool->parallel_chunks(
+        0, shard_count, shard_count,
+        [&](std::size_t shard, std::size_t, std::size_t) {
+          run_shard(static_cast<std::uint32_t>(shard));
+        },
+        StopToken{}, config_.pool_lane);
   } else {
     for (std::size_t s = 0; s < shard_count; ++s)
       run_shard(static_cast<std::uint32_t>(s));

@@ -42,6 +42,17 @@
 
 namespace mlec {
 
+/// Snapshot handed to CampaignConfig::progress at every shard commit —
+/// the live feed behind `mlecctl watch` and the server's progress streams.
+struct CampaignProgress {
+  std::uint32_t shard = 0;         ///< shard that just committed
+  std::uint64_t units_done = 0;    ///< across all shards, incl. resumed work
+  std::uint64_t units_total = 0;
+  /// Current adaptive-stopping estimate; 0 when no RSE estimator is wired
+  /// or it is still infinite (too few successes observed).
+  double achieved_rse = 0.0;
+};
+
 struct CampaignConfig {
   std::uint64_t total_units = 0;
   std::uint64_t seed = 0;
@@ -78,6 +89,15 @@ struct CampaignConfig {
   /// Workload identity (config text) folded into the journal fingerprint.
   std::string fingerprint;
   StopToken stop{};
+  /// Invoked after every shard commit with a merged-progress snapshot.
+  /// Called concurrently from shard threads (outside the campaign mutex):
+  /// the callback must be thread-safe and cheap — it sits on the commit
+  /// path of every shard.
+  std::function<void(const CampaignProgress&)> progress;
+  /// ThreadPool dispatch lane for the shard chunks (kLaneInteractive /
+  /// kLaneNormal / kLaneBatch): the server maps client priority classes
+  /// here so interactive campaigns overtake queued batch work.
+  std::size_t pool_lane = kLaneNormal;
 
   void validate() const;
 };

@@ -92,6 +92,8 @@ FleetCampaignResult run_fleet_campaign(const FleetSimConfig& config, std::uint64
   campaign.unit_budget = options.unit_budget;
   campaign.fingerprint = fleet_campaign_fingerprint(config);
   campaign.stop = options.stop;
+  campaign.progress = options.progress;
+  campaign.pool_lane = options.pool_lane;
 
   // One immutable context (validated config + lookup tables) shared by every
   // shard's engine; each engine keeps only its own mutable trial state.

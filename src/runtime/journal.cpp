@@ -269,6 +269,30 @@ void fsync_parent_dir(const std::string& path) {
 
 }  // namespace
 
+void save_bytes_durable(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+  write_file_durable(tmp, bytes);
+  MLEC_FAULT_POINT("journal.rename.pre");
+  MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot atomically replace campaign journal: " + path);
+  MLEC_FAULT_POINT("journal.rename.post");
+  fsync_parent_dir(path);
+#else
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    MLEC_REQUIRE(out.good(), "cannot open campaign journal for writing: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    MLEC_REQUIRE(out.good(), "campaign journal write failed: " + tmp);
+  }
+  MLEC_FAULT_POINT("journal.rename.pre");
+  std::remove(path.c_str());
+  MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot atomically replace campaign journal: " + path);
+  MLEC_FAULT_POINT("journal.rename.post");
+#endif
+}
+
 std::uint64_t fingerprint_of(const std::string& identity) {
   std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
   for (const char c : identity) {
@@ -308,30 +332,9 @@ JournalLoadResult CampaignJournal::recover(std::istream& in) {
 
 void CampaignJournal::save_file(const std::string& path) const {
   MLEC_FAULT_POINT("journal.save.pre");
-  const std::string tmp = path + ".tmp";
   std::ostringstream os(std::ios::binary);
   save(os);
-  const std::string bytes = std::move(os).str();
-#ifndef _WIN32
-  write_file_durable(tmp, bytes);
-  MLEC_FAULT_POINT("journal.rename.pre");
-  MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-               "cannot atomically replace campaign journal: " + path);
-  MLEC_FAULT_POINT("journal.rename.post");
-  fsync_parent_dir(path);
-#else
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    MLEC_REQUIRE(out.good(), "cannot open campaign journal for writing: " + tmp);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    MLEC_REQUIRE(out.good(), "campaign journal write failed: " + tmp);
-  }
-  MLEC_FAULT_POINT("journal.rename.pre");
-  std::remove(path.c_str());
-  MLEC_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-               "cannot atomically replace campaign journal: " + path);
-  MLEC_FAULT_POINT("journal.rename.post");
-#endif
+  save_bytes_durable(path, std::move(os).str());
 }
 
 CampaignJournal CampaignJournal::load_file(const std::string& path) {

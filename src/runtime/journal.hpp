@@ -113,4 +113,11 @@ struct CampaignJournal {
 /// FNV-1a hash of an arbitrary identity string (workload config text).
 std::uint64_t fingerprint_of(const std::string& identity);
 
+/// Crash-safe atomic file replacement shared by every durable store in the
+/// tree (campaign journals, the server's submission/estimate store): write
+/// `path + ".tmp"`, fsync it, rename over `path`, fsync the parent
+/// directory. A crash at any instant leaves either the old file or the new
+/// one — never a torn mix. Hits the journal.rename.pre/.post fault points.
+void save_bytes_durable(const std::string& path, const std::string& bytes);
+
 }  // namespace mlec

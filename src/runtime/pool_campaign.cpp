@@ -74,6 +74,8 @@ LocalPoolCampaignResult run_local_pool_campaign(const LocalPoolSimConfig& config
   campaign.unit_budget = options.unit_budget;
   campaign.fingerprint = local_pool_campaign_fingerprint(config);
   campaign.stop = options.stop;
+  campaign.progress = options.progress;
+  campaign.pool_lane = options.pool_lane;
 
   auto factory = [&config](std::uint32_t, Rng& rng) -> CampaignRunner::UnitRunner {
     return [&config, &rng](CampaignAccumulator& acc) {

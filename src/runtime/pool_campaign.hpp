@@ -34,6 +34,10 @@ struct LocalPoolCampaignOptions {
   /// Max missions to run this invocation (0 = unlimited).
   std::uint64_t unit_budget = 0;
   StopToken stop{};
+  /// Per-commit progress feed (see CampaignConfig::progress).
+  std::function<void(const CampaignProgress&)> progress;
+  /// ThreadPool dispatch lane (see CampaignConfig::pool_lane).
+  std::size_t pool_lane = kLaneNormal;
 };
 
 struct LocalPoolCampaignResult {

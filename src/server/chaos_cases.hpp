@@ -1,0 +1,33 @@
+// The daemon's chaos cases, registered into the analysis-layer sweep
+// through ChaosOptions::fork_phase / late_phase (analysis cannot link the
+// server, so the harness takes these as plug-ins):
+//
+//   crash-server-mid-campaign   fork a child running the full service
+//                               stack, kill it at a campaign checkpoint,
+//                               restart the service on the same state dir,
+//                               and require the journal-backed resume to
+//                               return the bit-identical Estimate.
+//   crash-server-store-save     kill at server.store.save.post (the
+//                               durable ledger rewrite just landed) and
+//                               require recovery to re-queue and finish
+//                               bit-identically.
+//   server-request-parse-survives  a throw injected into request parsing
+//                               becomes an error response; the daemon
+//                               keeps serving.
+//   server-accept-survives      a throw injected into the accept path is
+//                               logged; later connections still work.
+//
+// The crash cases fork and are thread-free (pool = nullptr, drain());
+// the survival cases start real TCP listeners and belong in late_phase.
+#pragma once
+
+#include <vector>
+
+#include "analysis/chaos.hpp"
+
+namespace mlec::server {
+
+std::vector<ChaosExtraCase> fork_chaos_cases();
+std::vector<ChaosExtraCase> late_chaos_cases();
+
+}  // namespace mlec::server

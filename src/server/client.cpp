@@ -1,0 +1,97 @@
+#include "server/client.hpp"
+
+#include "server/protocol.hpp"
+#include "util/error.hpp"
+
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mlec::server {
+
+Client::Client(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  MLEC_REQUIRE(fd_ >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  MLEC_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+               "bad daemon address '" + host + "'");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw PreconditionError("cannot connect to mlecd at " + host + ":" +
+                            std::to_string(port) + " (is the daemon running?)");
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(const json::Value& value) {
+  const std::string line = json::dump(value) + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const auto n = ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    MLEC_REQUIRE(n > 0, "connection to mlecd lost while sending");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::read_line() {
+  char chunk[4096];
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    MLEC_REQUIRE(buffer_.size() <= kMaxRequestBytes, "oversized frame from mlecd");
+    const auto n = ::recv(fd_, chunk, sizeof chunk, 0);
+    MLEC_REQUIRE(n > 0, "connection to mlecd closed");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+json::Value Client::request(const json::Value& req) {
+  send_line(req);
+  return json::parse(read_line());
+}
+
+void Client::stream(const json::Value& req,
+                    const std::function<bool(const json::Value&)>& on_event) {
+  send_line(req);
+  for (;;) {
+    std::string line;
+    try {
+      line = read_line();
+    } catch (const std::exception&) {
+      return;  // server closed the stream
+    }
+    if (!on_event(json::parse(line))) return;
+  }
+}
+
+}  // namespace mlec::server
+
+#else  // _WIN32
+
+namespace mlec::server {
+
+Client::Client(const std::string&, int) {
+  throw PreconditionError("mlecd client requires POSIX sockets");
+}
+Client::~Client() = default;
+void Client::send_line(const json::Value&) {}
+std::string Client::read_line() { return {}; }
+json::Value Client::request(const json::Value&) { return {}; }
+void Client::stream(const json::Value&, const std::function<bool(const json::Value&)>&) {}
+
+}  // namespace mlec::server
+
+#endif

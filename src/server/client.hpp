@@ -1,0 +1,38 @@
+// Blocking TCP client for the mlecd wire protocol (one request line in,
+// one response line out; `watch` streams). Used by mlecctl's submit /
+// status / watch / cancel subcommands and the server tests.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "server/json.hpp"
+
+namespace mlec::server {
+
+class Client {
+ public:
+  /// Connect; throws PreconditionError when the daemon is unreachable.
+  Client(const std::string& host, int port);
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request object, return the one response object.
+  json::Value request(const json::Value& req);
+
+  /// Send one request and deliver every response line to `on_event` until
+  /// it returns false or the server closes the stream. Used for `watch`;
+  /// the final line is the terminal event.
+  void stream(const json::Value& req, const std::function<bool(const json::Value&)>& on_event);
+
+ private:
+  void send_line(const json::Value& value);
+  /// Next newline-framed line; throws on EOF or oversized frames.
+  std::string read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mlec::server

@@ -1,0 +1,385 @@
+#include "server/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mlec::json {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw Error("json: " + what); }
+
+const char* kind_name(Value::Kind kind) {
+  switch (kind) {
+    case Value::Kind::kNull: return "null";
+    case Value::Kind::kBool: return "bool";
+    case Value::Kind::kNumber: return "number";
+    case Value::Kind::kString: return "string";
+    case Value::Kind::kArray: return "array";
+    case Value::Kind::kObject: return "object";
+  }
+  return "?";
+}
+
+[[noreturn]] void kind_mismatch(Value::Kind want, Value::Kind got) {
+  fail(std::string("expected ") + kind_name(want) + ", got " + kind_name(got));
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseLimits& limits) : text_(text), limits_(limits) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after value");
+    return v;
+  }
+
+ private:
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+  void count_node() {
+    if (++nodes_ > limits_.max_nodes) fail("node limit exceeded");
+  }
+
+  Value parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) fail("nesting too deep");
+    skip_ws();
+    count_node();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value(parse_string());
+      case 't': return parse_literal("true", Value(true));
+      case 'f': return parse_literal("false", Value(false));
+      case 'n': return parse_literal("null", Value());
+      default: return parse_number();
+    }
+  }
+
+  Value parse_literal(std::string_view word, Value value) {
+    if (text_.substr(pos_, word.size()) != word) fail("bad literal");
+    pos_ += word.size();
+    return value;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool number_char = (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+                               c == '+' || c == '-';
+      if (!number_char) break;
+      ++pos_;
+    }
+    const std::size_t len = pos_ - start;
+    if (len == 0 || len > 64) fail("malformed number");
+    char buf[80];
+    text_.copy(buf, len, start);
+    buf[len] = '\0';
+    // strtod is laxer than the JSON grammar ("+1", "01", ".5", "1.", hex);
+    // walk the token against the grammar before trusting its value.
+    const char* g = buf;
+    if (*g == '-') ++g;
+    if (*g == '0') ++g;
+    else if (*g >= '1' && *g <= '9')
+      while (*g >= '0' && *g <= '9') ++g;
+    else
+      fail("malformed number");
+    if (*g == '.') {
+      ++g;
+      if (*g < '0' || *g > '9') fail("malformed number");
+      while (*g >= '0' && *g <= '9') ++g;
+    }
+    if (*g == 'e' || *g == 'E') {
+      ++g;
+      if (*g == '+' || *g == '-') ++g;
+      if (*g < '0' || *g > '9') fail("malformed number");
+      while (*g >= '0' && *g <= '9') ++g;
+    }
+    if (g != buf + len) fail("malformed number");
+    char* end = nullptr;
+    const double v = std::strtod(buf, &end);
+    if (end != buf + len) fail("malformed number");
+    if (!std::isfinite(v)) fail("number out of range");
+    return Value(v);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (out.size() > limits_.max_string_bytes) fail("string too long");
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': append_codepoint(out); break;
+          default: fail("bad escape");
+        }
+        continue;
+      }
+      // Raw bytes >= 0x20 pass through verbatim — non-UTF8 payloads are
+      // carried, not validated; control bytes must be escaped per JSON.
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control byte in string");
+      out += c;
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else fail("bad \\u escape");
+    }
+    return v;
+  }
+
+  void append_codepoint(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need a low one
+      if (!eat('\\') || !eat('u')) fail("unpaired surrogate");
+      const std::uint32_t lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_array(std::size_t depth) {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (eat(']')) return arr;
+    for (;;) {
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eat(']')) return arr;
+      expect(',');
+    }
+  }
+
+  Value parse_object(std::size_t depth) {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (eat('}')) return obj;
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eat('}')) return obj;
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  const ParseLimits& limits_;
+  std::size_t pos_ = 0;
+  std::size_t nodes_ = 0;
+};
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\\') {
+      out += "\\\\";
+    } else if (u < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      return;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Value::Kind::kNumber: {
+      const double d = v.as_number();
+      if (!std::isfinite(d)) fail("cannot serialize non-finite number");
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+      return;
+    }
+    case Value::Kind::kString:
+      dump_string(v.as_string(), out);
+      return;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(item, out);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, item] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        dump_string(key, out);
+        out += ':';
+        dump_value(item, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_mismatch(Kind::kBool, kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::kNumber) kind_mismatch(Kind::kNumber, kind_);
+  return number_;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_mismatch(Kind::kString, kind_);
+  return string_;
+}
+
+const Value::Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_mismatch(Kind::kArray, kind_);
+  return array_;
+}
+
+const Value::Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) kind_mismatch(Kind::kObject, kind_);
+  return object_;
+}
+
+const Value* Value::get(const std::string& key) const {
+  const Object& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+Value& Value::set(const std::string& key, Value value) {
+  if (kind_ != Kind::kObject) kind_mismatch(Kind::kObject, kind_);
+  return object_[key] = std::move(value);
+}
+
+std::string Value::str_or(const std::string& key, const std::string& fallback) const {
+  const Value* v = get(key);
+  return v == nullptr ? fallback : v->as_string();
+}
+
+double Value::num_or(const std::string& key, double fallback) const {
+  const Value* v = get(key);
+  return v == nullptr ? fallback : v->as_number();
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value* v = get(key);
+  return v == nullptr ? fallback : v->as_bool();
+}
+
+void Value::push_back(Value value) {
+  if (kind_ != Kind::kArray) kind_mismatch(Kind::kArray, kind_);
+  array_.push_back(std::move(value));
+}
+
+Value parse(std::string_view text, const ParseLimits& limits) {
+  if (text.size() > limits.max_bytes) fail("input too large");
+  return Parser(text, limits).run();
+}
+
+std::string dump(const Value& value) {
+  std::string out;
+  dump_value(value, out);
+  return out;
+}
+
+std::string u64_to_string(std::uint64_t v) { return std::to_string(v); }
+
+std::uint64_t u64_from_string(const std::string& text) {
+  if (text.empty() || text.size() > 20) fail("malformed u64");
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') fail("malformed u64");
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) fail("u64 out of range");
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+}  // namespace mlec::json

@@ -1,0 +1,116 @@
+// Minimal JSON value / parser / writer for the mlecd wire protocol.
+//
+// The daemon speaks newline-delimited JSON over plain TCP with no external
+// dependencies, so this module hand-rolls the codec. Design constraints:
+//
+//  * hostile input — the parser enforces hard limits (total bytes, nesting
+//    depth, node count, string bytes) and throws json::Error instead of
+//    crashing or over-allocating, whatever the bytes are (fuzzed by
+//    tests/fuzz/fuzz_request). Raw bytes >= 0x20 inside strings are copied
+//    verbatim, so malformed UTF-8 is carried, not choked on.
+//  * bit-exact doubles — dump() prints numbers with enough digits (%.17g)
+//    that parse(dump(x)) == x bit-for-bit, which the memo cache's
+//    "resumed estimate is bit-identical" contract depends on.
+//  * newline framing — dump() never emits a raw newline (strings escape
+//    control characters), so one value per line is a safe frame.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mlec::json {
+
+/// Any malformed input, limit violation, or kind-mismatched access.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() = default;  ///< null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Kind-checked accessors; throw Error on mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  // --- object helpers ---
+  /// Member pointer, or nullptr when absent (throws when not an object).
+  const Value* get(const std::string& key) const;
+  Value& set(const std::string& key, Value value);
+  /// Typed member lookups with fallbacks; a present-but-wrong-kind member
+  /// throws (a typo'd request should be diagnosed, not silently defaulted).
+  std::string str_or(const std::string& key, const std::string& fallback) const;
+  double num_or(const std::string& key, double fallback) const;
+  bool bool_or(const std::string& key, bool fallback) const;
+
+  // --- array helpers ---
+  void push_back(Value value);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Hard ceilings the parser enforces before and during the parse; inputs
+/// beyond them throw Error without large allocations.
+struct ParseLimits {
+  std::size_t max_bytes = 1 << 20;         ///< whole input
+  std::size_t max_depth = 64;              ///< array/object nesting
+  std::size_t max_nodes = 1 << 16;         ///< total values
+  std::size_t max_string_bytes = 1 << 20;  ///< one decoded string
+};
+
+/// Parse exactly one JSON value spanning the whole input (trailing
+/// whitespace allowed). Throws Error on anything else.
+Value parse(std::string_view text, const ParseLimits& limits = {});
+
+/// Compact single-line serialization; doubles print with %.17g so they
+/// round-trip bit-exactly. Non-finite numbers throw Error (JSON cannot
+/// carry them; the protocol layer avoids them).
+std::string dump(const Value& value);
+
+/// Decimal-string codec for u64 fields (seeds, fingerprints, counters):
+/// JSON numbers are doubles and silently lose integer precision past 2^53,
+/// so the protocol carries u64s as strings.
+std::string u64_to_string(std::uint64_t v);
+std::uint64_t u64_from_string(const std::string& text);  ///< throws Error
+
+}  // namespace mlec::json

@@ -1,0 +1,53 @@
+#include "server/scheduler.hpp"
+
+#include <algorithm>
+
+namespace mlec::server {
+
+void FairShareScheduler::enqueue(QueuedJob job) {
+  job.arrival = arrivals_++;
+  queue_.push_back(std::move(job));
+}
+
+std::optional<QueuedJob> FairShareScheduler::pop() {
+  if (queue_.empty()) return std::nullopt;
+  const auto better = [this](const QueuedJob& a, const QueuedJob& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    const std::uint64_t sa = spent(a.client);
+    const std::uint64_t sb = spent(b.client);
+    if (sa != sb) return sa < sb;
+    return a.arrival < b.arrival;
+  };
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it)
+    if (better(*it, *best)) best = it;
+  QueuedJob job = std::move(*best);
+  queue_.erase(best);
+  return job;
+}
+
+bool FairShareScheduler::remove(const std::string& job_id) {
+  const auto it = std::find_if(queue_.begin(), queue_.end(),
+                               [&](const QueuedJob& job) { return job.id == job_id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  return true;
+}
+
+void FairShareScheduler::charge(const std::string& client, std::uint64_t tokens) {
+  spent_[client] += tokens;
+}
+
+std::uint64_t FairShareScheduler::spent(const std::string& client) const {
+  const auto it = spent_.find(client);
+  return it == spent_.end() ? 0 : it->second;
+}
+
+std::optional<Priority> FairShareScheduler::best_waiting() const {
+  std::optional<Priority> best;
+  for (const QueuedJob& job : queue_)
+    if (!best || job.priority < *best) best = job.priority;
+  return best;
+}
+
+}  // namespace mlec::server

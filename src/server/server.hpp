@@ -1,0 +1,71 @@
+// mlecd's TCP front end: plain POSIX sockets, newline-delimited JSON.
+//
+// One accept thread plus one thread per connection — the daemon serves a
+// handful of analysts, not the internet; simplicity and debuggability win
+// over scalability here. All estimation work stays inside
+// EstimationService; this layer only frames lines, parses requests
+// (server/protocol.hpp), and dispatches ops.
+//
+// Fault points for the chaos harness:
+//   server.accept.pre     before each accept(); an injected throw is
+//                         logged and the loop continues (the daemon must
+//                         survive transient accept failures).
+//   server.request.parse  before parsing each request line; an injected
+//                         throw becomes an error response on that
+//                         connection, nothing more.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/service.hpp"
+
+namespace mlec::server {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 binds an ephemeral port; see Server::port()
+};
+
+class Server {
+ public:
+  Server(EstimationService& service, ServerConfig config);
+  ~Server();
+
+  /// Bind, listen, and spawn the accept thread. Throws PreconditionError
+  /// when the address cannot be bound.
+  void start();
+  /// The bound port (after start()); useful with an ephemeral config.
+  int port() const { return port_; }
+
+  /// Block until a client sends {"op":"shutdown"} or stop() is called.
+  void wait_shutdown();
+  /// Close the listener, disconnect clients, join all threads.
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Handle one request; returns false when the connection should close.
+  bool handle_request(int fd, const std::string& line);
+  void send_line(int fd, const json::Value& value);
+
+  EstimationService& service_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool shutdown_requested_ = false;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread acceptor_;
+  std::vector<std::thread> connections_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace mlec::server

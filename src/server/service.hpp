@@ -1,0 +1,183 @@
+// EstimationService: the daemon's brain, independent of any socket.
+//
+// Responsibilities, in the order a submission meets them:
+//
+//  1. canonicalize — parse the submitted INI strictly, load the Scenario,
+//     and re-serialize it to the sorted-key normal form; compute the
+//     structural fingerprint (core/spec_io.hpp) so isomorphic submissions
+//     (reordered keys, comments, `18TB` vs `18000GB`) collapse to one
+//     identity.
+//  2. memoize — finished Estimates are cached under
+//     (fingerprint, method, seed, rse_target); a hit returns the stored
+//     bits immediately (no campaign) and bumps the cache-hit counter.
+//  3. deduplicate — a submission identical to a queued/running job joins
+//     that job instead of spawning a second campaign; both waiters receive
+//     the same Estimate when it lands.
+//  4. schedule — new jobs enter the fair-share queue
+//     (server/scheduler.hpp); campaigns run on the shared ThreadPool in
+//     the lane matching their priority class. An interactive arrival
+//     preempts a running lower-class campaign: its StopToken fires, the
+//     campaign checkpoints and truncates at the next shard batch
+//     boundary, and the job is re-queued to resume later.
+//  5. persist — every state transition rewrites the durable store
+//     (server/store.hpp). A killed daemon reloads the ledger, re-queues
+//     whatever was in flight, and the campaign journals resume those jobs
+//     bit-identically.
+//
+// Two execution modes share all of that: start() spawns background runner
+// threads (the daemon), while drain() runs queued jobs on the caller's
+// thread until the queue empties — deterministic and thread-free, which is
+// what the chaos harness's fork-based crash cases require.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "server/json.hpp"
+#include "server/scheduler.hpp"
+#include "server/store.hpp"
+#include "util/stop_token.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mlec::server {
+
+struct ServiceConfig {
+  /// Durable state directory; empty runs in-memory (no resume, no memo
+  /// persistence — tests only).
+  std::string state_dir;
+  /// Shard parallelism for campaigns; nullptr runs shards sequentially on
+  /// the job's runner thread (required by fork-based chaos cases).
+  ThreadPool* pool = nullptr;
+  /// Background runner threads started by start(); also the number of
+  /// campaigns that can run concurrently.
+  std::size_t runners = 2;
+  /// Fixed campaign shard count. Part of the journal identity — keeping it
+  /// explicit (instead of deriving from the pool) is what lets a restarted
+  /// daemon with a different worker count still resume old journals.
+  std::size_t shards = 4;
+  std::uint64_t checkpoint_every = 64;
+};
+
+struct SubmitRequest {
+  std::string scenario_ini;
+  std::string method = "dp";
+  std::string client = "anonymous";
+  Priority priority = Priority::kNormal;
+  /// Adaptive-stopping target forwarded to the campaign (0 disables);
+  /// part of the memo key.
+  double rse_target = 0.0;
+  /// Overrides the scenario's [sim] seed when set.
+  std::optional<std::uint64_t> seed;
+};
+
+struct SubmitOutcome {
+  std::string job_id;  ///< empty only for a memo hit whose job was pruned
+  std::uint64_t fingerprint = 0;
+  bool cached = false;  ///< served from the memo cache, no campaign
+  bool joined = false;  ///< attached to an identical in-flight job
+  std::optional<Estimate> estimate;  ///< set when cached
+};
+
+struct ServiceStatus {
+  struct Job {
+    std::string id;
+    std::string client;
+    std::string method;
+    std::string priority;
+    std::string state;
+    std::uint64_t units_done = 0;
+    std::uint64_t units_total = 0;
+    double rse = 0.0;
+  };
+  std::vector<Job> jobs;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> spent_by_client;
+};
+
+class EstimationService {
+ public:
+  /// Called with one JSON event object per job transition / progress
+  /// commit. Invoked outside the service mutex; must be thread-safe.
+  using EventSink = std::function<void(const json::Value&)>;
+
+  explicit EstimationService(ServiceConfig config);
+  ~EstimationService();
+
+  /// Canonicalize, memo-check, dedup, or enqueue. Throws
+  /// PreconditionError on malformed scenarios, unknown methods, or
+  /// scenarios outside the method's domain.
+  SubmitOutcome submit(const SubmitRequest& request);
+
+  /// Cancel a queued or running job; false when already terminal/unknown.
+  bool cancel(const std::string& job_id);
+
+  /// Block until the job reaches a terminal state ("done", "cancelled",
+  /// "failed") and return its ledger entry. Throws on unknown id. A
+  /// service shutdown releases waiters with the job's current
+  /// (possibly non-terminal) state.
+  StoredJob wait(const std::string& job_id);
+
+  ServiceStatus status() const;
+
+  /// Stream the job's events to `sink`. A job already terminal gets its
+  /// terminal event replayed immediately. Returns a token for
+  /// unsubscribe(); 0 when the terminal replay made registration moot.
+  std::uint64_t subscribe(const std::string& job_id, EventSink sink);
+  void unsubscribe(std::uint64_t token);
+
+  /// Foreground mode: run queued jobs to completion on this thread, one at
+  /// a time, until the queue is empty. Deterministic; no threads beyond
+  /// the configured pool (none when pool == nullptr).
+  void drain();
+
+  /// Background mode: spawn the runner threads. stop() preempts running
+  /// campaigns (they checkpoint and re-queue) and joins the runners.
+  void start();
+  void stop();
+
+  const Store& store() const { return store_; }
+
+ private:
+  struct LiveJob {
+    StopSource stop;
+    Priority priority = Priority::kNormal;
+    std::string client;
+    bool running = false;
+    bool cancel_requested = false;
+    bool preempt_requested = false;
+    std::uint64_t units_done = 0;
+    std::uint64_t units_total = 0;
+    std::uint64_t charged = 0;  ///< tokens already billed to the client
+    double rse = 0.0;
+  };
+
+  void recover_locked();
+  void run_job(const std::string& job_id);
+  void maybe_preempt_locked(Priority incoming);
+  void on_progress(const std::string& job_id, const CampaignProgress& progress);
+  /// Collect the job's sinks under the lock; call them after releasing it.
+  std::vector<EventSink> sinks_for_locked(const std::string& job_id);
+  void bump_locked(const std::string& counter);
+
+  ServiceConfig config_;
+  Store store_;
+  FairShareScheduler scheduler_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, LiveJob> live_;
+  std::map<std::uint64_t, std::pair<std::string, EventSink>> sinks_;
+  std::uint64_t next_sink_ = 1;
+  std::vector<std::thread> runners_;
+  std::size_t busy_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace mlec::server

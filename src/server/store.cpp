@@ -1,0 +1,149 @@
+#include "server/store.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#ifdef _WIN32
+#include <direct.h>
+#else
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
+
+#include "runtime/journal.hpp"
+#include "server/json.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
+
+namespace mlec::server {
+
+namespace {
+
+void make_dir(const std::string& dir) {
+#ifdef _WIN32
+  _mkdir(dir.c_str());
+#else
+  ::mkdir(dir.c_str(), 0755);
+#endif
+}
+
+/// The estimator registry's campaign-backed methods append these to the
+/// journal base; discard_journals sweeps every spelling.
+constexpr const char* kJournalSuffixes[] = {".sim", ".split", ".dp", ".markov", ""};
+
+json::Value job_to_json(const StoredJob& job) {
+  json::Value v = json::Value::object();
+  v.set("id", job.id);
+  v.set("client", job.client);
+  v.set("method", job.method);
+  v.set("priority", to_string(job.priority));
+  v.set("seed", json::u64_to_string(job.seed));
+  v.set("rse_target", job.rse_target);
+  v.set("fingerprint", json::u64_to_string(job.fingerprint));
+  v.set("scenario_ini", job.scenario_ini);
+  v.set("state", job.state);
+  if (job.estimate) v.set("estimate", estimate_to_json(*job.estimate));
+  return v;
+}
+
+StoredJob job_from_json(const json::Value& v) {
+  StoredJob job;
+  job.id = v.str_or("id", "");
+  job.client = v.str_or("client", "");
+  job.method = v.str_or("method", "");
+  job.priority = parse_priority(v.str_or("priority", "normal"));
+  job.seed = json::u64_from_string(v.str_or("seed", "0"));
+  job.rse_target = v.num_or("rse_target", 0.0);
+  job.fingerprint = json::u64_from_string(v.str_or("fingerprint", "0"));
+  job.scenario_ini = v.str_or("scenario_ini", "");
+  job.state = v.str_or("state", "queued");
+  if (const json::Value* e = v.get("estimate")) job.estimate = estimate_from_json(*e);
+  return job;
+}
+
+}  // namespace
+
+std::string memo_key(std::uint64_t fingerprint, const std::string& method, std::uint64_t seed,
+                     double rse_target) {
+  char rse[40];
+  std::snprintf(rse, sizeof rse, "%.17g", rse_target);
+  return json::u64_to_string(fingerprint) + "|" + method + "|" + json::u64_to_string(seed) +
+         "|" + rse;
+}
+
+Store::Store(std::string state_dir) : dir_(std::move(state_dir)) {
+  if (!dir_.empty()) make_dir(dir_);
+}
+
+std::string Store::state_path() const { return dir_ + "/state.json"; }
+
+std::string Store::journal_base(const std::string& job_id) const {
+  if (dir_.empty()) return {};
+  return dir_ + "/" + job_id + ".journal";
+}
+
+void Store::discard_journals(const std::string& job_id) const {
+  if (dir_.empty()) return;
+  const std::string base = journal_base(job_id);
+  for (const char* suffix : kJournalSuffixes) std::remove((base + suffix).c_str());
+}
+
+StoredJob* Store::find(const std::string& job_id) {
+  for (StoredJob& job : jobs)
+    if (job.id == job_id) return &job;
+  return nullptr;
+}
+
+const StoredJob* Store::find(const std::string& job_id) const {
+  return const_cast<Store*>(this)->find(job_id);
+}
+
+void Store::load() {
+  if (dir_.empty()) return;
+  std::ifstream in(state_path(), std::ios::binary);
+  if (!in.good()) return;  // fresh store
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  json::ParseLimits limits;
+  limits.max_bytes = 64u << 20;  // the whole ledger, not one request line
+  limits.max_nodes = 1u << 22;
+  const json::Value root = json::parse(buffer.str(), limits);
+  MLEC_REQUIRE(root.num_or("version", 0.0) == 1.0,
+               "unsupported server state version in " + state_path());
+
+  next_job = json::u64_from_string(root.str_or("next_job", "1"));
+  jobs.clear();
+  if (const json::Value* list = root.get("jobs"))
+    for (const json::Value& item : list->as_array()) jobs.push_back(job_from_json(item));
+  memo.clear();
+  if (const json::Value* entries = root.get("memo"))
+    for (const auto& [key, item] : entries->as_object())
+      memo.emplace(key, estimate_from_json(item));
+  counters.clear();
+  if (const json::Value* stats = root.get("counters"))
+    for (const auto& [key, item] : stats->as_object())
+      counters.emplace(key, json::u64_from_string(item.as_string()));
+}
+
+void Store::save() {
+  if (dir_.empty()) return;
+  json::Value root = json::Value::object();
+  root.set("version", 1.0);
+  root.set("next_job", json::u64_to_string(next_job));
+  json::Value list = json::Value::array();
+  for (const StoredJob& job : jobs) list.push_back(job_to_json(job));
+  root.set("jobs", std::move(list));
+  json::Value entries = json::Value::object();
+  for (const auto& [key, estimate] : memo) entries.set(key, estimate_to_json(estimate));
+  root.set("memo", std::move(entries));
+  json::Value stats = json::Value::object();
+  for (const auto& [key, count] : counters) stats.set(key, json::u64_to_string(count));
+  root.set("counters", std::move(stats));
+
+  save_bytes_durable(state_path(), json::dump(root));
+  MLEC_FAULT_POINT("server.store.save.post");
+}
+
+}  // namespace mlec::server

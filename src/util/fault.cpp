@@ -284,6 +284,9 @@ const std::vector<PointInfo>& known_points() {
       {"estimator.dp.pre", "core/estimators: dp method entry"},
       {"estimator.markov.pre", "core/estimators: markov method entry"},
       {"repair.execute.pre", "sim/repair_executor: before a byte-exact repair pass"},
+      {"server.accept.pre", "server/server: before each accept() on the listener"},
+      {"server.request.parse", "server/server: before parsing a request line"},
+      {"server.store.save.post", "server/store: durable state rewrite just landed"},
   };
   return points;
 }

@@ -5,6 +5,10 @@
 #include <cstdlib>
 #include <iostream>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 namespace mlec {
 
 namespace {
@@ -19,11 +23,45 @@ bool quiet() {
   return q;
 }
 
+/// Carriage-return in-place updates are only legible on an interactive
+/// terminal; a daemon log or CI capture would accumulate one giant line of
+/// \r-garbage. Non-TTY stderr therefore gets plain newline-terminated lines
+/// (each flushed immediately, so `tail -f` and CI streaming stay live).
+/// MLEC_PROGRESS=plain|tty overrides the detection for tests.
+bool tty_output() {
+  static const bool tty = [] {
+    if (const char* v = std::getenv("MLEC_PROGRESS")) {
+      if (v[0] == 'p') return false;
+      if (v[0] == 't') return true;
+    }
+#ifndef _WIN32
+    return ::isatty(STDERR_FILENO) == 1;
+#else
+    return false;
+#endif
+  }();
+  return tty;
+}
+
 std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+void emit(const std::string& label, std::size_t count, std::size_t total, bool final) {
+  if (tty_output()) {
+    // Rewrite one status line in place; trailing spaces wipe a previously
+    // longer render. The final line gets a newline so the prompt is clean.
+    std::cerr << '\r' << label << ": " << count << '/' << total;
+    if (total > 0) std::cerr << " (" << (100 * count / total) << "%)";
+    std::cerr << "   " << (final ? "done\n" : "") << std::flush;
+  } else {
+    std::cerr << label << ": " << count << '/' << total << (final ? " done" : "") << '\n'
+              << std::flush;
+  }
+}
+
 }  // namespace
 
 Progress::Progress(std::string label, std::size_t total)
@@ -37,14 +75,13 @@ void Progress::tick(std::size_t n) {
   const std::size_t c = g_count.fetch_add(n) + n;
   const std::int64_t t = now_ms();
   std::int64_t last = g_last_print_ms.load();
-  if (t - last >= 2000 && g_last_print_ms.compare_exchange_strong(last, t)) {
-    std::cerr << label_ << ": " << c << '/' << total_ << '\n';
-  }
+  if (t - last >= 2000 && g_last_print_ms.compare_exchange_strong(last, t))
+    emit(label_, c, total_, /*final=*/false);
 }
 
 void Progress::done() {
   if (quiet()) return;
-  std::cerr << label_ << ": " << total_ << '/' << total_ << " done\n";
+  emit(label_, total_, total_, /*final=*/true);
 }
 
 }  // namespace mlec

@@ -40,23 +40,34 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(std::size_t lane, std::function<void()> task) {
   {
     std::scoped_lock lock(mutex_);
-    tasks_.push(std::move(task));
+    lanes_[std::min(lane, kLaneCount - 1)].push(std::move(task));
   }
   cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+  const auto any_task = [this] {
+    for (const auto& lane : lanes_)
+      if (!lane.empty()) return true;
+    return false;
+  };
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [&] { return stop_ || any_task(); });
+      if (stop_ && !any_task()) return;
+      // Lower-numbered lanes always win: interactive chunks overtake any
+      // queued batch work at every dispatch point.
+      for (auto& lane : lanes_) {
+        if (lane.empty()) continue;
+        task = std::move(lane.front());
+        lane.pop();
+        break;
+      }
     }
     task();
   }
@@ -64,7 +75,8 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_chunks(
     std::size_t begin, std::size_t end, std::size_t chunks,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn, StopToken stop) {
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn, StopToken stop,
+    std::size_t lane) {
   MLEC_REQUIRE(begin <= end, "empty-forward range required");
   if (begin == end) return;
   chunks = std::clamp<std::size_t>(chunks, 1, end - begin);
@@ -80,7 +92,7 @@ void ThreadPool::parallel_chunks(
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + total * c / chunks;
     const std::size_t hi = begin + total * (c + 1) / chunks;
-    submit([&, c, lo, hi] {
+    submit(lane, [&, c, lo, hi] {
       // A thrown chunk (or a fired stop token) abandons the chunks that have
       // not started yet; they still drain through the queue so the batch
       // joins cleanly and the pool stays usable.
@@ -105,13 +117,14 @@ void ThreadPool::parallel_chunks(
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn, StopToken stop) {
+                              const std::function<void(std::size_t)>& fn, StopToken stop,
+                              std::size_t lane) {
   parallel_chunks(
       begin, end, size() * 4,
       [&](std::size_t, std::size_t lo, std::size_t hi) {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       },
-      std::move(stop));
+      std::move(stop), lane);
 }
 
 ThreadPool& global_pool() {

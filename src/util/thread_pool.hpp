@@ -3,8 +3,16 @@
 //
 // The library's heavy paths are independent trials/cells, so a static-chunked
 // parallel_for over an index range covers every need without task graphs.
+//
+// Tasks are queued into one of three priority lanes (interactive, normal,
+// batch). Workers always drain lower-numbered lanes first, so an interactive
+// campaign's chunks overtake queued batch chunks at every dispatch point.
+// Lanes are a dispatch-order policy only — a running task is never
+// interrupted; preemption of long campaigns happens cooperatively at shard
+// batch boundaries via StopToken (see the server's fair-share scheduler).
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -16,6 +24,14 @@
 #include "util/stop_token.hpp"
 
 namespace mlec {
+
+/// Dispatch lanes, highest priority first. kLaneNormal is the default for
+/// every pre-existing caller; the estimation service maps client priority
+/// classes onto lanes.
+inline constexpr std::size_t kLaneInteractive = 0;
+inline constexpr std::size_t kLaneNormal = 1;
+inline constexpr std::size_t kLaneBatch = 2;
+inline constexpr std::size_t kLaneCount = 3;
 
 class ThreadPool {
  public:
@@ -41,21 +57,22 @@ class ThreadPool {
   /// chunks are likewise skipped and the call returns normally (cooperative
   /// truncation; callers consult the token for partial-result handling).
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn, StopToken stop = {});
+                    const std::function<void(std::size_t)>& fn, StopToken stop = {},
+                    std::size_t lane = kLaneNormal);
 
   /// Run fn(chunk_index, begin, end) over `chunks` contiguous ranges; useful
   /// when each worker wants private state (e.g. an Rng) per chunk. Same
   /// fault/cancellation policy as parallel_for.
   void parallel_chunks(std::size_t begin, std::size_t end, std::size_t chunks,
                        const std::function<void(std::size_t, std::size_t, std::size_t)>& fn,
-                       StopToken stop = {});
+                       StopToken stop = {}, std::size_t lane = kLaneNormal);
 
  private:
-  void submit(std::function<void()> task);
+  void submit(std::size_t lane, std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::array<std::queue<std::function<void()>>, kLaneCount> lanes_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,57 @@
+// mlecd request-line fuzz target.
+//
+// Contract under test: one framed request line — whatever its bytes — is
+// either parsed or answered with an error; it must never crash the daemon,
+// over-allocate past the parser limits, or escape as anything but
+// json::Error. A value that does parse must dump back to a single
+// newline-free line that reparses (the framing invariant), and the typed
+// field accessors the dispatch path uses (`op`, seed strings, the Estimate
+// mapping) must diagnose wrong kinds instead of defaulting or crashing.
+#include <cstdint>
+#include <string>
+
+#include "server/json.hpp"
+#include "server/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  mlec::json::ParseLimits limits;
+  limits.max_bytes = mlec::server::kMaxRequestBytes;
+
+  mlec::json::Value value;
+  try {
+    value = mlec::json::parse(line, limits);
+  } catch (const mlec::json::Error&) {
+    return 0;  // diagnosed malformed input: the accepted outcome
+  }
+
+  // Framing invariant: dump() of anything parse() accepted is one line
+  // that round-trips. A violation here would let a response frame split.
+  const std::string wire = mlec::json::dump(value);
+  if (wire.find('\n') != std::string::npos) __builtin_trap();
+  (void)mlec::json::parse(wire, limits);
+
+  if (value.is_object()) {
+    try {
+      (void)value.str_or("op", "");
+    } catch (const mlec::json::Error&) {
+    }
+    if (const mlec::json::Value* seed = value.get("seed")) {
+      if (seed->is_string()) {
+        try {
+          (void)mlec::json::u64_from_string(seed->as_string());
+        } catch (const mlec::json::Error&) {
+        }
+      }
+    }
+    try {
+      (void)mlec::server::estimate_from_json(value);
+    } catch (const mlec::json::Error&) {
+    }
+    try {
+      (void)mlec::server::parse_priority(value.str_or("priority", "normal"));
+    } catch (const mlec::json::Error&) {
+    }
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <string>
 
+#include "server/chaos_cases.hpp"
 #include "util/error.hpp"
 #include "util/fault.hpp"
 #include "util/stop_token.hpp"
@@ -119,6 +120,9 @@ TEST_F(FaultRegistry, KnownPointsEnumeratesTheWiredLayers) {
   EXPECT_TRUE(has("shard.slow"));
   EXPECT_TRUE(has("estimator.sim.pre"));
   EXPECT_TRUE(has("repair.execute.pre"));
+  EXPECT_TRUE(has("server.accept.pre"));
+  EXPECT_TRUE(has("server.request.parse"));
+  EXPECT_TRUE(has("server.store.save.post"));
 }
 
 /// SLEC-as-MLEC toy system, hot enough that a few hundred missions see real
@@ -145,6 +149,10 @@ TEST_F(FaultGuard, ChaosSweepSurvivesEveryKnownFaultPoint) {
   ChaosOptions options;
   options.workdir =
       (std::filesystem::path(::testing::TempDir()) / "mlec-chaos-test").string();
+  // The daemon's plug-in cases cover the server.* fault points; without
+  // them the sweep's coverage check would (rightly) fail.
+  options.fork_phase = server::fork_chaos_cases();
+  options.late_phase = server::late_chaos_cases();
   const ChaosReport report = run_chaos(chaos_scenario(), options);
   EXPECT_GE(report.cases.size(), 10u);
   EXPECT_TRUE(report.all_passed()) << report.table();

@@ -1,0 +1,95 @@
+// Fair-share scheduling policy: class first, least-spent client within a
+// class, FIFO within a client (see server/scheduler.hpp).
+#include "server/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mlec::server {
+namespace {
+
+QueuedJob job(const std::string& id, const std::string& client, Priority priority) {
+  QueuedJob j;
+  j.id = id;
+  j.client = client;
+  j.priority = priority;
+  return j;
+}
+
+TEST(FairShare, PriorityClassAlwaysWins) {
+  FairShareScheduler s;
+  s.enqueue(job("j-1", "heavy", Priority::kBatch));
+  s.enqueue(job("j-2", "heavy", Priority::kNormal));
+  s.enqueue(job("j-3", "heavy", Priority::kInteractive));
+  // Even a client with a huge bill runs its interactive work first.
+  s.charge("heavy", 1'000'000);
+  EXPECT_EQ(s.pop()->id, "j-3");
+  EXPECT_EQ(s.pop()->id, "j-2");
+  EXPECT_EQ(s.pop()->id, "j-1");
+  EXPECT_FALSE(s.pop().has_value());
+}
+
+TEST(FairShare, LeastSpentClientRunsFirstWithinAClass) {
+  FairShareScheduler s;
+  s.charge("alice", 5000);
+  s.charge("bob", 10);
+  s.enqueue(job("j-1", "alice", Priority::kNormal));
+  s.enqueue(job("j-2", "bob", Priority::kNormal));
+  EXPECT_EQ(s.pop()->id, "j-2");  // bob is the lighter spender
+  EXPECT_EQ(s.pop()->id, "j-1");
+}
+
+TEST(FairShare, ChargesShiftTheQueueOrderBetweenPops) {
+  FairShareScheduler s;
+  s.enqueue(job("j-1", "alice", Priority::kBatch));
+  s.enqueue(job("j-2", "alice", Priority::kBatch));
+  s.enqueue(job("j-3", "bob", Priority::kBatch));
+  EXPECT_EQ(s.pop()->id, "j-1");  // tie at 0 spend: FIFO
+  s.charge("alice", 100);         // alice's first campaign billed
+  EXPECT_EQ(s.pop()->id, "j-3");  // bob now the lighter spender
+  EXPECT_EQ(s.pop()->id, "j-2");
+}
+
+TEST(FairShare, FifoWithinOneClient) {
+  FairShareScheduler s;
+  s.enqueue(job("j-1", "alice", Priority::kNormal));
+  s.enqueue(job("j-2", "alice", Priority::kNormal));
+  s.enqueue(job("j-3", "alice", Priority::kNormal));
+  EXPECT_EQ(s.pop()->id, "j-1");
+  EXPECT_EQ(s.pop()->id, "j-2");
+  EXPECT_EQ(s.pop()->id, "j-3");
+}
+
+TEST(FairShare, RemoveCancelsQueuedWork) {
+  FairShareScheduler s;
+  s.enqueue(job("j-1", "alice", Priority::kNormal));
+  s.enqueue(job("j-2", "alice", Priority::kNormal));
+  EXPECT_TRUE(s.remove("j-1"));
+  EXPECT_FALSE(s.remove("j-1"));  // already gone
+  EXPECT_FALSE(s.remove("j-99"));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.pop()->id, "j-2");
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FairShare, BestWaitingDrivesPreemption) {
+  FairShareScheduler s;
+  EXPECT_FALSE(s.best_waiting().has_value());
+  s.enqueue(job("j-1", "alice", Priority::kBatch));
+  EXPECT_EQ(*s.best_waiting(), Priority::kBatch);
+  s.enqueue(job("j-2", "bob", Priority::kInteractive));
+  EXPECT_EQ(*s.best_waiting(), Priority::kInteractive);
+  s.pop();
+  EXPECT_EQ(*s.best_waiting(), Priority::kBatch);
+}
+
+TEST(FairShare, SpendAccounting) {
+  FairShareScheduler s;
+  EXPECT_EQ(s.spent("nobody"), 0u);
+  s.charge("alice", 100);
+  s.charge("alice", 50);
+  EXPECT_EQ(s.spent("alice"), 150u);
+  EXPECT_EQ(s.spent_by_client().at("alice"), 150u);
+}
+
+}  // namespace
+}  // namespace mlec::server

@@ -1,0 +1,147 @@
+// Durable server state: memo-key semantics and the crash-safe
+// save()/load() round trip of the job ledger + memo cache.
+#include "server/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace mlec::server {
+namespace {
+
+std::string temp_dir(const std::string& leaf) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) / leaf;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+TEST(MemoKey, EveryComponentSeparatesEntries) {
+  const std::string base = memo_key(42, "sim", 7, 0.05);
+  EXPECT_EQ(base, memo_key(42, "sim", 7, 0.05));
+  EXPECT_NE(base, memo_key(43, "sim", 7, 0.05));   // different system
+  EXPECT_NE(base, memo_key(42, "dp", 7, 0.05));    // different method
+  EXPECT_NE(base, memo_key(42, "sim", 8, 0.05));   // different RNG stream
+  EXPECT_NE(base, memo_key(42, "sim", 7, 0.01));   // different stop target
+  // rse targets that differ only past float precision still separate:
+  // the key prints %.17g, never a rounded form.
+  EXPECT_NE(memo_key(42, "sim", 7, 0.1), memo_key(42, "sim", 7, 0.1 + 1e-16));
+}
+
+Estimate sample_estimate() {
+  Estimate est;
+  est.method = "sim";
+  est.pdl = 1.5e-9;
+  est.nines = 8.823908740944319;
+  est.pdl_lo = 1e-9;
+  est.pdl_hi = 2e-9;
+  est.stochastic = true;
+  est.samples = (std::uint64_t{1} << 55) + 3;
+  est.elapsed_s = 2.5;
+  return est;
+}
+
+TEST(Store, SaveLoadRoundTripsTheLedger) {
+  const std::string dir = temp_dir("mlec-store-roundtrip");
+  {
+    Store store(dir);
+    store.load();
+    store.next_job = 5;
+    StoredJob job;
+    job.id = "j-4";
+    job.client = "alice";
+    job.method = "sim";
+    job.priority = Priority::kInteractive;
+    job.seed = 99;
+    job.rse_target = 0.05;
+    job.fingerprint = 0xDEADBEEFCAFEBABEull;
+    job.scenario_ini = "[scenario]\nname = x\n";
+    job.state = "done";
+    job.estimate = sample_estimate();
+    store.jobs.push_back(job);
+    store.memo[memo_key(job.fingerprint, "sim", 99, 0.05)] = sample_estimate();
+    store.counters["completed"] = 1;
+    store.save();
+  }
+  Store reloaded(dir);
+  reloaded.load();
+  EXPECT_EQ(reloaded.next_job, 5u);
+  ASSERT_EQ(reloaded.jobs.size(), 1u);
+  const StoredJob& job = reloaded.jobs[0];
+  EXPECT_EQ(job.id, "j-4");
+  EXPECT_EQ(job.client, "alice");
+  EXPECT_EQ(job.priority, Priority::kInteractive);
+  EXPECT_EQ(job.seed, 99u);
+  EXPECT_EQ(job.fingerprint, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(job.scenario_ini, "[scenario]\nname = x\n");
+  EXPECT_EQ(job.state, "done");
+  ASSERT_TRUE(job.estimate.has_value());
+  EXPECT_EQ(job.estimate->pdl, sample_estimate().pdl);       // bit-exact
+  EXPECT_EQ(job.estimate->samples, sample_estimate().samples);
+  ASSERT_EQ(reloaded.memo.size(), 1u);
+  EXPECT_EQ(reloaded.memo.begin()->second.pdl, sample_estimate().pdl);
+  EXPECT_EQ(reloaded.counters.at("completed"), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, AbsentStateFileIsAFreshStore) {
+  const std::string dir = temp_dir("mlec-store-fresh");
+  Store store(dir);
+  store.load();
+  EXPECT_EQ(store.next_job, 1u);
+  EXPECT_TRUE(store.jobs.empty());
+  EXPECT_TRUE(store.memo.empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, InMemoryModeHasNoFilesAndNoJournals) {
+  Store store("");
+  EXPECT_FALSE(store.persistent());
+  store.load();
+  store.save();  // both must be harmless no-ops
+  EXPECT_TRUE(store.journal_base("j-1").empty());
+  store.discard_journals("j-1");
+}
+
+TEST(Store, JournalBasePathsArePerJob) {
+  const std::string dir = temp_dir("mlec-store-journals");
+  Store store(dir);
+  EXPECT_NE(store.journal_base("j-1"), store.journal_base("j-2"));
+  // discard_journals removes the campaign-suffixed files a job left.
+  const std::string journal = store.journal_base("j-1") + ".sim";
+  std::ofstream(journal) << "checkpoint-bytes";
+  ASSERT_TRUE(std::filesystem::exists(journal));
+  store.discard_journals("j-1");
+  EXPECT_FALSE(std::filesystem::exists(journal));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, CorruptStateRefusesToLoad) {
+  const std::string dir = temp_dir("mlec-store-corrupt");
+  {
+    Store store(dir);
+    store.save();  // create a valid state.json first
+  }
+  std::ofstream(std::filesystem::path(dir) / "state.json") << "{not json";
+  Store store(dir);
+  // save() is atomic, so a malformed ledger means real damage: refuse
+  // loudly instead of silently starting empty and orphaning jobs.
+  EXPECT_THROW(store.load(), std::exception);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Store, FindLocatesJobsById) {
+  Store store("");
+  StoredJob job;
+  job.id = "j-7";
+  store.jobs.push_back(job);
+  ASSERT_NE(store.find("j-7"), nullptr);
+  EXPECT_EQ(store.find("j-7")->id, "j-7");
+  EXPECT_EQ(store.find("j-8"), nullptr);
+}
+
+}  // namespace
+}  // namespace mlec::server

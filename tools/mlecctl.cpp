@@ -18,6 +18,15 @@
 //   scenario     print an annotated scenario-file template
 //   ec           show the erasure-coding data-plane backends (SIMD dispatch)
 //
+// Daemon commands (src/server/, newline-delimited JSON over TCP):
+//   serve        run mlecd: accept submissions, dedup isomorphic scenarios,
+//                memoize finished estimates, fair-share-schedule campaigns
+//   submit       send the --config scenario to a running mlecd
+//   status       job table, counters (cache hits), per-client fair-share spend
+//   watch JOB    stream a job's progress events until it finishes
+//   cancel JOB   cancel a queued or running job
+//   shutdown     ask the daemon to exit cleanly
+//
 // --config FILE loads a scenario file (a deployment file is a valid
 // scenario). Overrides (apply after --config): --code "(10+2)/(17+3)",
 // --scheme C/D, --repair R_MIN, --afr 0.01, --detection-min 30, --racks N,
@@ -36,6 +45,15 @@
 // makes quarantined shards an error instead of a degraded partial estimate
 // (--degrade restores the default); chaos accepts --workdir DIR and
 // --only SUBSTR (repeatable) to scope the sweep.
+// Daemon flags: --host H --port P address mlecd (serve binds, the client
+// commands connect; --port 0 binds an ephemeral port). serve also takes
+// --state-dir DIR (durable ledger + campaign journals; empty = in-memory),
+// --workers N (estimation pool size; 0 honors MLEC_THREADS, else hardware),
+// --runners N (concurrent campaigns), --shards / --checkpoint-every /
+// --target-rse (campaign defaults). submit takes --client NAME,
+// --priority interactive|normal|batch, --method M, --wait (block for the
+// estimate), and --json for the raw response.
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -55,6 +73,9 @@
 #include "ec/backend.hpp"
 #include "placement/notation.hpp"
 #include "runtime/fleet_campaign.hpp"
+#include "server/chaos_cases.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
 #include "util/fault.hpp"
 #include "util/stop_token.hpp"
 #include "util/table.hpp"
@@ -67,7 +88,8 @@ using namespace mlec;
   if (message != nullptr) std::cerr << "mlecctl: " << message << "\n\n";
   std::cerr <<
       "usage: mlecctl <analyze|estimate|durability|burst|traffic|repair|tradeoff|simulate|\n"
-      "                chaos|advise|spec|scenario|ec>\n"
+      "                chaos|advise|spec|scenario|ec|\n"
+      "                serve|submit|status|watch|cancel|shutdown>\n"
       "               [--config FILE] [--strict] [--code \"(kn+pn)/(kl+pl)\"] [--scheme C/D]\n"
       "               [--repair R_MIN] [--afr F] [--detection-min M] [--racks N]\n"
       "               [--enclosures-per-rack N] [--disks-per-enclosure N] [--disk-tb N]\n"
@@ -77,7 +99,9 @@ using namespace mlec;
       "               [--checkpoint FILE] [--resume] [--shards N]\n"
       "               [--time-budget SECONDS] [--target-rse X] [--unit-budget N] [--seed N]\n"
       "               [--checkpoint-every N] [--shard-timeout SECONDS] [--faults \"SPEC\"]\n"
-      "               [--degrade|--fail-fast] [--workdir DIR] [--only SUBSTR] [--perf]\n";
+      "               [--degrade|--fail-fast] [--workdir DIR] [--only SUBSTR] [--perf]\n"
+      "               [--host H] [--port P] [--state-dir DIR] [--workers N] [--runners N]\n"
+      "               [--client NAME] [--priority interactive|normal|batch] [--wait]\n";
   std::exit(2);
 }
 
@@ -105,6 +129,15 @@ struct Options {
   std::string chaos_workdir;
   std::vector<std::string> chaos_only;
   bool perf = false;  ///< print per-shard throughput + sim-core counters
+  // daemon controls (serve binds host:port, the client commands connect)
+  std::string host = "127.0.0.1";
+  int port = 7033;
+  std::string state_dir;      ///< serve: durable ledger dir; empty = in-memory
+  std::size_t workers = 0;    ///< serve: pool size; 0 = MLEC_THREADS/hardware
+  std::size_t runners = 2;    ///< serve: concurrent campaign runner threads
+  std::string client_name = "anonymous";  ///< submit: fair-share account
+  std::string priority = "normal";        ///< submit: priority class
+  bool wait = false;                      ///< submit: block for the estimate
 
   const SystemSpec& spec() const { return scenario.system; }
   SystemSpec& spec() { return scenario.system; }
@@ -232,6 +265,22 @@ Options parse_options(int argc, char** argv) {
         opt.scenario.seed = std::stoull(need_value(i));
       } else if (arg == "--perf") {
         opt.perf = true;
+      } else if (arg == "--host") {
+        opt.host = need_value(i);
+      } else if (arg == "--port") {
+        opt.port = std::stoi(need_value(i));
+      } else if (arg == "--state-dir") {
+        opt.state_dir = need_value(i);
+      } else if (arg == "--workers") {
+        opt.workers = std::stoul(need_value(i));
+      } else if (arg == "--runners") {
+        opt.runners = std::stoul(need_value(i));
+      } else if (arg == "--client") {
+        opt.client_name = need_value(i);
+      } else if (arg == "--priority") {
+        opt.priority = need_value(i);
+      } else if (arg == "--wait") {
+        opt.wait = true;
       } else if (!arg.empty() && arg[0] == '-') {
         usage(("unknown flag " + arg).c_str());
       } else {
@@ -449,6 +498,10 @@ int cmd_chaos(const Options& opt) {
   chaos.workdir = opt.chaos_workdir;
   chaos.only = opt.chaos_only;
   if (opt.shards > 0) chaos.shards = opt.shards;
+  // The daemon's cases plug into the sweep here: analysis cannot link the
+  // server, but the coverage check still demands its fault points fire.
+  chaos.fork_phase = server::fork_chaos_cases();
+  chaos.late_phase = server::late_chaos_cases();
   // A full sweep runs a campaign per case; keep the per-case cost modest
   // unless the scenario explicitly asked for more.
   Scenario scenario = opt.scenario;
@@ -460,6 +513,191 @@ int cmd_chaos(const Options& opt) {
     return 4;
   }
   return 0;
+}
+
+int cmd_serve(const Options& opt) {
+  ThreadPool pool(opt.workers);  // 0 honors MLEC_THREADS, else hardware
+  const char* source = opt.workers > 0              ? "--workers"
+                       : std::getenv("MLEC_THREADS") ? "MLEC_THREADS"
+                                                      : "hardware";
+  server::ServiceConfig config;
+  config.state_dir = opt.state_dir;
+  config.pool = &pool;
+  config.runners = opt.runners;
+  if (opt.shards > 0) config.shards = opt.shards;
+  config.checkpoint_every = opt.checkpoint_every;
+
+  server::EstimationService service(config);
+  server::Server daemon(service, server::ServerConfig{opt.host, opt.port});
+  service.start();
+  daemon.start();
+  std::cout << "mlecd: " << pool.size() << " pool workers (" << source << "), "
+            << opt.runners << " campaign runners, " << config.shards
+            << " shards per campaign\n"
+            << "mlecd: state "
+            << (opt.state_dir.empty() ? std::string("in-memory (no resume)")
+                                      : "dir " + opt.state_dir)
+            << "\nmlecd: listening on " << opt.host << ":" << daemon.port()
+            << std::endl;
+  daemon.wait_shutdown();
+  std::cout << "mlecd: shutdown requested, checkpointing campaigns" << std::endl;
+  daemon.stop();
+  service.stop();
+  return 0;
+}
+
+/// Render a wire Estimate for humans; the JSON path prints raw responses.
+void print_wire_estimate(const json::Value& value) {
+  const Estimate est = server::estimate_from_json(value);
+  Table t({"quantity", "value"});
+  t.add_row({"PDL", Table::num(est.pdl, 4)});
+  t.add_row({"PDL 95% CI", Table::num(est.pdl_lo, 4) + " .. " + Table::num(est.pdl_hi, 4)});
+  t.add_row({"durability (nines)", Table::num(est.nines, 2)});
+  t.add_row({"samples", std::to_string(est.samples)});
+  if (est.degraded) t.add_row({"degraded", est.degrade_note});
+  std::cout << t.to_ascii("estimate, method " + est.method);
+}
+
+/// One-shot request helper shared by the client subcommands: send, check
+/// ok, return the response (exits via the caller on ok:false).
+json::Value server_roundtrip(const Options& opt, const json::Value& req, int& rc) {
+  server::Client client(opt.host, opt.port);
+  const json::Value resp = client.request(req);
+  rc = resp.bool_or("ok", false) ? 0 : 1;
+  return resp;
+}
+
+int cmd_submit(const Options& opt) {
+  if (opt.methods.size() > 1) usage("submit takes a single --method");
+  json::Value req = json::Value::object();
+  req.set("op", "submit");
+  // The daemon canonicalizes again; sending the parsed scenario keeps the
+  // usual override flags (--code, --seed, ...) working for submissions.
+  req.set("scenario_ini", format_scenario(opt.scenario));
+  req.set("method", opt.methods.empty() ? std::string("dp") : opt.methods[0]);
+  req.set("client", opt.client_name);
+  req.set("priority", opt.priority);
+  if (opt.target_rse > 0.0) req.set("rse_target", opt.target_rse);
+  if (opt.wait) req.set("wait", true);
+
+  int rc = 0;
+  const json::Value resp = server_roundtrip(opt, req, rc);
+  if (opt.json) {
+    std::cout << json::dump(resp) << '\n';
+    return rc;
+  }
+  if (rc != 0) {
+    std::cerr << "mlecctl: " << resp.str_or("error", "submit failed") << '\n';
+    return rc;
+  }
+  std::cout << "job " << resp.str_or("job", "-") << ", fingerprint "
+            << resp.str_or("fingerprint", "-");
+  if (resp.bool_or("cached", false)) std::cout << " (memo cache hit)";
+  if (resp.bool_or("joined", false)) std::cout << " (joined identical in-flight job)";
+  std::cout << '\n';
+  if (const json::Value* est = resp.get("estimate"))
+    print_wire_estimate(*est);
+  else if (opt.wait)
+    std::cout << "final state: " << resp.str_or("state", "?") << '\n';
+  return 0;
+}
+
+int cmd_status(const Options& opt) {
+  json::Value req = json::Value::object();
+  req.set("op", "status");
+  int rc = 0;
+  const json::Value resp = server_roundtrip(opt, req, rc);
+  if (opt.json) {
+    std::cout << json::dump(resp) << '\n';
+    return rc;
+  }
+  if (rc != 0) {
+    std::cerr << "mlecctl: " << resp.str_or("error", "status failed") << '\n';
+    return rc;
+  }
+  Table jobs({"job", "client", "method", "priority", "state", "progress", "rse"});
+  if (const json::Value* list = resp.get("jobs")) {
+    for (const json::Value& j : list->as_array()) {
+      const std::string total = j.str_or("units_total", "0");
+      jobs.add_row({j.str_or("id", "-"), j.str_or("client", "-"), j.str_or("method", "-"),
+                    j.str_or("priority", "-"), j.str_or("state", "-"),
+                    total == "0" ? "-" : j.str_or("units_done", "0") + "/" + total,
+                    Table::num(j.num_or("rse", 0.0), 4)});
+    }
+  }
+  std::cout << jobs.to_ascii("mlecd jobs, " + opt.host + ":" + std::to_string(opt.port));
+  Table accounting({"counter", "value"});
+  if (const json::Value* counters = resp.get("counters"))
+    for (const auto& [key, value] : counters->as_object())
+      accounting.add_row({key, value.as_string()});
+  if (const json::Value* spent = resp.get("spent_by_client"))
+    for (const auto& [client, tokens] : spent->as_object())
+      accounting.add_row({"spent[" + client + "]", tokens.as_string()});
+  std::cout << accounting.to_ascii("counters and fair-share spend");
+  return 0;
+}
+
+int cmd_watch(const Options& opt) {
+  if (opt.positional.size() != 1) usage("watch needs: mlecctl watch <job-id>");
+  json::Value req = json::Value::object();
+  req.set("op", "watch");
+  req.set("job", opt.positional[0]);
+  server::Client client(opt.host, opt.port);
+  int rc = 0;
+  client.stream(req, [&](const json::Value& event) {
+    if (opt.json) {
+      std::cout << json::dump(event) << std::endl;
+    } else if (event.get("error") != nullptr) {
+      std::cerr << "mlecctl: " << event.str_or("error", "watch failed") << '\n';
+      rc = 1;
+      return false;
+    } else {
+      const std::string kind = event.str_or("event", "?");
+      std::cout << event.str_or("job", "-") << ": " << kind;
+      if (kind == "progress")
+        std::cout << ", " << event.str_or("units_done", "0") << "/"
+                  << event.str_or("units_total", "0") << " units, rse "
+                  << Table::num(event.num_or("rse", 0.0), 4);
+      std::cout << std::endl;
+      if (kind == "done" || kind == "cancelled" || kind == "failed" || kind == "interrupted") {
+        if (const json::Value* est = event.get("estimate")) print_wire_estimate(*est);
+        rc = kind == "done" ? 0 : 1;
+        return false;
+      }
+    }
+    return true;
+  });
+  return rc;
+}
+
+int cmd_cancel(const Options& opt) {
+  if (opt.positional.size() != 1) usage("cancel needs: mlecctl cancel <job-id>");
+  json::Value req = json::Value::object();
+  req.set("op", "cancel");
+  req.set("job", opt.positional[0]);
+  int rc = 0;
+  const json::Value resp = server_roundtrip(opt, req, rc);
+  if (opt.json) {
+    std::cout << json::dump(resp) << '\n';
+    return rc;
+  }
+  if (rc != 0) {
+    std::cerr << "mlecctl: " << resp.str_or("error", "cancel failed") << '\n';
+    return rc;
+  }
+  const bool cancelled = resp.bool_or("cancelled", false);
+  std::cout << opt.positional[0] << (cancelled ? ": cancelled" : ": already terminal or unknown")
+            << '\n';
+  return cancelled ? 0 : 1;
+}
+
+int cmd_shutdown(const Options& opt) {
+  json::Value req = json::Value::object();
+  req.set("op", "shutdown");
+  int rc = 0;
+  server_roundtrip(opt, req, rc);
+  if (rc == 0) std::cout << "mlecd at " << opt.host << ":" << opt.port << " shutting down\n";
+  return rc;
 }
 
 int cmd_advise(const Options& opt) {
@@ -504,6 +742,12 @@ int main(int argc, char** argv) {
     if (command == "tradeoff") return cmd_tradeoff(opt);
     if (command == "simulate") return cmd_simulate(opt);
     if (command == "chaos") return cmd_chaos(opt);
+    if (command == "serve") return cmd_serve(opt);
+    if (command == "submit") return cmd_submit(opt);
+    if (command == "status") return cmd_status(opt);
+    if (command == "watch") return cmd_watch(opt);
+    if (command == "cancel") return cmd_cancel(opt);
+    if (command == "shutdown") return cmd_shutdown(opt);
     if (command == "advise") return cmd_advise(opt);
     if (command == "spec") {
       std::cout << example_spec();
