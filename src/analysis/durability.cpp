@@ -236,31 +236,46 @@ double stage2_exposure_hours(const DurabilityEnv& env, const MlecCode& code, Mle
 }
 
 double stage2_coverage(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
-                       RepairMethod method, double lost_stripe_fraction) {
-  if (method == RepairMethod::kRepairAll) return 1.0;
+                       RepairMethod method, double lost_stripe_fraction,
+                       const CodeModel* network) {
+  // An MDS network level loses data exactly when p_n+1 stripes overlap, so
+  // R_ALL (which cannot tell which chunks are lost) must declare loss. A
+  // non-MDS level keeps two corrections even for R_ALL: the overlap
+  // threshold is its min tolerance t (t+1 pools may overlap without loss
+  // when t < p_n is set by the worst pattern, not every pattern) and only
+  // the undecodable fraction of (t+1)-erasure patterns actually loses.
+  const std::size_t tol = network ? network->min_tolerance() : code.network.p;
+  const double loss_frac = network ? 1.0 - network->decodable_fraction(tol + 1) : 1.0;
+  if (method == RepairMethod::kRepairAll && !network) return 1.0;
   const PoolLayout layout(env.dc, code, scheme);
-  const std::size_t pn = code.network.p;
-  const double frac = std::max(1e-12, lost_stripe_fraction);
-  const double joint = std::pow(frac, static_cast<double>(pn + 1));
+  const double frac =
+      method == RepairMethod::kRepairAll ? 1.0 : std::max(1e-12, lost_stripe_fraction);
+  const double joint = std::pow(frac, static_cast<double>(tol + 1)) * loss_frac;
   if (network_placement(scheme) == Placement::kClustered)
     return saturating_loss(joint, layout.network_stripes_per_pool());
-  // P(one network stripe touches the p_n+1 specific pools): racks first,
+  // P(one network stripe touches the t+1 specific pools): racks first,
   // then the pool within each rack.
   const std::size_t R = env.dc.racks;
   const std::size_t W = code.network_width();
   const double rack_cover =
-      std::exp(log_choose(static_cast<std::int64_t>(R - (pn + 1)),
-                          static_cast<std::int64_t>(W - (pn + 1))) -
+      std::exp(log_choose(static_cast<std::int64_t>(R - (tol + 1)),
+                          static_cast<std::int64_t>(W - (tol + 1))) -
                log_choose(static_cast<std::int64_t>(R), static_cast<std::int64_t>(W)));
   const double pool_pick = std::pow(1.0 / static_cast<double>(layout.local_pools_per_rack()),
-                                    static_cast<double>(pn + 1));
+                                    static_cast<double>(tol + 1));
   return saturating_loss(rack_cover * pool_pick * joint, layout.total_network_stripes());
 }
 
 MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& code,
                                      MlecScheme scheme, RepairMethod method,
-                                     const std::optional<LocalPoolStats>& stage1) {
+                                     const std::optional<LocalPoolStats>& stage1,
+                                     const CodeModel* network) {
   code.validate();
+  if (network != nullptr) {
+    MLEC_REQUIRE(network->level().data_chunks() == code.network.k &&
+                     network->level().width() == code.network_width(),
+                 "network code model must match code.network's data count and width");
+  }
   const PoolLayout layout(env.dc, code, scheme);
   MlecDurabilityResult r;
   r.stage1 = stage1.value_or(local_pool_stats(env, code.local, local_placement(scheme),
@@ -273,30 +288,34 @@ MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& c
   r.exposure_hours =
       stage2_exposure_hours(env, code, scheme, method, r.stage1.lost_stripe_fraction);
 
-  // Stage 2: overlap of p_n+1 catastrophic pools.
-  const std::size_t pn = code.network.p;
+  // Stage 2: overlap of t+1 catastrophic pools, t = the network level's min
+  // tolerance (= p_n for the MDS default; smaller for LRC, whose worst
+  // (t+1)-pattern is already fatal).
+  const std::size_t tol = network ? network->min_tolerance() : code.network.p;
   double mttdl_sys_hours = 0.0;
   if (network_placement(scheme) == Placement::kClustered) {
-    const double mttdl_np =
-        erasure_set_mttdl(code.network.k, pn, cat_rate_hour, 1.0 / r.exposure_hours,
-                          /*parallel_repair=*/true);
+    const double mttdl_np = erasure_set_mttdl(code.network_width() - tol, tol, cat_rate_hour,
+                                              1.0 / r.exposure_hours,
+                                              /*parallel_repair=*/true);
     mttdl_sys_hours = mttdl_np / static_cast<double>(layout.network_pools());
   } else {
     const std::size_t pools = layout.total_local_pools();
     BirthDeathChain chain;
-    chain.birth.resize(pn + 1);
-    chain.death.resize(pn + 1);
-    for (std::size_t i = 0; i <= pn; ++i) {
+    chain.birth.resize(tol + 1);
+    chain.death.resize(tol + 1);
+    for (std::size_t i = 0; i <= tol; ++i) {
       chain.birth[i] = static_cast<double>(pools - i) * cat_rate_hour;
       chain.death[i] = static_cast<double>(i) / r.exposure_hours;
     }
     mttdl_sys_hours = chain.mean_time_to_absorption();
   }
 
-  // Coverage: do p_n+1 overlapping catastrophic pools actually share a lost
-  // network stripe? R_ALL cannot tell and must declare loss (paper §4.2.3
-  // F#1); the chunk-aware methods thin the loss rate.
-  r.coverage = stage2_coverage(env, code, scheme, method, r.stage1.lost_stripe_fraction);
+  // Coverage: do t+1 overlapping catastrophic pools actually share a lost
+  // network stripe — and, for a non-MDS level, is the realized pattern one
+  // of the undecodable ones? R_ALL under MDS cannot tell and must declare
+  // loss (paper §4.2.3 F#1); the chunk-aware methods thin the loss rate.
+  r.coverage =
+      stage2_coverage(env, code, scheme, method, r.stage1.lost_stripe_fraction, network);
 
   r.pdl = -std::expm1(-r.coverage * env.mission_hours / mttdl_sys_hours);
   r.nines = durability_nines(r.pdl);

@@ -19,6 +19,7 @@
 
 #include <optional>
 
+#include "gf/code_model.hpp"
 #include "placement/codes.hpp"
 #include "placement/schemes.hpp"
 #include "sim/local_pool_sim.hpp"
@@ -69,9 +70,15 @@ struct MlecDurabilityResult {
 /// Full two-stage MLEC durability for one (code, scheme, repair method).
 /// Pass `stage1` to substitute simulation-derived pool statistics
 /// (the splitting workflow); otherwise the closed forms are used.
+/// A non-null `network` swaps the MDS network level for that code model:
+/// the overlap threshold becomes its min tolerance t (< p_n for LRC) and
+/// every stripe-coverage term is thinned by the fraction of (t+1)-erasure
+/// patterns that are undecodable — the same two quantities the fleet
+/// simulator consumes, so sim-vs-closed-form crosschecks stay provable.
 MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& code,
                                      MlecScheme scheme, RepairMethod method,
-                                     const std::optional<LocalPoolStats>& stage1 = std::nullopt);
+                                     const std::optional<LocalPoolStats>& stage1 = std::nullopt,
+                                     const CodeModel* network = nullptr);
 
 /// Stage-2 building blocks, exposed so other closed-form models (the Markov
 /// pool-as-a-disk estimator) share the exact same repair-method physics.
@@ -80,11 +87,15 @@ MlecDurabilityResult mlec_durability(const DurabilityEnv& env, const MlecCode& c
 /// the method-dependent network volume over the network-stage fabric.
 double stage2_exposure_hours(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
                              RepairMethod method, double lost_stripe_fraction);
-/// P(p_n+1 overlapping catastrophic pools actually share a lost network
-/// stripe): 1 for R_ALL, the stripe-coverage thinning for chunk-aware
-/// methods (paper §4.2.3 F#1).
+/// P(t+1 overlapping catastrophic pools actually share a lost network
+/// stripe), t = p_n for the MDS default: 1 for R_ALL, the stripe-coverage
+/// thinning for chunk-aware methods (paper §4.2.3 F#1). With a non-MDS
+/// `network` model the R_ALL shortcut no longer applies (a full overlap
+/// pattern may still decode) and every term carries the undecodable
+/// fraction.
 double stage2_coverage(const DurabilityEnv& env, const MlecCode& code, MlecScheme scheme,
-                       RepairMethod method, double lost_stripe_fraction);
+                       RepairMethod method, double lost_stripe_fraction,
+                       const CodeModel* network = nullptr);
 
 struct SimpleDurability {
   double pdl = 0;

@@ -59,6 +59,10 @@ class FleetSimContext {
   double total_network_stripes;
   double rack_cover_times_pool_pick;  // D/* coverage geometry factor
   PoolRepairModel model;              // shared per-pool rebuild physics
+  std::shared_ptr<const CodeModel> net_model;  // network-level code family
+  std::size_t net_tolerance;   // model min tolerance (p_n for MDS)
+  double net_loss_frac;        // 1 - P(decodable | net_tolerance+1 erasures)
+  double net_repair_reads;     // avg shards read per rebuilt chunk (k_n for MDS)
   std::vector<std::uint32_t> disk_pool_tab;  // disk id -> local pool id
 
   explicit FleetSimContext(const FleetSimConfig& config)
@@ -88,6 +92,19 @@ class FleetSimContext {
     model.disk_eff_mbps = cfg.bandwidth.effective_disk_mbps();
     model.finalize();
 
+    // Network-level code model: the zero-width default means classic RS
+    // over cfg.code.network; anything else must keep that shape's counts.
+    const LevelCode net_level = cfg.network_level.width() == 0
+                                    ? LevelCode::make_rs(cfg.code.network)
+                                    : cfg.network_level;
+    MLEC_REQUIRE(net_level.data_chunks() == cfg.code.network.k &&
+                     net_level.width() == cfg.code.network_width(),
+                 "network_level must match code.network's data count and width");
+    net_model = make_code_model(net_level);
+    net_tolerance = net_model->min_tolerance();
+    net_loss_frac = 1.0 - net_model->decodable_fraction(net_tolerance + 1);
+    net_repair_reads = net_model->avg_single_repair_reads();
+
     const RepairTimeModel rtm(cfg.dc, cfg.bandwidth, cfg.code);
     const BandwidthModel bwm(cfg.bandwidth);
     net_bw_tb_h = bwm.available_repair_mbps(rtm.network_stage_flow(cfg.scheme, cfg.method)) *
@@ -98,7 +115,7 @@ class FleetSimContext {
     if (!network_clustered) {
       const auto R = static_cast<std::int64_t>(cfg.dc.racks);
       const auto W = static_cast<std::int64_t>(cfg.code.network_width());
-      const auto pn1 = static_cast<std::int64_t>(cfg.code.network.p + 1);
+      const auto pn1 = static_cast<std::int64_t>(net_tolerance + 1);
       const double rack_cover =
           std::exp(log_choose(R - pn1, W - pn1) - log_choose(R, W));
       rack_cover_times_pool_pick =
@@ -278,7 +295,10 @@ class MissionRunner {
       const double volume = ctx_.network_volume_tb(unrebuilt, f_after, frac);
       const double exposure = ctx_.cfg.detection_hours + volume / ctx_.net_bw_tb_h;
       result.catastrophe_exposure_hours.add(exposure);
-      result.cross_rack_tb += volume * (static_cast<double>(ctx_.cfg.code.network.k) + 1.0);
+      // Each rebuilt chunk reads the model's average repair fan-in across
+      // racks and writes once (k_n + 1 for MDS; below k_n for LRC — the
+      // locality payoff the paper's Figure 8 arithmetic cannot see).
+      result.cross_rack_tb += volume * (ctx_.net_repair_reads + 1.0);
 
       // Network repair owns the pool now.
       pools_.deactivate(pool);
@@ -371,15 +391,19 @@ class MissionRunner {
   }
 
   /// Does the overlap of `newest` with the other active catastrophes lose a
-  /// network stripe? Enumerates every p_n+1-subset containing `newest`
-  /// (same network pool for clustered networks, distinct racks for
-  /// declustered ones) and draws once against the union of their
-  /// stripe-coverage probabilities.
+  /// network stripe? Enumerates every (t+1)-subset containing `newest`
+  /// (t = the network code model's min tolerance — p_n for MDS; same
+  /// network pool for clustered networks, distinct racks for declustered
+  /// ones) and draws once against the union of their stripe-coverage
+  /// probabilities. Non-MDS levels additionally thin each combination by
+  /// the fraction of (t+1)-erasure patterns that are actually undecodable
+  /// (ctx_.net_loss_frac; 1 for MDS) — the stripe's erased positions within
+  /// its network pool are modeled as a uniform (t+1)-subset.
   /// `prev_frac >= 0` re-tests existing overlaps after the newest pool's
   /// lost fraction grew: the draw targets only the added coverage
   /// (cov_new - cov_old) / (1 - cov_old) per combination.
   bool check_data_loss(const Catastrophe& newest, double t, double prev_frac = -1.0) {
-    const std::size_t pn1 = ctx_.cfg.code.network.p + 1;
+    const std::size_t pn1 = ctx_.net_tolerance + 1;
     others_.clear();
     for (const auto& c : cats_) {
       if (&c == &newest || c.until <= t) continue;
@@ -411,7 +435,7 @@ class MissionRunner {
           partners *= ctx_.cfg.method == RepairMethod::kRepairAll ? 1.0
                                                                   : others_[i]->lost_fraction;
         auto coverage_of = [&](double frac) {
-          const double joint = frac * partners;
+          const double joint = frac * partners * ctx_.net_loss_frac;
           return ctx_.network_clustered
                      ? saturating_loss(joint, ctx_.stripes_per_network_pool)
                      : saturating_loss(joint * ctx_.rack_cover_times_pool_pick,

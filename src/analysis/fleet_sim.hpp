@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 
+#include "gf/code_model.hpp"
 #include "placement/codes.hpp"
 #include "placement/schemes.hpp"
 #include "sim/failure_gen.hpp"
@@ -44,6 +45,13 @@ struct FleetSimConfig {
   double detection_hours = 0.5;
   double mission_hours = 8766.0;
   bool priority_repair = true;
+  /// Network-level code family (gf/code_model.hpp). The default (a
+  /// zero-width LevelCode) derives classic RS from code.network; a non-MDS
+  /// level must keep code.network's (k, p) arithmetic: same data count,
+  /// same width. Drives the loss test (overlap threshold = the model's
+  /// min tolerance, thinned by its undecodable-pattern fraction) and the
+  /// cross-rack read amplification.
+  LevelCode network_level = LevelCode::make_rs({0, 0});
   /// Deterministic events merged into every mission (bursts, trace replay).
   FailureTrace injected_events{};
   /// Stop each mission at its first data loss (PDL estimation). When false,

@@ -15,6 +15,7 @@
 #include "analysis/durability.hpp"
 #include "analysis/repair_time.hpp"
 #include "analysis/traffic.hpp"
+#include "gf/code_model.hpp"
 #include "placement/codes.hpp"
 #include "placement/pools.hpp"
 #include "placement/schemes.hpp"
@@ -34,6 +35,22 @@ struct SystemSpec {
   double afr = 0.01;
   double detection_hours = 0.5;
   double mission_hours = 8766.0;
+  /// Network-level code family. kRs keeps the paper's MDS analysis; kLrc
+  /// interprets `network_lrc` as the network level (its width must match
+  /// code.network_width() so pool layout arithmetic is unchanged); kRsWide
+  /// tags wide stripes (k >= 50). The local level stays Reed-Solomon.
+  CodeFamily network_family = CodeFamily::kRs;
+  LrcCode network_lrc{};
+
+  /// The network level as a pluggable LevelCode for make_code_model().
+  LevelCode network_level() const {
+    switch (network_family) {
+      case CodeFamily::kRs: return LevelCode::make_rs(code.network);
+      case CodeFamily::kRsWide: return LevelCode::make_wide(code.network);
+      case CodeFamily::kLrc: return LevelCode::make_lrc(network_lrc);
+    }
+    return LevelCode::make_rs(code.network);
+  }
 
   DurabilityEnv durability_env() const {
     return {dc, bandwidth, afr, detection_hours, mission_hours};

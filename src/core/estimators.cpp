@@ -75,6 +75,14 @@ std::string analytic_failure_limits(const Scenario& scenario) {
   return {};
 }
 
+/// The network-level code model when the scenario departs from classic RS,
+/// nullptr otherwise (so the MDS closed forms keep their exact legacy
+/// arithmetic and outputs).
+std::shared_ptr<const CodeModel> non_mds_network_model(const Scenario& scenario) {
+  if (scenario.system.network_family == CodeFamily::kRs) return nullptr;
+  return make_code_model(scenario.system.network_level());
+}
+
 // ---------------------------------------------------------------------------
 // sim: full-fleet Monte Carlo through the campaign runner.
 
@@ -197,9 +205,10 @@ class SplitEstimator final : public Estimator {
     }
 
     const DurabilityEnv env = scenario.durability_env();
-    const MlecDurabilityResult dur = mlec_durability(env, scenario.system.code,
-                                                     scenario.system.scheme,
-                                                     scenario.system.repair, stage1);
+    const auto network = non_mds_network_model(scenario);
+    const MlecDurabilityResult dur =
+        mlec_durability(env, scenario.system.code, scenario.system.scheme,
+                        scenario.system.repair, stage1, network.get());
     e.pdl = dur.pdl;
     e.nines = dur.nines;
     e.exposure_hours = dur.exposure_hours;
@@ -207,11 +216,13 @@ class SplitEstimator final : public Estimator {
     e.coverage = dur.coverage;
     if (e.stochastic) {
       // First-order propagation of the stage-1 Poisson error: the stage-2
-      // loss rate scales like the catastrophe rate to the (p_n+1)-th power
-      // (p_n+1 overlapping pools), so the relative error amplifies by that
-      // exponent.
+      // loss rate scales like the catastrophe rate to the (t+1)-th power
+      // (t+1 overlapping pools, t = the network level's min tolerance =
+      // p_n for MDS), so the relative error amplifies by that exponent.
+      const std::size_t tol =
+          network ? network->min_tolerance() : scenario.system.code.network.p;
       const double rel = 1.959964 / std::sqrt(static_cast<double>(stage1_run.catastrophes));
-      const double amp = static_cast<double>(scenario.system.code.network.p + 1) * rel;
+      const double amp = static_cast<double>(tol + 1) * rel;
       e.pdl_lo = std::max(0.0, e.pdl * (1.0 - amp));
       e.pdl_hi = std::min(1.0, e.pdl * (1.0 + amp));
     } else {
@@ -245,6 +256,9 @@ class DpEstimator final : public Estimator {
         !scenario.priority_repair)
       return "the declustered closed form models priority reconstruction "
              "(priority_repair=false unsupported)";
+    if (scenario.system.network_family == CodeFamily::kLrc && scenario.has_bursts())
+      return "the burst-allocation DP prices loss cells with MDS counting "
+             "(LRC network level with a burst climate unsupported)";
     return {};
   }
 
@@ -254,8 +268,10 @@ class DpEstimator final : public Estimator {
     MLEC_FAULT_POINT("estimator.dp.pre");
 
     const DurabilityEnv env = scenario.durability_env();
+    const auto network = non_mds_network_model(scenario);
     const MlecDurabilityResult indep =
-        mlec_durability(env, scenario.system.code, scenario.system.scheme, scenario.system.repair);
+        mlec_durability(env, scenario.system.code, scenario.system.scheme,
+                        scenario.system.repair, std::nullopt, network.get());
 
     Estimate e;
     e.method = std::string(name());
@@ -303,6 +319,9 @@ class MarkovEstimator final : public Estimator {
         scenario.priority_repair)
       return "the local birth-death chain has no priority-reconstruction state "
              "(declustered pools with priority repair diverge)";
+    if (scenario.system.network_family == CodeFamily::kLrc)
+      return "pool-as-a-disk chains count failed pools, which assumes an MDS "
+             "network level (LRC loses data at pattern-dependent counts; use dp or sim)";
     return {};
   }
 

@@ -9,6 +9,17 @@ void Scenario::validate() const {
   system.dc.validate();
   system.code.validate();
   system.bandwidth.validate();
+  const LevelCode net = system.network_level();
+  net.validate();
+  if (system.network_family == CodeFamily::kLrc) {
+    MLEC_REQUIRE(system.network_lrc.k == system.code.network.k &&
+                     net.width() == system.code.network_width(),
+                 "[code] mlec network part must equal the LRC shape: k_n = k and "
+                 "p_n = l + r (pool layout arithmetic depends on it)");
+  }
+  // Surfaces family-specific limits (wide-RS k floor, LRC table width)
+  // here rather than mid-estimate; the factory caches the result.
+  (void)make_code_model(net);
   MLEC_REQUIRE(system.afr > 0.0 && system.afr < 1.0, "AFR must be in (0,1)");
   MLEC_REQUIRE(system.detection_hours >= 0.0, "detection time must be non-negative");
   MLEC_REQUIRE(system.mission_hours > 0.0, "mission must be positive");
@@ -52,6 +63,7 @@ FleetSimConfig Scenario::fleet_config() const {
   cfg.detection_hours = system.detection_hours;
   cfg.mission_hours = system.mission_hours;
   cfg.priority_repair = priority_repair;
+  cfg.network_level = system.network_level();
   return cfg;
 }
 

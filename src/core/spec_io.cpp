@@ -25,6 +25,8 @@ constexpr std::pair<const char*, const char*> kSpecKeys[] = {
     {"bandwidth", "rack_gbps"},
     {"bandwidth", "repair_fraction"},
     {"code", "mlec"},
+    {"code", "family"},
+    {"code", "lrc"},
     {"code", "scheme"},
     {"code", "repair"},
     {"failures", "afr"},
@@ -149,6 +151,9 @@ SystemSpec load_spec_fields(const IniFile& ini) {
       ini.get_double("bandwidth", "repair_fraction", spec.bandwidth.repair_fraction);
 
   if (const auto code = ini.get("code", "mlec")) spec.code = parse_mlec_code(*code);
+  if (const auto family = ini.get("code", "family"))
+    spec.network_family = parse_code_family(*family);
+  if (const auto lrc = ini.get("code", "lrc")) spec.network_lrc = parse_lrc_code(*lrc);
   if (const auto scheme = ini.get("code", "scheme")) spec.scheme = parse_mlec_scheme(*scheme);
   if (const auto repair = ini.get("code", "repair")) spec.repair = parse_repair_method(*repair);
 
@@ -215,7 +220,10 @@ std::string format_spec(const SystemSpec& spec) {
      << "repair_fraction = " << spec.bandwidth.repair_fraction << "\n\n";
   os << "[code]\n"
      << "mlec = " << spec.code.notation() << '\n'
-     << "scheme = " << to_string(spec.scheme) << '\n'
+     << "family = " << to_string(spec.network_family) << '\n';
+  if (spec.network_family == CodeFamily::kLrc)
+    os << "lrc = " << spec.network_lrc.notation() << '\n';
+  os << "scheme = " << to_string(spec.scheme) << '\n'
      << "repair = " << to_string(spec.repair) << "\n\n";
   os << "[failures]\n"
      << "afr = " << spec.afr << '\n'
@@ -251,7 +259,11 @@ std::string scenario_identity(const Scenario& sc) {
   const SystemSpec& s = sc.system;
   std::ostringstream os;
   os << std::hexfloat;
-  os << "mlec-scenario-identity-v1"
+  // v2: the network code-family axis joined the identity. The family-
+  // qualified LevelCode notation canonicalizes spellings (an explicit
+  // `family = rs` and the default collapse to the same string; any LRC
+  // parameter change yields a different one).
+  os << "mlec-scenario-identity-v2"
      << "|racks=" << s.dc.racks
      << "|enclosures_per_rack=" << s.dc.enclosures_per_rack
      << "|disks_per_enclosure=" << s.dc.disks_per_enclosure
@@ -261,6 +273,7 @@ std::string scenario_identity(const Scenario& sc) {
      << "|rack_gbps=" << s.bandwidth.rack_gbps
      << "|repair_fraction=" << s.bandwidth.repair_fraction
      << "|code=" << s.code.notation()
+     << "|network_level=" << s.network_level().notation()
      << "|scheme=" << to_string(s.scheme)
      << "|repair=" << to_string(s.repair)
      << "|afr=" << s.afr
@@ -302,6 +315,8 @@ repair_fraction = 0.2    # share of raw bandwidth repairs may use
 
 [code]
 mlec = (10+2)/(17+3)     # (kn+pn)/(kl+pl)
+family = rs              # network level: rs, rs_wide (kn >= 50), lrc
+#lrc = (10,1,1)          # LRC shape when family = lrc; needs k = kn, l+r = pn
 scheme = C/D             # C/C, C/D, D/C, D/D
 repair = R_MIN           # R_ALL, R_FCO, R_HYB, R_MIN
 

@@ -54,6 +54,7 @@ bool RsCode::encode_parallel(std::span<const std::span<const byte_t>> data,
 void RsCode::decode(std::vector<std::vector<byte_t>>& shards,
                     std::span<const std::size_t> lost) const {
   MLEC_REQUIRE(shards.size() == k_ + p_, "expected k+p shard buffers");
+  MLEC_REQUIRE(p_ > 0 || lost.empty(), "a p == 0 code has no parity to repair from");
   MLEC_REQUIRE(lost.size() <= p_, "cannot recover more shards than parities");
   if (lost.empty()) return;
   const std::size_t len = shards[0].size();

@@ -23,7 +23,9 @@ namespace mlec::gf {
 
 class RsCode {
  public:
-  /// Requires 1 <= k, 0 <= p, and k + p <= 256 (field-size limit).
+  /// Requires 1 <= k and k + p <= 256 (field-size limit). p == 0 is a
+  /// valid (replication-free) configuration, but such a code cannot repair
+  /// anything: decode() rejects any non-empty `lost` set for it.
   RsCode(std::size_t k, std::size_t p);
 
   std::size_t k() const { return k_; }

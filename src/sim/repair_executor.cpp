@@ -10,14 +10,18 @@
 namespace mlec {
 
 MaterializedSystem::MaterializedSystem(const StripeMap& map, std::size_t chunk_bytes,
-                                       std::uint64_t seed)
+                                       std::uint64_t seed, LevelCode network_level)
     : map_(map),
       chunk_bytes_(chunk_bytes),
-      network_code_(map.layout().code().network.k, map.layout().code().network.p),
       local_code_(map.layout().code().local.k, map.layout().code().local.p),
       disk_failed_(map.topology().config().total_disks(), false) {
   MLEC_REQUIRE(chunk_bytes >= 1, "chunks need at least one byte");
   const auto& code = map.layout().code();
+  if (network_level.width() == 0) network_level = LevelCode::make_rs(code.network);
+  MLEC_REQUIRE(network_level.data_chunks() == code.network.k &&
+                   network_level.width() == code.network_width(),
+               "network level must match the map code's data count and width");
+  network_model_ = make_code_model(network_level);
   const std::size_t kn = code.network.k, pn = code.network.p;
   const std::size_t kl = code.local.k, pl = code.local.p;
 
@@ -38,6 +42,8 @@ MaterializedSystem::MaterializedSystem(const StripeMap& map, std::size_t chunk_b
 
     // Network parities, positionwise across the data locals (§2.1: a network
     // chunk is a whole local stripe; parity is computed column by column).
+    // Under LRC the "parity locals" are the l + r local and global parities
+    // in the model's layout order.
     for (std::size_t j = 0; j < kl; ++j) {
       std::vector<std::span<const gf::byte_t>> data;
       data.reserve(kn);
@@ -45,8 +51,8 @@ MaterializedSystem::MaterializedSystem(const StripeMap& map, std::size_t chunk_b
       std::vector<std::span<gf::byte_t>> parity;
       parity.reserve(pn);
       for (std::size_t m = 0; m < pn; ++m) parity.emplace_back(stripe[kn + m][j]);
-      network_code_.encode(std::span<const std::span<const gf::byte_t>>(data),
-                           std::span<const std::span<gf::byte_t>>(parity));
+      network_model_->encode(std::span<const std::span<const gf::byte_t>>(data),
+                             std::span<const std::span<gf::byte_t>>(parity));
     }
 
     // Local parities within every local stripe (network-parity locals
@@ -112,10 +118,13 @@ RepairExecution MaterializedSystem::execute(RepairMethod method) {
     // Choose, per (local, position), the repair path.
     std::vector<std::vector<bool>> via_network(locals_per_stripe,
                                                std::vector<bool>(chunks_per_local, false));
-    std::size_t lost_locals = 0;
+    // Lost locals as network-level erasure positions; the model's
+    // decodability test replaces the MDS `> p_n` count (an LRC stripe can
+    // be unrecoverable with as few as min_tolerance + 1 lost locals).
+    std::vector<std::size_t> lost_local_positions;
     for (std::size_t i = 0; i < locals_per_stripe; ++i)
-      lost_locals += failed_positions[s][i].size() > pl ? 1 : 0;
-    if (lost_locals > pn) {
+      if (failed_positions[s][i].size() > pl) lost_local_positions.push_back(i);
+    if (!network_model_->can_repair(std::span<const std::size_t>(lost_local_positions))) {
       ++exec.unrecoverable_network_stripes;
       stripe_unrecoverable[s] = true;
       continue;
@@ -175,12 +184,13 @@ RepairExecution MaterializedSystem::execute(RepairMethod method) {
           wanted |= via_network[i][j];
         }
         if (!wanted) continue;
-        MLEC_ASSERT(lost.size() <= pn, "network repair given more erasures than parities");
+        MLEC_ASSERT(network_model_->can_repair(std::span<const std::size_t>(lost)),
+                    "network repair given an undecodable erasure pattern");
         // Decode into scratch shards so chunks slated for local repair stay
         // missing until their own stage.
         std::vector<std::vector<gf::byte_t>> shards(locals_per_stripe);
         for (std::size_t i = 0; i < locals_per_stripe; ++i) shards[i] = contents_[s][i][j];
-        network_code_.decode(shards, lost);
+        network_model_->decode(shards, lost);
         ++exec.network_decodes;
         for (std::size_t i : lost) {
           if (!via_network[i][j]) continue;

@@ -16,8 +16,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "gf/code_model.hpp"
 #include "gf/rs.hpp"
 #include "placement/stripe_map.hpp"
 #include "sim/repair_planner.hpp"
@@ -28,7 +30,7 @@ namespace mlec {
 struct RepairExecution {
   RepairMethod method{};
   std::size_t chunks_rebuilt = 0;
-  std::size_t network_decodes = 0;  ///< RS decodes at the network level
+  std::size_t network_decodes = 0;  ///< network-level decodes (RS or LRC)
   std::size_t local_decodes = 0;    ///< RS decodes at the local level
   bool verified = false;            ///< rebuilt bytes match the originals
   std::size_t unrecoverable_network_stripes = 0;
@@ -38,10 +40,15 @@ class MaterializedSystem {
  public:
   /// Build chunk contents over `map`: deterministic pseudo-data for the
   /// k_n*k_l data chunks of each network stripe, then network parities
-  /// (positionwise RS over the k_n data local stripes) and local parities
-  /// (RS within each local stripe). chunk_bytes is small by design.
+  /// (positionwise over the k_n data local stripes, via the network-level
+  /// CodeModel) and local parities (RS within each local stripe).
+  /// chunk_bytes is small by design. `network_level` selects the network
+  /// code family; the default zero-width sentinel derives classic RS from
+  /// the map's code, and any other level must match that code's data count
+  /// and width.
   MaterializedSystem(const StripeMap& map, std::size_t chunk_bytes = 64,
-                     std::uint64_t seed = 1);
+                     std::uint64_t seed = 1,
+                     LevelCode network_level = LevelCode::make_rs({0, 0}));
 
   const StripeMap& map() const { return map_; }
   std::size_t chunk_bytes() const { return chunk_bytes_; }
@@ -50,9 +57,16 @@ class MaterializedSystem {
   void fail_disks(const std::vector<DiskId>& disks);
 
   /// Execute `method` against the current failed set, rebuilding chunk
-  /// contents with real RS decodes, then verify every chunk against the
-  /// pristine copy. Unrecoverable network stripes are skipped and counted.
+  /// contents with real decodes (RS both levels, or LRC at the network
+  /// level — local-group XOR repairs and global Cauchy decodes included),
+  /// then verify every chunk against the pristine copy. Unrecoverable
+  /// network stripes are skipped and counted; for LRC that set comes from
+  /// the model's decodability table, not a count threshold.
   RepairExecution execute(RepairMethod method);
+
+  /// The network-level code model in force (RS unless constructed with an
+  /// explicit level).
+  const CodeModel& network_model() const { return *network_model_; }
 
   /// Direct read access for tests: chunk (stripe, local, position).
   const std::vector<gf::byte_t>& chunk(std::size_t stripe, std::size_t local,
@@ -61,7 +75,7 @@ class MaterializedSystem {
  private:
   const StripeMap& map_;
   std::size_t chunk_bytes_;
-  gf::RsCode network_code_;
+  std::shared_ptr<const CodeModel> network_model_;
   gf::RsCode local_code_;
   // contents_[stripe][local][position] and a pristine copy for verification.
   std::vector<std::vector<std::vector<std::vector<gf::byte_t>>>> contents_;

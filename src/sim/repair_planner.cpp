@@ -9,11 +9,27 @@ namespace mlec {
 RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_disks,
                        RepairMethod method) {
   const auto& code = map.layout().code();
-  const double kn = static_cast<double>(code.network.k);
-  const double kl = static_cast<double>(code.local.k);
-  const std::size_t pl = code.local.p;
-  const std::size_t pn = code.network.p;
-  const double loc_width = static_cast<double>(code.local_width());
+  return plan_repair(map, failed_disks, method, *make_code_model(LevelCode::make_rs(code.network)),
+                     *make_code_model(LevelCode::make_rs(code.local)));
+}
+
+RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_disks,
+                       RepairMethod method, const CodeModel& network, const CodeModel& local) {
+  const auto& code = map.layout().code();
+  MLEC_REQUIRE(network.level().data_chunks() == code.network.k &&
+                   network.level().width() == code.network_width(),
+               "network model must match the map code's data count and width");
+  MLEC_REQUIRE(local.level().data_chunks() == code.local.k &&
+                   local.level().width() == code.local_width(),
+               "local model must match the map code's data count and width");
+  const double kn = static_cast<double>(network.level().data_chunks());
+  const double kl = static_cast<double>(local.level().data_chunks());
+  const std::size_t pl = local.min_tolerance();
+  const std::size_t pn = network.min_tolerance();
+  const double loc_width = static_cast<double>(local.level().width());
+  // MDS levels keep pure count arithmetic (also dodges the 64-bit mask
+  // limit for wide RS); LRC needs the positional erasure mask.
+  const bool net_mds = network.family() != CodeFamily::kLrc;
 
   std::vector<bool> failed(map.topology().config().total_disks(), false);
   for (DiskId d : failed_disks) {
@@ -43,17 +59,32 @@ RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_d
     plan.local_read_chunks += kl;
     plan.local_write_chunks += static_cast<double>(fc);
   };
-  auto network_repair_chunks = [&](double chunks) {
-    plan.network_read_chunks += kn * chunks;
+  // `pos` is the rebuilt chunk's position in the network stripe; `erased`
+  // the positions of lost locals. MDS decodes always read k_n shards; LRC
+  // reads what the realized pattern needs (the local group if `pos` is its
+  // only loss, k otherwise).
+  auto network_repair_chunks = [&](std::size_t pos, ErasureMask erased, double chunks) {
+    const double reads =
+        net_mds ? kn
+                : static_cast<double>(
+                      network.repair_reads(pos, erased | (ErasureMask{1} << pos)));
+    plan.network_read_chunks += reads * chunks;
     plan.network_write_chunks += chunks;
   };
 
   for (std::size_t s = 0; s < stripes.size(); ++s) {
-    // Network stripes with more than p_n lost locals are unrecoverable.
+    // Lost locals of this network stripe: counted for the MDS `> p_n` test,
+    // as a positional mask for the model's decodability table.
     std::size_t lost_locals = 0;
-    for (std::size_t fc : fail_counts[s]) lost_locals += fc > pl ? 1 : 0;
+    ErasureMask lost_mask = 0;
+    for (std::size_t i = 0; i < fail_counts[s].size(); ++i) {
+      if (fail_counts[s][i] > pl) {
+        ++lost_locals;
+        if (!net_mds) lost_mask |= ErasureMask{1} << i;
+      }
+    }
     plan.lost_local_stripes += lost_locals;
-    if (lost_locals > pn) {
+    if (net_mds ? lost_locals > pn : network.is_data_loss(lost_mask)) {
       ++plan.unrecoverable_network_stripes;
       continue;
     }
@@ -67,21 +98,21 @@ RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_d
           // Black-box: the entire pool's content is regenerated via the
           // network, healthy chunks included.
           if (pool_cat)
-            network_repair_chunks(loc_width);
+            network_repair_chunks(i, lost_mask, loc_width);
           else if (fc > 0)
             local_repair(fc);
           break;
         case RepairMethod::kRepairFailedOnly:
           if (fc == 0) break;
           if (pool_cat)
-            network_repair_chunks(static_cast<double>(fc));
+            network_repair_chunks(i, lost_mask, static_cast<double>(fc));
           else
             local_repair(fc);
           break;
         case RepairMethod::kRepairHybrid:
           if (fc == 0) break;
           if (fc > pl)
-            network_repair_chunks(static_cast<double>(fc));
+            network_repair_chunks(i, lost_mask, static_cast<double>(fc));
           else
             local_repair(fc);
           break;
@@ -89,7 +120,7 @@ RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_d
           if (fc == 0) break;
           if (fc > pl) {
             // Stage 1: network-repair until locally recoverable...
-            network_repair_chunks(static_cast<double>(fc - pl));
+            network_repair_chunks(i, lost_mask, static_cast<double>(fc - pl));
             // ...stage 2: the remaining p_l failed chunks rebuild locally.
             local_repair(pl);
           } else {

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "gf/code_model.hpp"
 #include "placement/schemes.hpp"
 #include "placement/stripe_map.hpp"
 
@@ -56,5 +57,16 @@ struct RepairPlan {
 ///    it locally recoverable (failures - p_l chunks), then finishes locally.
 RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_disks,
                        RepairMethod method);
+
+/// Model-priced variant: the network and local levels are CodeModels
+/// (gf/code_model.hpp) instead of raw (k, p). MDS families reproduce the
+/// count-based arithmetic above bit-exactly; an LRC network level prices
+/// each rebuilt chunk by the shards its decode actually reads (a lone lost
+/// local in a group costs the group's k/l + 1 members, not k_n) and
+/// declares a network stripe unrecoverable from the model's decodability
+/// table rather than the `> p_n` count threshold. Both models must match
+/// the map code's per-level (data, width) arithmetic.
+RepairPlan plan_repair(const StripeMap& map, const std::vector<DiskId>& failed_disks,
+                       RepairMethod method, const CodeModel& network, const CodeModel& local);
 
 }  // namespace mlec

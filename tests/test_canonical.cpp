@@ -120,6 +120,44 @@ TEST(Canonical, NameAndSeedAreNotPartOfTheIdentity) {
   EXPECT_EQ(scenario_fingerprint(from_text(reseeded)), base_fp);
 }
 
+TEST(Canonical, DefaultCodeFamilySpellingCollapses) {
+  // `family = rs` is the default; writing it out is the same scenario.
+  std::string spelled = kBase;
+  spelled.replace(spelled.find("scheme = C/C"), 12, "family = rs\nscheme = C/C");
+  EXPECT_EQ(scenario_fingerprint(from_text(kBase)), scenario_fingerprint(from_text(spelled)));
+}
+
+/// kBase with an LRC network level: same deployment arithmetic (width 7
+/// network part), locality (4,2,1).
+std::string lrc_base() {
+  std::string text = kBase;
+  text.replace(text.find("mlec = (2+1)/(3+1)"), 18,
+               "mlec = (4+3)/(3+1)\nfamily = lrc\nlrc = (4,2,1)");
+  return text;
+}
+
+TEST(Canonical, LrcSpellingsCollapseToOneFingerprint) {
+  const std::string a = lrc_base();
+  // Same config spelled differently: shuffled [code] keys, padded tuple.
+  std::string b = kBase;
+  b.replace(b.find("mlec = (2+1)/(3+1)"), 18, "mlec = (4+3)/(3+1)");
+  b.replace(b.find("repair = R_ALL"), 14,
+            "repair = R_ALL\nlrc = ( 4 , 2 , 1 )\nfamily = lrc");
+  EXPECT_EQ(scenario_fingerprint(from_text(a)), scenario_fingerprint(from_text(b)));
+}
+
+TEST(Canonical, LrcLocalityAndFamilyChangesSeparateFingerprints) {
+  const std::uint64_t lrc_fp = scenario_fingerprint(from_text(lrc_base()));
+  // Same width, one locality parameter moved: (4,2,1) -> (4,1,2).
+  std::string moved = lrc_base();
+  moved.replace(moved.find("lrc = (4,2,1)"), 13, "lrc = (4,1,2)");
+  EXPECT_NE(scenario_fingerprint(from_text(moved)), lrc_fp);
+  // Same (k_n, p_n) arithmetic under plain RS is a different system too.
+  std::string rs = kBase;
+  rs.replace(rs.find("mlec = (2+1)/(3+1)"), 18, "mlec = (4+3)/(3+1)");
+  EXPECT_NE(scenario_fingerprint(from_text(rs)), lrc_fp);
+}
+
 TEST(Canonical, MalformedUnitSuffixesAreRejected) {
   for (const char* bad : {"disk_capacity_tb = 18XB", "disk_capacity_tb = TB",
                           "disk_capacity_tb = 1.2.3TB"}) {

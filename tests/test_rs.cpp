@@ -107,6 +107,30 @@ TEST(RsCode, ShardLimitEnforced) {
   EXPECT_NO_THROW(RsCode(246, 10));
 }
 
+TEST(RsCode, ZeroParityDecodeRejectsAnyLoss) {
+  // p == 0 is a valid (replication-free) configuration, but it cannot
+  // repair anything: any non-empty lost set must be rejected up front, not
+  // fall through to a degenerate 0-parity solve.
+  const RsCode code(4, 0);
+  std::vector<std::vector<byte_t>> shards(4, std::vector<byte_t>(8, 0));
+  const std::size_t lost[] = {2};
+  EXPECT_THROW(code.decode(shards, lost), PreconditionError);
+  // The empty lost set stays a no-op, as for any p.
+  EXPECT_NO_THROW(code.decode(shards, {}));
+}
+
+TEST(RsCodeDeathTest, ZeroParityDecodeAbortsInAbortMode) {
+  EXPECT_DEATH(
+      {
+        set_contract_mode(ContractMode::kAbort);
+        const RsCode code(4, 0);
+        std::vector<std::vector<byte_t>> shards(4, std::vector<byte_t>(8, 0));
+        const std::size_t lost[] = {2};
+        code.decode(shards, lost);
+      },
+      "a p == 0 code has no parity to repair from");
+}
+
 TEST(RsCode, EmptyLostIsNoop) {
   const RsCode code(2, 1);
   std::vector<std::vector<byte_t>> shards(3, std::vector<byte_t>(4, 9));

@@ -162,6 +162,44 @@ TEST(SpecIo, FuzzDuplicateSectionScenarioLoadsLastValue) {
   EXPECT_TRUE(unknown.empty());
 }
 
+TEST(SpecIo, CodeFamilyKeysRoundTripForEveryFamily) {
+  struct Case {
+    const char* family;
+    CodeFamily expect;
+    const char* mlec;
+  } cases[] = {
+      {"rs", CodeFamily::kRs, "(4+3)/(3+1)"},
+      {"rs_wide", CodeFamily::kRsWide, "(50+10)/(3+1)"},
+      {"lrc", CodeFamily::kLrc, "(4+3)/(3+1)"},
+  };
+  for (const auto& c : cases) {
+    std::string text = std::string("[code]\nmlec = ") + c.mlec +
+                       "\nfamily = " + c.family + "\n";
+    if (c.expect == CodeFamily::kLrc) text += "lrc = (4,2,1)\n";
+    const auto spec = load_spec(IniFile::parse_string(text));
+    EXPECT_EQ(spec.network_family, c.expect) << c.family;
+    // format -> parse is the identity on the family axis.
+    const auto again = load_spec(IniFile::parse_string(format_spec(spec)));
+    EXPECT_EQ(again.network_family, c.expect) << c.family;
+    EXPECT_EQ(again.network_lrc, spec.network_lrc) << c.family;
+    EXPECT_EQ(again.network_level(), spec.network_level()) << c.family;
+  }
+}
+
+TEST(SpecIo, LrcKeyParsesTheTriple) {
+  const auto spec = load_spec(IniFile::parse_string(
+      "[code]\nmlec = (4+3)/(3+1)\nfamily = lrc\nlrc = (4, 2, 1)\n"));
+  EXPECT_EQ(spec.network_lrc, (LrcCode{4, 2, 1}));
+  EXPECT_EQ(spec.network_level(), LevelCode::make_lrc({4, 2, 1}));
+}
+
+TEST(SpecIo, BadFamilyAndLrcValuesAreDiagnosed) {
+  EXPECT_THROW(load_spec(IniFile::parse_string("[code]\nfamily = raid6\n")),
+               PreconditionError);
+  EXPECT_THROW(load_spec(IniFile::parse_string("[code]\nlrc = (4+2+1)\n")),
+               PreconditionError);
+}
+
 TEST(SpecIo, FuzzNonUtf8ScenarioNameRoundTrips) {
   std::vector<std::string> unknown;
   SpecParsePolicy policy;
