@@ -1,8 +1,8 @@
 #include "ec/backend.hpp"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <string_view>
 
 #include "ec/kernels_detail.hpp"
@@ -15,45 +15,36 @@ namespace {
 #if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
 bool host_has_ssse3() { return __builtin_cpu_supports("ssse3") != 0; }
 bool host_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+bool host_has_avx512() {
+  return __builtin_cpu_supports("avx512f") != 0 && __builtin_cpu_supports("avx512bw") != 0;
+}
+bool host_has_gfni() {
+  return __builtin_cpu_supports("gfni") != 0 && host_has_avx512() &&
+         __builtin_cpu_supports("avx512vl") != 0;
+}
 #else
 bool host_has_ssse3() { return false; }
 bool host_has_avx2() { return false; }
+bool host_has_avx512() { return false; }
+bool host_has_gfni() { return false; }
 #endif
-
-// Compile-time availability: the SIMD translation units compile their
-// kernels only on x86; elsewhere they register a nullptr table.
-bool build_has(Backend backend) {
-  switch (backend) {
-    case Backend::kScalar: return true;
-    case Backend::kSsse3: return detail::ssse3_kernel_table() != nullptr;
-    case Backend::kAvx2: return detail::avx2_kernel_table() != nullptr;
-  }
-  return false;
-}
 
 std::atomic<int> g_active{-1};  // -1: not yet resolved
 
 Backend resolve_initial() {
   const char* env = std::getenv("MLEC_EC_BACKEND");
-  if (env != nullptr && std::string_view(env) != "auto" && *env != '\0') {
-    const auto parsed = parse_backend(env);
-    if (!parsed) {
-      std::fprintf(stderr,
-                   "mlec: unknown MLEC_EC_BACKEND '%s' (want scalar|ssse3|avx2|auto); "
-                   "using auto-detection\n",
-                   env);
-      return detect_backend();
-    }
-    if (!backend_supported(*parsed)) {
-      std::fprintf(stderr,
-                   "mlec: MLEC_EC_BACKEND=%s not supported on this host/build; "
-                   "falling back to scalar\n",
-                   env);
-      return Backend::kScalar;
-    }
-    return *parsed;
+  if (env != nullptr) {
+    const auto forced = resolve_backend_override(env);
+    if (forced) return *forced;
   }
   return detect_backend();
+}
+
+std::string lowercase(std::string_view name) {
+  std::string out(name);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
 }
 
 }  // namespace
@@ -63,33 +54,71 @@ const char* to_string(Backend backend) {
     case Backend::kScalar: return "scalar";
     case Backend::kSsse3: return "ssse3";
     case Backend::kAvx2: return "avx2";
+    case Backend::kAvx512: return "avx512";
+    case Backend::kGfni: return "gfni";
   }
   return "?";
 }
 
 std::optional<Backend> parse_backend(std::string_view name) {
-  if (name == "scalar") return Backend::kScalar;
-  if (name == "ssse3") return Backend::kSsse3;
-  if (name == "avx2") return Backend::kAvx2;
+  const std::string lower = lowercase(name);
+  if (lower == "scalar") return Backend::kScalar;
+  if (lower == "ssse3") return Backend::kSsse3;
+  if (lower == "avx2") return Backend::kAvx2;
+  if (lower == "avx512") return Backend::kAvx512;
+  if (lower == "gfni") return Backend::kGfni;
   return std::nullopt;
 }
 
-bool backend_supported(Backend backend) {
+bool backend_built(Backend backend) {
   switch (backend) {
     case Backend::kScalar: return true;
-    case Backend::kSsse3: return build_has(Backend::kSsse3) && host_has_ssse3();
-    case Backend::kAvx2: return build_has(Backend::kAvx2) && host_has_avx2();
+    case Backend::kSsse3: return detail::ssse3_kernel_table() != nullptr;
+    case Backend::kAvx2: return detail::avx2_kernel_table() != nullptr;
+    case Backend::kAvx512: return detail::avx512_kernel_table() != nullptr;
+    case Backend::kGfni: return detail::gfni_kernel_table() != nullptr;
   }
   return false;
 }
 
+bool backend_host_supported(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar: return true;
+    case Backend::kSsse3: return host_has_ssse3();
+    case Backend::kAvx2: return host_has_avx2();
+    case Backend::kAvx512: return host_has_avx512();
+    case Backend::kGfni: return host_has_gfni();
+  }
+  return false;
+}
+
+bool backend_supported(Backend backend) {
+  return backend_built(backend) && backend_host_supported(backend);
+}
+
 Backend detect_backend() {
   static const Backend best = [] {
+    if (backend_supported(Backend::kGfni)) return Backend::kGfni;
+    if (backend_supported(Backend::kAvx512)) return Backend::kAvx512;
     if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
     if (backend_supported(Backend::kSsse3)) return Backend::kSsse3;
     return Backend::kScalar;
   }();
   return best;
+}
+
+std::optional<Backend> resolve_backend_override(std::string_view value) {
+  if (value.empty() || lowercase(value) == "auto") return std::nullopt;
+  const auto parsed = parse_backend(value);
+  MLEC_REQUIRE(parsed.has_value(),
+               "unknown MLEC_EC_BACKEND '" + std::string(value) +
+                   "' (valid: scalar, ssse3, avx2, avx512, gfni, auto)");
+  MLEC_REQUIRE(backend_supported(*parsed),
+               std::string("MLEC_EC_BACKEND=") + to_string(*parsed) +
+                   " is not supported on this host/build (" +
+                   (backend_built(*parsed) ? "host CPU lacks the ISA" : "kernels not compiled in") +
+                   ")");
+  return parsed;
 }
 
 Backend active_backend() {
@@ -122,6 +151,8 @@ const Kernels& kernels_for(Backend backend) {
     case Backend::kScalar: return *detail::scalar_kernel_table();
     case Backend::kSsse3: return *detail::ssse3_kernel_table();
     case Backend::kAvx2: return *detail::avx2_kernel_table();
+    case Backend::kAvx512: return *detail::avx512_kernel_table();
+    case Backend::kGfni: return *detail::gfni_kernel_table();
   }
   return *detail::scalar_kernel_table();
 }

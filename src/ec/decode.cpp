@@ -1,0 +1,183 @@
+#include "ec/decode.hpp"
+
+#include <array>
+#include <memory>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace mlec::ec {
+
+namespace {
+
+/// Plan-build field arithmetic: a lazily built full 256x256 product table
+/// over mul_slow (64 KB, once per process) so Gauss-Jordan elimination is
+/// lookup-speed without linking the gf log/exp tables.
+const std::array<std::array<byte_t, 256>, 256>& mul_table() {
+  static const auto table = [] {
+    auto t = std::make_unique<std::array<std::array<byte_t, 256>, 256>>();
+    for (unsigned a = 0; a < 256; ++a)
+      for (unsigned b = 0; b < 256; ++b)
+        (*t)[a][b] = mul_slow(static_cast<byte_t>(a), static_cast<byte_t>(b));
+    return t;
+  }();
+  return *table;
+}
+
+inline byte_t fmul(byte_t a, byte_t b) { return mul_table()[a][b]; }
+
+byte_t finv(byte_t a) {
+  MLEC_ASSERT(a != 0, "zero has no inverse");
+  const auto& row = mul_table()[a];
+  for (unsigned b = 1; b < 256; ++b)
+    if (row[b] == 1) return static_cast<byte_t>(b);
+  MLEC_ASSERT(false, "GF(256) element without inverse");
+  return 0;
+}
+
+/// Invert a k x k row-major matrix in place via Gauss-Jordan; the caller
+/// guarantees the rows are linearly independent (greedy selection), so a
+/// missing pivot is an internal error.
+std::vector<byte_t> invert(std::vector<byte_t> m, std::size_t k) {
+  std::vector<byte_t> inv(k * k, 0);
+  for (std::size_t i = 0; i < k; ++i) inv[i * k + i] = 1;
+  for (std::size_t col = 0; col < k; ++col) {
+    std::size_t pivot = col;
+    while (pivot < k && m[pivot * k + col] == 0) ++pivot;
+    MLEC_ASSERT(pivot < k, "chosen survivor rows must be invertible");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < k; ++j) {
+        std::swap(m[pivot * k + j], m[col * k + j]);
+        std::swap(inv[pivot * k + j], inv[col * k + j]);
+      }
+    }
+    const byte_t scale = finv(m[col * k + col]);
+    for (std::size_t j = 0; j < k; ++j) {
+      m[col * k + j] = fmul(scale, m[col * k + j]);
+      inv[col * k + j] = fmul(scale, inv[col * k + j]);
+    }
+    for (std::size_t row = 0; row < k; ++row) {
+      if (row == col) continue;
+      const byte_t factor = m[row * k + col];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j < k; ++j) {
+        m[row * k + j] = static_cast<byte_t>(m[row * k + j] ^ fmul(factor, m[col * k + j]));
+        inv[row * k + j] =
+            static_cast<byte_t>(inv[row * k + j] ^ fmul(factor, inv[col * k + j]));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+DecodePlan::DecodePlan(std::size_t n, std::size_t k, std::span<const byte_t> generator,
+                       std::span<const std::size_t> erased)
+    : n_(n), k_(k) {
+  MLEC_REQUIRE(k >= 1, "a code needs at least one data symbol");
+  MLEC_REQUIRE(n >= k, "generator needs at least the k data rows");
+  MLEC_REQUIRE(generator.size() == n * k, "generator matrix size mismatch");
+  for (std::size_t r = 0; r < k; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      MLEC_REQUIRE(generator[r * k + c] == (r == c ? 1 : 0),
+                   "DecodePlan requires a systematic generator (identity data rows)");
+
+  std::vector<bool> is_lost(n, false);
+  for (std::size_t idx : erased) {
+    MLEC_REQUIRE(idx < n, "erased index out of range");
+    MLEC_REQUIRE(!is_lost[idx], "duplicate erased index");
+    is_lost[idx] = true;
+    (idx < k ? lost_data_ : lost_parity_).push_back(idx);
+  }
+  if (erased.empty()) return;
+
+  // Greedily keep survivor rows (stripe order) that grow the GF(256) rank.
+  // Intact data rows are identity rows and always kept first, so for MDS
+  // codes this degenerates to "the first k survivors"; for LRC it walks
+  // past locally dependent parity rows.
+  std::vector<std::vector<byte_t>> reduced;  // kept rows, leading 1 at pivot
+  std::vector<std::size_t> pivots;
+  survivors_.reserve(k);
+  for (std::size_t row = 0; row < n && survivors_.size() < k; ++row) {
+    if (is_lost[row]) continue;
+    std::vector<byte_t> v(generator.begin() + static_cast<std::ptrdiff_t>(row * k),
+                          generator.begin() + static_cast<std::ptrdiff_t>((row + 1) * k));
+    for (std::size_t r = 0; r < reduced.size(); ++r) {
+      const byte_t factor = v[pivots[r]];
+      if (factor == 0) continue;
+      for (std::size_t c = 0; c < k; ++c)
+        v[c] = static_cast<byte_t>(v[c] ^ fmul(factor, reduced[r][c]));
+    }
+    std::size_t pivot = k;
+    for (std::size_t c = 0; c < k; ++c)
+      if (v[c] != 0) {
+        pivot = c;
+        break;
+      }
+    if (pivot == k) continue;  // dependent on the rows already kept
+    const byte_t scale = finv(v[pivot]);
+    for (std::size_t c = 0; c < k; ++c) v[c] = fmul(scale, v[c]);
+    survivors_.push_back(row);
+    reduced.push_back(std::move(v));
+    pivots.push_back(pivot);
+  }
+  if (survivors_.size() < k) {
+    viable_ = false;
+    return;
+  }
+
+  if (!lost_data_.empty()) {
+    std::vector<byte_t> sub(k * k);
+    for (std::size_t r = 0; r < k; ++r)
+      for (std::size_t c = 0; c < k; ++c) sub[r * k + c] = generator[survivors_[r] * k + c];
+    const std::vector<byte_t> inv = invert(std::move(sub), k);
+    // Lost data symbol d = sum_r inv[d][r] * shard[survivors[r]].
+    std::vector<byte_t> coeffs(lost_data_.size() * k);
+    for (std::size_t r = 0; r < lost_data_.size(); ++r)
+      for (std::size_t c = 0; c < k; ++c) coeffs[r * k + c] = inv[lost_data_[r] * k + c];
+    data_plan_ = EncodePlan(lost_data_.size(), k, coeffs);
+  }
+
+  if (!lost_parity_.empty()) {
+    // Lost parity row p re-encodes from the (then complete) data rows.
+    std::vector<byte_t> coeffs(lost_parity_.size() * k);
+    for (std::size_t r = 0; r < lost_parity_.size(); ++r)
+      for (std::size_t c = 0; c < k; ++c) coeffs[r * k + c] = generator[lost_parity_[r] * k + c];
+    parity_plan_ = EncodePlan(lost_parity_.size(), k, coeffs);
+  }
+}
+
+void decode(const DecodePlan& plan, byte_t* const* shards, std::size_t len) {
+  MLEC_REQUIRE(plan.viable(), "erasure pattern is not decodable with this plan");
+  if (len == 0) return;
+  const std::size_t k = plan.data_symbols();
+  if (!plan.lost_data().empty()) {
+    std::vector<const byte_t*> src(k);
+    for (std::size_t c = 0; c < k; ++c) src[c] = shards[plan.survivors()[c]];
+    std::vector<byte_t*> dst(plan.lost_data().size());
+    for (std::size_t r = 0; r < dst.size(); ++r) dst[r] = shards[plan.lost_data()[r]];
+    encode(plan.data_plan(), src.data(), dst.data(), len);
+  }
+  if (!plan.lost_parity().empty()) {
+    std::vector<const byte_t*> src(k);
+    for (std::size_t c = 0; c < k; ++c) src[c] = shards[c];
+    std::vector<byte_t*> dst(plan.lost_parity().size());
+    for (std::size_t r = 0; r < dst.size(); ++r) dst[r] = shards[plan.lost_parity()[r]];
+    encode(plan.parity_plan(), src.data(), dst.data(), len);
+  }
+}
+
+void decode(const DecodePlan& plan, std::span<const std::span<byte_t>> shards) {
+  MLEC_REQUIRE(shards.size() == plan.width(), "expected width() shard buffers");
+  if (plan.width() == 0) return;
+  const std::size_t len = shards[0].size();
+  std::vector<byte_t*> ptrs(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    MLEC_REQUIRE(shards[i].size() == len, "shard size mismatch");
+    ptrs[i] = shards[i].data();
+  }
+  decode(plan, ptrs.data(), len);
+}
+
+}  // namespace mlec::ec

@@ -1,0 +1,83 @@
+// Fused decode plans: the erasure-pattern-specific half of the EC data
+// plane.
+//
+// A DecodePlan is built once per (code, erasure pattern): it selects k
+// linearly independent survivor rows of a systematic n x k generator (in
+// stripe order, so intact data rows pass through untouched), inverts that
+// submatrix over GF(2^8), and compiles two fused EncodePlans — lost data
+// symbols from the k survivors, then lost parity rows from the complete
+// data — so decode() is nothing but dispatched multi-source x multi-dest
+// dot products (kernels.hpp), with zero matrix arithmetic on the data path.
+// Codes cache plans per erasure pattern (see gf::RsCode / the LRC code
+// model), turning repeated repairs of the same pattern into pure kernel
+// time.
+//
+// Like the rest of src/ec, this layer is link-independent of the gf
+// log/exp tables: inversion runs over mul_slow-derived tables at plan-build
+// time only.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ec/codec.hpp"
+
+namespace mlec::ec {
+
+class DecodePlan {
+ public:
+  DecodePlan() = default;
+
+  /// Compile a plan for `erased` positions of a systematic code described
+  /// by its n x k generator over the data symbols (row-major; rows 0..k-1
+  /// must be the identity — both RS and LRC generators here are
+  /// systematic). `erased` holds distinct positions < n, any order.
+  ///
+  /// When the survivor rows do not span the k data symbols (possible for
+  /// non-MDS codes such as LRC), the plan is built but not viable(); decode
+  /// with it is rejected.
+  DecodePlan(std::size_t n, std::size_t k, std::span<const byte_t> generator,
+             std::span<const std::size_t> erased);
+
+  /// Survivor rows span the data symbols, so decode() can run.
+  bool viable() const { return viable_; }
+
+  std::size_t width() const { return n_; }         ///< n: total shard rows
+  std::size_t data_symbols() const { return k_; }  ///< k: data shard rows
+
+  /// The k survivor positions stage 1 reads (stripe order).
+  const std::vector<std::size_t>& survivors() const { return survivors_; }
+  /// Erased data positions (< k), rebuilt by stage 1.
+  const std::vector<std::size_t>& lost_data() const { return lost_data_; }
+  /// Erased parity positions (>= k), re-encoded by stage 2.
+  const std::vector<std::size_t>& lost_parity() const { return lost_parity_; }
+
+  /// Stage-1 plan: lost_data().size() x k inverted-submatrix rows applied
+  /// to the survivors.
+  const EncodePlan& data_plan() const { return data_plan_; }
+  /// Stage-2 plan: lost_parity().size() x k generator rows applied to the
+  /// data shards.
+  const EncodePlan& parity_plan() const { return parity_plan_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t k_ = 0;
+  bool viable_ = true;
+  std::vector<std::size_t> survivors_;
+  std::vector<std::size_t> lost_data_;
+  std::vector<std::size_t> lost_parity_;
+  EncodePlan data_plan_;
+  EncodePlan parity_plan_;
+};
+
+/// Rebuild the erased shards in place: `shards` holds all width() buffer
+/// pointers of length `len`; entries at erased positions are outputs,
+/// all surviving entries must contain valid data. Two fused passes over
+/// the dispatched kernels. Requires plan.viable().
+void decode(const DecodePlan& plan, byte_t* const* shards, std::size_t len);
+
+/// Span-of-spans convenience overload; all width() shards the same length.
+void decode(const DecodePlan& plan, std::span<const std::span<byte_t>> shards);
+
+}  // namespace mlec::ec

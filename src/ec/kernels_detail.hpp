@@ -12,6 +12,8 @@ namespace mlec::ec::detail {
 const Kernels* scalar_kernel_table();
 const Kernels* ssse3_kernel_table();
 const Kernels* avx2_kernel_table();
+const Kernels* avx512_kernel_table();
+const Kernels* gfni_kernel_table();
 
 /// Scalar loops, exposed so the vector kernels can delegate sub-strip tails
 /// and so tests can reach the reference directly.

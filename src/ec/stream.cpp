@@ -1,12 +1,96 @@
 #include "ec/stream.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <string>
 #include <vector>
 
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mlec::ec {
+
+namespace {
+
+/// How one parallel call carves a buffer: fixed-length slices, dispatched
+/// either interleaved (parallel_for, one task per slice) or contiguous
+/// (parallel_chunks, one page-aligned range of slices per worker — the
+/// first-touch-stable NUMA partitioning; see stream.hpp).
+struct Slicing {
+  std::size_t slice_len = 0;
+  std::size_t slices = 0;
+  bool contiguous = false;
+};
+
+Slicing plan_slices(std::size_t len, ThreadPool& pool, const StreamOptions& options) {
+  Slicing s;
+  s.contiguous = options.numa_aware && numa_node_count() > 1 && pool.size() > 1;
+  const std::size_t target_slices = std::max<std::size_t>(
+      1, pool.size() * (s.contiguous ? 1 : options.slices_per_worker));
+  std::size_t slice_len =
+      std::max(options.min_slice_bytes, (len + target_slices - 1) / target_slices);
+  // Keep full slices vector-strip aligned so only the final slice has a
+  // sub-strip tail; under contiguous partitioning align to pages so worker
+  // ranges never share a first-touched page.
+  const std::size_t align = s.contiguous ? 4096 : 64;
+  slice_len = (slice_len + align - 1) / align * align;
+  s.slice_len = slice_len;
+  s.slices = len == 0 ? 0 : (len + slice_len - 1) / slice_len;
+  return s;
+}
+
+/// Run fn(offset, n) for every slice under the slicing's dispatch shape.
+void run_slices(ThreadPool& pool, const Slicing& s, std::size_t len, StopToken stop,
+                const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (s.contiguous) {
+    pool.parallel_chunks(
+        0, s.slices, pool.size(),
+        [&](std::size_t, std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi && !stop.stop_requested(); ++i) {
+            const std::size_t off = i * s.slice_len;
+            fn(off, std::min(s.slice_len, len - off));
+          }
+        },
+        stop);
+    return;
+  }
+  pool.parallel_for(
+      0, s.slices,
+      [&](std::size_t i) {
+        const std::size_t off = i * s.slice_len;
+        fn(off, std::min(s.slice_len, len - off));
+      },
+      stop);
+}
+
+}  // namespace
+
+std::size_t numa_node_count() {
+  static const std::size_t count = [] {
+    std::size_t nodes = 0;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator("/sys/devices/system/node", ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 4 && name.compare(0, 4, "node") == 0 &&
+          name.find_first_not_of("0123456789", 4) == std::string::npos)
+        ++nodes;
+    }
+    return std::max<std::size_t>(1, nodes);
+  }();
+  return count;
+}
+
+void first_touch_parallel(std::span<byte_t> buffer, ThreadPool& pool,
+                          const StreamOptions& options) {
+  if (buffer.empty()) return;
+  const Slicing s = plan_slices(buffer.size(), pool, options);
+  run_slices(pool, s, buffer.size(), {}, [&](std::size_t off, std::size_t n) {
+    volatile byte_t* p = buffer.data() + off;
+    for (std::size_t i = 0; i < n; i += 4096) p[i] = p[i];
+    p[n - 1] = p[n - 1];
+  });
+}
 
 bool encode_parallel(const EncodePlan& plan, std::span<const std::span<const byte_t>> src,
                      std::span<const std::span<byte_t>> dst, ThreadPool& pool, StopToken stop,
@@ -20,35 +104,56 @@ bool encode_parallel(const EncodePlan& plan, std::span<const std::span<const byt
   for (const auto& s : src) MLEC_REQUIRE(s.size() == len, "source shard size mismatch");
   for (const auto& d : dst) MLEC_REQUIRE(d.size() == len, "destination shard size mismatch");
 
-  const std::size_t target_slices = std::max<std::size_t>(1, pool.size() * options.slices_per_worker);
-  std::size_t slice_len = std::max(options.min_slice_bytes, (len + target_slices - 1) / target_slices);
-  // Keep full slices vector-strip aligned so only the final slice has a
-  // sub-strip tail.
-  slice_len = (slice_len + 63) / 64 * 64;
-  const std::size_t slices = len == 0 ? 0 : (len + slice_len - 1) / slice_len;
+  const Slicing slicing = plan_slices(len, pool, options);
 
   std::vector<const byte_t*> s(src.size());
   for (std::size_t c = 0; c < src.size(); ++c) s[c] = src[c].data();
   std::vector<byte_t*> d(dst.size());
   for (std::size_t r = 0; r < dst.size(); ++r) d[r] = dst[r].data();
 
-  if (slices <= 1) {
+  if (slicing.slices <= 1) {
     encode(plan, s.data(), d.data(), len);
     return !stop.stop_requested();
   }
 
-  pool.parallel_for(
-      0, slices,
-      [&](std::size_t i) {
-        const std::size_t off = i * slice_len;
-        const std::size_t n = std::min(slice_len, len - off);
-        std::vector<const byte_t*> so(s.size());
-        for (std::size_t c = 0; c < s.size(); ++c) so[c] = s[c] + off;
-        std::vector<byte_t*> dn(d.size());
-        for (std::size_t r = 0; r < d.size(); ++r) dn[r] = d[r] + off;
-        encode(plan, so.data(), dn.data(), n);
-      },
-      stop);
+  run_slices(pool, slicing, len, stop, [&](std::size_t off, std::size_t n) {
+    std::vector<const byte_t*> so(s.size());
+    for (std::size_t c = 0; c < s.size(); ++c) so[c] = s[c] + off;
+    std::vector<byte_t*> dn(d.size());
+    for (std::size_t r = 0; r < d.size(); ++r) dn[r] = d[r] + off;
+    encode(plan, so.data(), dn.data(), n);
+  });
+  return !stop.stop_requested();
+}
+
+bool decode_parallel(const DecodePlan& plan, std::span<const std::span<byte_t>> shards,
+                     ThreadPool& pool, StopToken stop, const StreamOptions& options) {
+  MLEC_REQUIRE(plan.viable(), "erasure pattern is not decodable with this plan");
+  MLEC_REQUIRE(shards.size() == plan.width(), "expected width() shard buffers");
+  MLEC_REQUIRE(options.min_slice_bytes >= 1, "slices need at least one byte");
+  if (stop.stop_requested()) return false;
+  if (plan.lost_data().empty() && plan.lost_parity().empty()) return true;
+  const std::size_t len = shards.empty() ? 0 : shards[0].size();
+  for (const auto& s : shards) MLEC_REQUIRE(s.size() == len, "shard size mismatch");
+
+  const Slicing slicing = plan_slices(len, pool, options);
+
+  std::vector<byte_t*> ptrs(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) ptrs[i] = shards[i].data();
+
+  if (slicing.slices <= 1) {
+    decode(plan, ptrs.data(), len);
+    return !stop.stop_requested();
+  }
+
+  // Both plan stages run inside one slice task: stage 2 (lost parity) reads
+  // only data-shard bytes of the same positions stage 1 just rebuilt, so
+  // the slice is self-contained and the result bit-identical to serial.
+  run_slices(pool, slicing, len, stop, [&](std::size_t off, std::size_t n) {
+    std::vector<byte_t*> po(ptrs.size());
+    for (std::size_t i = 0; i < ptrs.size(); ++i) po[i] = ptrs[i] + off;
+    decode(plan, po.data(), n);
+  });
   return !stop.stop_requested();
 }
 

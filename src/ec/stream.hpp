@@ -1,18 +1,30 @@
 // Parallel streaming codec: chunk large shard buffers into slices and
-// encode the slices across a util::ThreadPool.
+// encode/decode the slices across a util::ThreadPool.
 //
-// GF(256) encoding is positionwise, so byte range [a, b) of every output
-// row depends only on byte range [a, b) of every source — slices are
+// GF(256) coding is positionwise, so byte range [a, b) of every output row
+// depends only on byte range [a, b) of every input — slices are
 // embarrassingly parallel and the result is bit-identical to the serial
-// fused encode. StopToken cancellation follows the pool's cooperative
-// policy: remaining slices are skipped and the caller is told the outputs
-// are partial.
+// fused pass. StopToken cancellation follows the pool's cooperative policy:
+// remaining slices are skipped and the caller is told the outputs are
+// partial.
+//
+// NUMA policy: on multi-socket hosts, scattering slices dynamically across
+// workers lands every call on a different memory-controller mix. When
+// StreamOptions::numa_aware is on (default) and the host has more than one
+// NUMA node, each call instead hands every worker ONE contiguous,
+// page-aligned byte range, with the same slice -> worker mapping every
+// call. Buffers whose pages were first-touched under that mapping (any
+// prior encode/decode_parallel call over the same buffers, or
+// first_touch_parallel below) keep each worker on its node-local pages
+// instead of serializing on one controller. Single-node hosts keep the
+// finer slices-per-worker interleave for load balancing.
 #pragma once
 
 #include <cstddef>
 #include <span>
 
 #include "ec/codec.hpp"
+#include "ec/decode.hpp"
 #include "util/stop_token.hpp"
 
 namespace mlec {
@@ -26,9 +38,26 @@ struct StreamOptions {
   /// kernels chew a slice in microseconds.
   std::size_t min_slice_bytes = 64 * 1024;
   /// Slices per worker to smooth uneven scheduling (static chunking
-  /// otherwise leaves the pool tail-bound).
+  /// otherwise leaves the pool tail-bound). Ignored under NUMA
+  /// partitioning, which pins one contiguous range per worker.
   std::size_t slices_per_worker = 4;
+  /// Use the contiguous first-touch-stable partitioning when the host has
+  /// more than one NUMA node (see file comment). Off: always interleave.
+  bool numa_aware = true;
 };
+
+/// NUMA nodes the host exposes (/sys/devices/system/node); 1 when the
+/// topology is unreadable or the platform has no NUMA. Cached after the
+/// first call.
+std::size_t numa_node_count();
+
+/// Fault every page of `buffer` from the worker that the NUMA-aware
+/// partitioning will later hand that range to, so first-touch allocation
+/// places pages on the node that will stream them. No-op memory writes
+/// (pages are zero-filled on first touch anyway); call right after
+/// allocating large shard buffers.
+void first_touch_parallel(std::span<byte_t> buffer, ThreadPool& pool,
+                          const StreamOptions& options = {});
 
 /// Parallel fused encode: dst[r] = XOR_c plan(r,c) * src[c], sliced across
 /// `pool`. Falls back to the serial path when one slice covers the buffer.
@@ -37,5 +66,14 @@ struct StreamOptions {
 bool encode_parallel(const EncodePlan& plan, std::span<const std::span<const byte_t>> src,
                      std::span<const std::span<byte_t>> dst, ThreadPool& pool,
                      StopToken stop = {}, const StreamOptions& options = {});
+
+/// Parallel fused decode mirroring encode_parallel: rebuild the plan's
+/// erased shards in place over all width() buffers, sliced across `pool`.
+/// Both plan stages (lost data from survivors, lost parity from data) run
+/// inside each slice, so the result is bit-identical to serial
+/// ec::decode(). Returns false when `stop` truncated the batch (rebuilt
+/// shards then hold partial garbage — re-run or discard).
+bool decode_parallel(const DecodePlan& plan, std::span<const std::span<byte_t>> shards,
+                     ThreadPool& pool, StopToken stop = {}, const StreamOptions& options = {});
 
 }  // namespace mlec::ec

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "ec/codec.hpp"
+#include "ec/decode.hpp"
 #include "gf/matrix.hpp"
 #include "util/error.hpp"
 
@@ -110,6 +112,10 @@ class LrcCodeModel final : public CodeModel {
       for (std::size_t col = 0; col < k; ++col) coeffs[row * k + col] = gen_.at(k + row, col);
     encode_plan_ = ec::EncodePlan(c.l + c.r, k, coeffs);
 
+    flat_gen_.resize(n * k);
+    for (std::size_t row = 0; row < n; ++row)
+      for (std::size_t col = 0; col < k; ++col) flat_gen_[row * k + col] = gen_.at(row, col);
+
     build_decodability_table();
 
     single_reads_.resize(n);
@@ -165,89 +171,36 @@ class LrcCodeModel final : public CodeModel {
 
   void decode(std::vector<std::vector<gf::byte_t>>& shards,
               std::span<const std::size_t> lost) const override {
-    const std::size_t n = width();
-    const std::size_t k = level_.lrc.k;
-    MLEC_REQUIRE(shards.size() == n, "expected one buffer per shard");
+    MLEC_REQUIRE(shards.size() == width(), "expected one buffer per shard");
     MLEC_REQUIRE(can_repair(lost), "pattern is not decodable");
     if (lost.empty()) return;
     const std::size_t len = shards[0].size();
     for (const auto& s : shards) MLEC_REQUIRE(s.size() == len, "shard size mismatch");
 
-    std::vector<bool> is_lost(n, false);
-    for (std::size_t idx : lost) is_lost[idx] = true;
+    // Fused plan per erasure pattern, cached: DecodePlan runs the same
+    // greedy rank-growing survivor selection this model used to do inline
+    // (stripe order, so intact data passes through untouched), then all
+    // byte work is dispatched ec kernels.
+    const auto plan = decode_plan(lost);
+    std::vector<gf::byte_t*> ptrs(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) ptrs[i] = shards[i].data();
+    ec::decode(*plan, ptrs.data(), len);
+  }
 
-    // Unlike MDS decode, not every k-subset of survivors spans the data:
-    // greedily keep survivor rows that grow the GF(256) rank (identity rows
-    // come first in stripe order, so intact data passes through untouched).
-    std::vector<std::size_t> chosen;
-    std::vector<std::vector<gf::byte_t>> reduced;  // kept rows, leading 1 at pivot
-    std::vector<std::size_t> pivots;
-    chosen.reserve(k);
-    for (std::size_t row = 0; row < n && chosen.size() < k; ++row) {
-      if (is_lost[row]) continue;
-      std::vector<gf::byte_t> v(k);
-      for (std::size_t col = 0; col < k; ++col) v[col] = gen_.at(row, col);
-      for (std::size_t r = 0; r < reduced.size(); ++r) {
-        const gf::byte_t factor = v[pivots[r]];
-        if (factor == 0) continue;
-        for (std::size_t col = 0; col < k; ++col)
-          v[col] = gf::add(v[col], gf::mul(factor, reduced[r][col]));
-      }
-      std::size_t pivot = k;
-      for (std::size_t col = 0; col < k; ++col)
-        if (v[col] != 0) {
-          pivot = col;
-          break;
-        }
-      if (pivot == k) continue;  // dependent on the rows already kept
-      const gf::byte_t scale = gf::inv(v[pivot]);
-      for (std::size_t col = 0; col < k; ++col) v[col] = gf::mul(scale, v[col]);
-      chosen.push_back(row);
-      reduced.push_back(std::move(v));
-      pivots.push_back(pivot);
+  /// Plan for `lost`, built on first use and cached (keyed by the sorted
+  /// pattern). A decodable pattern always yields a viable plan — both walk
+  /// survivor rows the same way.
+  std::shared_ptr<const ec::DecodePlan> decode_plan(std::span<const std::size_t> lost) const {
+    std::vector<std::size_t> key(lost.begin(), lost.end());
+    std::sort(key.begin(), key.end());
+    {
+      const std::lock_guard<std::mutex> lock(plan_mutex_);
+      if (auto it = plan_cache_.find(key); it != plan_cache_.end()) return it->second;
     }
-    MLEC_ASSERT(chosen.size() == k, "decodable pattern must yield a full-rank survivor set");
-
-    gf::Matrix sub(k, k);
-    for (std::size_t r = 0; r < k; ++r)
-      for (std::size_t col = 0; col < k; ++col) sub.at(r, col) = gen_.at(chosen[r], col);
-    gf::Matrix invsub;
-    [[maybe_unused]] const bool ok = sub.invert(invsub);
-    MLEC_ASSERT(ok, "chosen survivor rows must be invertible");
-
-    // Lost data symbols in one fused ec pass over the chosen survivors.
-    std::vector<std::size_t> lost_data;
-    for (std::size_t idx : lost)
-      if (idx < k) lost_data.push_back(idx);
-    if (!lost_data.empty()) {
-      std::vector<gf::byte_t> coeffs(lost_data.size() * k);
-      for (std::size_t r = 0; r < lost_data.size(); ++r)
-        for (std::size_t col = 0; col < k; ++col)
-          coeffs[r * k + col] = invsub.at(lost_data[r], col);
-      const ec::EncodePlan plan(lost_data.size(), k, coeffs);
-      std::vector<const gf::byte_t*> src(k);
-      for (std::size_t col = 0; col < k; ++col) src[col] = shards[chosen[col]].data();
-      std::vector<gf::byte_t*> dst(lost_data.size());
-      for (std::size_t r = 0; r < lost_data.size(); ++r) dst[r] = shards[lost_data[r]].data();
-      ec::encode(plan, src.data(), dst.data(), len);
-    }
-
-    // Lost parities re-encode from the (now complete) data.
-    std::vector<std::size_t> lost_parity;
-    for (std::size_t idx : lost)
-      if (idx >= k) lost_parity.push_back(idx);
-    if (!lost_parity.empty()) {
-      std::vector<gf::byte_t> coeffs(lost_parity.size() * k);
-      for (std::size_t r = 0; r < lost_parity.size(); ++r)
-        for (std::size_t col = 0; col < k; ++col)
-          coeffs[r * k + col] = gen_.at(lost_parity[r], col);
-      const ec::EncodePlan plan(lost_parity.size(), k, coeffs);
-      std::vector<const gf::byte_t*> src(k);
-      for (std::size_t col = 0; col < k; ++col) src[col] = shards[col].data();
-      std::vector<gf::byte_t*> dst(lost_parity.size());
-      for (std::size_t r = 0; r < lost_parity.size(); ++r) dst[r] = shards[lost_parity[r]].data();
-      ec::encode(plan, src.data(), dst.data(), len);
-    }
+    auto plan = std::make_shared<const ec::DecodePlan>(width(), level_.lrc.k, flat_gen_, key);
+    MLEC_ASSERT(plan->viable(), "decodable pattern must yield a full-rank survivor set");
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    return plan_cache_.emplace(std::move(key), std::move(plan)).first->second;
   }
 
  private:
@@ -329,8 +282,11 @@ class LrcCodeModel final : public CodeModel {
   }
 
   LevelCode level_;
-  gf::Matrix gen_;  ///< n x k generator over the data symbols
+  gf::Matrix gen_;                  ///< n x k generator over the data symbols
+  std::vector<gf::byte_t> flat_gen_;  ///< gen_ flattened row-major for DecodePlan
   ec::EncodePlan encode_plan_;
+  mutable std::mutex plan_mutex_;
+  mutable std::map<std::vector<std::size_t>, std::shared_ptr<const ec::DecodePlan>> plan_cache_;
   std::vector<bool> can_repair_;  ///< indexed by erasure bitmask
   std::vector<double> decodable_frac_;
   std::vector<double> single_reads_;

@@ -22,6 +22,12 @@ RsCode::RsCode(std::size_t k, std::size_t p) : k_(k), p_(p) {
   MLEC_REQUIRE(k + p <= 256, "RS over GF(256) supports at most 256 shards");
   parity_rows_ = Matrix::cauchy(p, k);
   encode_plan_ = plan_from_rows(parity_rows_);
+  // Systematic generator [I; C] over the data symbols, the shape
+  // ec::DecodePlan consumes.
+  generator_.assign((k + p) * k, 0);
+  for (std::size_t i = 0; i < k; ++i) generator_[i * k + i] = 1;
+  for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t c = 0; c < k; ++c) generator_[(k + r) * k + c] = parity_rows_.at(r, c);
 }
 
 void RsCode::encode(std::span<const std::span<const byte_t>> data,
@@ -51,74 +57,50 @@ bool RsCode::encode_parallel(std::span<const std::span<const byte_t>> data,
   return ec::encode_parallel(encode_plan_, data, parity, pool, stop);
 }
 
+std::shared_ptr<const ec::DecodePlan> RsCode::decode_plan(
+    std::span<const std::size_t> lost) const {
+  MLEC_REQUIRE(p_ > 0 || lost.empty(), "a p == 0 code has no parity to repair from");
+  MLEC_REQUIRE(lost.size() <= p_, "cannot recover more shards than parities");
+  std::vector<std::size_t> key(lost.begin(), lost.end());
+  std::sort(key.begin(), key.end());
+  {
+    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    if (auto it = plan_cache_.find(key); it != plan_cache_.end()) return it->second;
+  }
+  // Build outside the lock (inversion can be expensive for wide codes); a
+  // racing builder of the same pattern loses the emplace and its plan is
+  // dropped — both are identical.
+  auto plan = std::make_shared<const ec::DecodePlan>(k_ + p_, k_, generator_, key);
+  MLEC_REQUIRE(plan->viable(), "generator submatrix singular (not MDS?)");
+  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  return plan_cache_.emplace(std::move(key), std::move(plan)).first->second;
+}
+
+std::size_t RsCode::cached_decode_plans() const {
+  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  return plan_cache_.size();
+}
+
 void RsCode::decode(std::vector<std::vector<byte_t>>& shards,
                     std::span<const std::size_t> lost) const {
   MLEC_REQUIRE(shards.size() == k_ + p_, "expected k+p shard buffers");
-  MLEC_REQUIRE(p_ > 0 || lost.empty(), "a p == 0 code has no parity to repair from");
-  MLEC_REQUIRE(lost.size() <= p_, "cannot recover more shards than parities");
   if (lost.empty()) return;
   const std::size_t len = shards[0].size();
   for (const auto& s : shards) MLEC_REQUIRE(s.size() == len, "shard size mismatch");
+  const auto plan = decode_plan(lost);
+  std::vector<byte_t*> ptrs(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) ptrs[i] = shards[i].data();
+  ec::decode(*plan, ptrs.data(), len);
+}
 
-  std::vector<bool> is_lost(k_ + p_, false);
-  for (std::size_t idx : lost) {
-    MLEC_REQUIRE(idx < k_ + p_, "lost index out of range");
-    MLEC_REQUIRE(!is_lost[idx], "duplicate lost index");
-    is_lost[idx] = true;
-  }
-
-  // Pick the first k surviving shards; build the k x k submatrix of the
-  // systematic generator [I; C] restricted to those rows.
-  std::vector<std::size_t> survivors;
-  survivors.reserve(k_);
-  for (std::size_t i = 0; i < k_ + p_ && survivors.size() < k_; ++i)
-    if (!is_lost[i]) survivors.push_back(i);
-  MLEC_REQUIRE(survivors.size() == k_, "not enough surviving shards to decode");
-
-  Matrix sub(k_, k_);
-  for (std::size_t r = 0; r < k_; ++r) {
-    const std::size_t row = survivors[r];
-    for (std::size_t c = 0; c < k_; ++c)
-      sub.at(r, c) = row < k_ ? static_cast<byte_t>(row == c ? 1 : 0) : parity_rows_.at(row - k_, c);
-  }
-  Matrix invsub;
-  const bool ok = sub.invert(invsub);
-  MLEC_REQUIRE(ok, "generator submatrix singular (not MDS?)");
-
-  // Lost data shards: data[idx] = sum_r invsub[idx][r] * shard[survivors[r]].
-  // All lost data rows are rebuilt in ONE fused pass over the k survivors
-  // (multi-dest ec dot product) instead of per-coefficient buffer sweeps.
-  std::vector<std::size_t> lost_data;
-  for (std::size_t idx : lost)
-    if (idx < k_) lost_data.push_back(idx);
-  if (!lost_data.empty()) {
-    std::vector<byte_t> coeffs(lost_data.size() * k_);
-    for (std::size_t r = 0; r < lost_data.size(); ++r)
-      for (std::size_t c = 0; c < k_; ++c) coeffs[r * k_ + c] = invsub.at(lost_data[r], c);
-    const ec::EncodePlan plan(lost_data.size(), k_, coeffs);
-    std::vector<const byte_t*> src(k_);
-    for (std::size_t c = 0; c < k_; ++c) src[c] = shards[survivors[c]].data();
-    std::vector<byte_t*> dst(lost_data.size());
-    for (std::size_t r = 0; r < lost_data.size(); ++r) dst[r] = shards[lost_data[r]].data();
-    ec::encode(plan, src.data(), dst.data(), len);
-  }
-
-  // Lost parity shards: re-encode their rows from the (now complete) data
-  // shards, again as one fused pass.
-  std::vector<std::size_t> lost_parity;
-  for (std::size_t idx : lost)
-    if (idx >= k_) lost_parity.push_back(idx - k_);
-  if (!lost_parity.empty()) {
-    std::vector<byte_t> coeffs(lost_parity.size() * k_);
-    for (std::size_t r = 0; r < lost_parity.size(); ++r)
-      for (std::size_t c = 0; c < k_; ++c) coeffs[r * k_ + c] = parity_rows_.at(lost_parity[r], c);
-    const ec::EncodePlan plan(lost_parity.size(), k_, coeffs);
-    std::vector<const byte_t*> src(k_);
-    for (std::size_t c = 0; c < k_; ++c) src[c] = shards[c].data();
-    std::vector<byte_t*> dst(lost_parity.size());
-    for (std::size_t r = 0; r < lost_parity.size(); ++r) dst[r] = shards[k_ + lost_parity[r]].data();
-    ec::encode(plan, src.data(), dst.data(), len);
-  }
+bool RsCode::decode_parallel(std::vector<std::vector<byte_t>>& shards,
+                             std::span<const std::size_t> lost, ThreadPool& pool,
+                             StopToken stop) const {
+  MLEC_REQUIRE(shards.size() == k_ + p_, "expected k+p shard buffers");
+  if (lost.empty()) return true;
+  const auto plan = decode_plan(lost);
+  std::vector<std::span<byte_t>> spans(shards.begin(), shards.end());
+  return ec::decode_parallel(*plan, std::span<const std::span<byte_t>>(spans), pool, stop);
 }
 
 }  // namespace mlec::gf

@@ -5,17 +5,25 @@
 // This is the encoder measured in the Figure 11 throughput study and the
 // arithmetic backing every chunk-level repair walk-through in the examples.
 //
-// The data plane is the SIMD-dispatched src/ec/ subsystem: encode and
-// reconstruct both run as one fused multi-source x multi-parity pass over
-// the shards (ec::encode over an ec::EncodePlan), vectorized per the host
-// CPU (scalar / SSSE3 / AVX2 — see ec/backend.hpp for the dispatch rules).
+// The data plane is the SIMD-dispatched src/ec/ subsystem: encode runs as
+// one fused multi-source x multi-parity pass over the shards (ec::encode
+// over an ec::EncodePlan), and decode as fused passes over an
+// ec::DecodePlan built once per erasure pattern and cached on the code —
+// repeated repairs of the same pattern (the common case in a rebuild) pay
+// zero matrix arithmetic. Everything is vectorized per the host CPU
+// (scalar / SSSE3 / AVX2 / AVX-512 / GFNI — see ec/backend.hpp for the
+// dispatch rules).
 #pragma once
 
 #include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "ec/codec.hpp"
+#include "ec/decode.hpp"
 #include "ec/stream.hpp"
 #include "gf/matrix.hpp"
 
@@ -56,6 +64,23 @@ class RsCode {
   void decode(std::vector<std::vector<byte_t>>& shards,
               std::span<const std::size_t> lost) const;
 
+  /// Parallel decode for large shards, mirroring encode_parallel: same
+  /// contract as decode(), sliced across `pool` via ec::decode_parallel
+  /// (NUMA-aware partitioning per ec::StreamOptions). Bit-identical to
+  /// decode(); returns false when `stop` truncated the work (rebuilt shard
+  /// contents then undefined).
+  bool decode_parallel(std::vector<std::vector<byte_t>>& shards,
+                       std::span<const std::size_t> lost, ThreadPool& pool,
+                       StopToken stop = {}) const;
+
+  /// The fused plan for one erasure pattern, built on first use and cached
+  /// (keyed by the sorted pattern) for the lifetime of the code. Streaming
+  /// callers can drive ec::decode / ec::decode_parallel with it directly.
+  std::shared_ptr<const ec::DecodePlan> decode_plan(std::span<const std::size_t> lost) const;
+
+  /// Cached erasure patterns (tests/diagnostics).
+  std::size_t cached_decode_plans() const;
+
   /// The p x k parity-generation rows (Cauchy).
   const Matrix& parity_rows() const { return parity_rows_; }
 
@@ -67,7 +92,10 @@ class RsCode {
   std::size_t k_;
   std::size_t p_;
   Matrix parity_rows_;
-  ec::EncodePlan encode_plan_;  // p x k parity rows as nibble tables
+  ec::EncodePlan encode_plan_;      // p x k parity rows as nibble tables
+  std::vector<byte_t> generator_;   // (k+p) x k systematic generator rows
+  mutable std::mutex plan_mutex_;
+  mutable std::map<std::vector<std::size_t>, std::shared_ptr<const ec::DecodePlan>> plan_cache_;
 };
 
 }  // namespace mlec::gf

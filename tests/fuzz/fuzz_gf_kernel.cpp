@@ -8,11 +8,19 @@
 // backend and on every backend the host CPU supports, and traps on the
 // first differing byte. Finds tail-handling and alignment bugs that the
 // fixed-size parity tests miss.
+//
+// A second stage reinterprets the same coefficients as the parity rows of
+// a systematic (k+p, k) generator, picks a fuzz-chosen erasure pattern,
+// compiles an ec::DecodePlan (exercising survivor selection and GF(256)
+// inversion against arbitrary — possibly singular — parity rows), and when
+// the plan is viable checks that decode under every supported backend
+// rebuilds the exact bytes a naive gf::mul re-encode predicts.
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
 #include "ec/backend.hpp"
+#include "ec/decode.hpp"
 #include "ec/kernels.hpp"
 #include "gf/gf256.hpp"
 
@@ -94,6 +102,47 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
     std::vector<byte_t> assign(seed);
     kernels.mul_assign(tables[0], src[0], assign.data(), len);
     if (std::memcmp(assign.data(), ref_assign.data(), len) != 0) __builtin_trap();
+  }
+
+  // --- decode differential over the same shape ---------------------------
+  // Systematic generator [I; P] with fuzz-chosen parity rows (recovered
+  // from the tables: c = lo[1]); arbitrary rows mean the survivor submatrix
+  // is often singular, which must surface as !viable(), never a crash.
+  const std::size_t n = k + p;
+  std::vector<byte_t> gen(n * k, 0);
+  for (std::size_t i = 0; i < k; ++i) gen[i * k + i] = 1;
+  for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t c = 0; c < k; ++c) gen[(k + r) * k + c] = tables[r * k + c].lo[1];
+
+  std::vector<std::size_t> lost;
+  const std::size_t losses = 1 + in.next() % p;
+  for (std::size_t i = 0; i < n && lost.size() < losses; ++i)
+    if (in.next() & 1) lost.push_back(i);
+  if (lost.empty()) lost.push_back(in.next() % n);
+
+  const mlec::ec::DecodePlan plan(n, k, gen, lost);
+  if (!plan.viable()) return 0;
+
+  // Truth stripe via naive gf::mul re-encode of the fuzz data.
+  std::vector<std::vector<byte_t>> truth(n, std::vector<byte_t>(len, 0));
+  for (std::size_t c = 0; c < k; ++c) std::memcpy(truth[c].data(), src[c], len);
+  for (std::size_t r = 0; r < p; ++r)
+    for (std::size_t c = 0; c < k; ++c)
+      for (std::size_t i = 0; i < len; ++i)
+        truth[k + r][i] = static_cast<byte_t>(
+            truth[k + r][i] ^ mlec::gf::mul(gen[(k + r) * k + c], truth[c][i]));
+
+  for (int b = 0; b < mlec::ec::kBackendCount; ++b) {
+    const auto backend = static_cast<mlec::ec::Backend>(b);
+    if (!mlec::ec::backend_supported(backend)) continue;
+    mlec::ec::ScopedBackend scope(backend);
+    std::vector<std::vector<byte_t>> shards = truth;
+    std::vector<byte_t*> ptrs(n);
+    for (std::size_t i = 0; i < n; ++i) ptrs[i] = shards[i].data();
+    for (auto idx : lost) std::memset(shards[idx].data(), 0xA5, len);
+    mlec::ec::decode(plan, ptrs.data(), len);
+    for (std::size_t i = 0; i < n; ++i)
+      if (std::memcmp(shards[i].data(), truth[i].data(), len) != 0) __builtin_trap();
   }
   return 0;
 }

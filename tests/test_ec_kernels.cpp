@@ -24,12 +24,28 @@ namespace {
 
 using gf::byte_t;
 
+std::vector<Backend> all_backends() {
+  std::vector<Backend> out;
+  for (int i = 0; i < kBackendCount; ++i) out.push_back(static_cast<Backend>(i));
+  return out;
+}
+
 std::vector<Backend> supported() {
   std::vector<Backend> out;
-  for (auto b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2})
+  for (auto b : all_backends())
     if (backend_supported(b)) out.push_back(b);
   return out;
 }
+
+/// Parameterized suites run over ALL backends; a host that cannot run one
+/// reports it as a ctest SKIP rather than silently testing fewer units.
+#define MLEC_SKIP_IF_UNSUPPORTED(backend)                                             \
+  do {                                                                                \
+    if (!backend_supported(backend))                                                  \
+      GTEST_SKIP() << to_string(backend)                                              \
+                   << (backend_built(backend) ? " not supported by this host CPU"     \
+                                              : " kernels not compiled in this build"); \
+  } while (0)
 
 std::vector<byte_t> random_buffer(std::size_t len, Rng& rng) {
   std::vector<byte_t> buf(len);
@@ -42,13 +58,44 @@ const std::vector<std::size_t> kLengths{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 65
 const std::vector<std::size_t> kOffsets{0, 1, 3, 8, 15};
 
 TEST(EcBackend, NamesRoundTrip) {
-  for (auto b : {Backend::kScalar, Backend::kSsse3, Backend::kAvx2}) {
+  for (auto b : all_backends()) {
     const auto parsed = parse_backend(to_string(b));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, b);
   }
   EXPECT_FALSE(parse_backend("auto").has_value());
   EXPECT_FALSE(parse_backend("sse9").has_value());
+}
+
+TEST(EcBackend, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_backend("GFNI"), Backend::kGfni);
+  EXPECT_EQ(parse_backend("Avx512"), Backend::kAvx512);
+  EXPECT_EQ(parse_backend("SSSE3"), Backend::kSsse3);
+  EXPECT_EQ(parse_backend("Scalar"), Backend::kScalar);
+}
+
+TEST(EcBackend, ResolveOverridePolicy) {
+  // Empty / auto mean "use detection"; unknown names fail loudly with the
+  // valid choices instead of silently falling back.
+  EXPECT_FALSE(resolve_backend_override("").has_value());
+  EXPECT_FALSE(resolve_backend_override("auto").has_value());
+  EXPECT_FALSE(resolve_backend_override("AUTO").has_value());
+  EXPECT_EQ(resolve_backend_override("scalar"), Backend::kScalar);
+  EXPECT_THROW(resolve_backend_override("bogus"), PreconditionError);
+  EXPECT_THROW(resolve_backend_override("avx-512"), PreconditionError);
+  try {
+    resolve_backend_override("bogus");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string_view(e.what()).find("valid:"), std::string_view::npos);
+    EXPECT_NE(std::string_view(e.what()).find("gfni"), std::string_view::npos);
+  }
+  for (auto b : all_backends()) {
+    if (backend_supported(b))
+      EXPECT_EQ(resolve_backend_override(to_string(b)), b);
+    else
+      EXPECT_THROW(resolve_backend_override(to_string(b)), PreconditionError);
+  }
 }
 
 TEST(EcBackend, ScalarAlwaysSupportedAndDetectIsSupported) {
@@ -66,8 +113,12 @@ TEST(EcBackend, ForceBackendSwitchesDispatch) {
 }
 
 TEST(EcBackend, ForceUnsupportedThrows) {
-  if (backend_supported(Backend::kAvx2)) GTEST_SKIP() << "all backends supported here";
-  EXPECT_THROW(force_backend(Backend::kAvx2), PreconditionError);
+  for (auto b : all_backends()) {
+    if (backend_supported(b)) continue;
+    EXPECT_THROW(force_backend(b), PreconditionError) << to_string(b);
+    return;
+  }
+  GTEST_SKIP() << "all backends supported here";
 }
 
 TEST(EcBackend, EnvOverrideRespectedWhenSupported) {
@@ -102,6 +153,7 @@ TEST(EcFieldMath, MakeMulTableMatchesGf) {
 class EcKernelParity : public ::testing::TestWithParam<Backend> {};
 
 TEST_P(EcKernelParity, MulAccMatchesNaiveGfMul) {
+  MLEC_SKIP_IF_UNSUPPORTED(GetParam());
   const auto& kern = kernels_for(GetParam());
   Rng rng(101);
   for (const byte_t c : {byte_t{0}, byte_t{1}, byte_t{2}, byte_t{0x57}, byte_t{0xff}}) {
@@ -121,6 +173,7 @@ TEST_P(EcKernelParity, MulAccMatchesNaiveGfMul) {
 }
 
 TEST_P(EcKernelParity, MulAssignMatchesNaiveGfMul) {
+  MLEC_SKIP_IF_UNSUPPORTED(GetParam());
   const auto& kern = kernels_for(GetParam());
   Rng rng(202);
   for (const byte_t c : {byte_t{0}, byte_t{3}, byte_t{0x8e}, byte_t{0xfe}}) {
@@ -139,6 +192,7 @@ TEST_P(EcKernelParity, MulAssignMatchesNaiveGfMul) {
 }
 
 TEST_P(EcKernelParity, FusedDotMatchesNaiveGfMul) {
+  MLEC_SKIP_IF_UNSUPPORTED(GetParam());
   const auto& kern = kernels_for(GetParam());
   Rng rng(303);
   const std::vector<std::pair<std::size_t, std::size_t>> shapes{
@@ -177,12 +231,13 @@ TEST_P(EcKernelParity, FusedDotMatchesNaiveGfMul) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllSupported, EcKernelParity, ::testing::ValuesIn(supported()),
+INSTANTIATE_TEST_SUITE_P(AllBackends, EcKernelParity, ::testing::ValuesIn(all_backends()),
                          [](const auto& info) { return to_string(info.param); });
 
 class EcRoundTrip : public ::testing::TestWithParam<Backend> {};
 
 TEST_P(EcRoundTrip, RsEncodeCorruptReconstruct) {
+  MLEC_SKIP_IF_UNSUPPORTED(GetParam());
   ScopedBackend scope(GetParam());
   Rng rng(404);
   for (const auto& [k, p] : std::vector<std::pair<std::size_t, std::size_t>>{{10, 2}, {17, 3}}) {
@@ -210,6 +265,7 @@ TEST_P(EcRoundTrip, RsEncodeCorruptReconstruct) {
 
 TEST_P(EcRoundTrip, ParityIdenticalAcrossBackends) {
   // Encode under this backend and under scalar: identical parity bytes.
+  MLEC_SKIP_IF_UNSUPPORTED(GetParam());
   Rng rng(505);
   const gf::RsCode code(10, 4);
   const std::size_t len = 4097;
@@ -228,7 +284,7 @@ TEST_P(EcRoundTrip, ParityIdenticalAcrossBackends) {
   EXPECT_EQ(parity_scalar, parity_backend);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllSupported, EcRoundTrip, ::testing::ValuesIn(supported()),
+INSTANTIATE_TEST_SUITE_P(AllBackends, EcRoundTrip, ::testing::ValuesIn(all_backends()),
                          [](const auto& info) { return to_string(info.param); });
 
 TEST(EcStream, ParallelEncodeMatchesSerial) {

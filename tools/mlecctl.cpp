@@ -56,6 +56,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -708,17 +709,37 @@ int cmd_advise(const Options& opt) {
 }
 
 int cmd_ec() {
-  std::cout << "erasure-coding data plane (src/ec/):\n"
-            << "  active backend:   " << ec::to_string(ec::active_backend()) << '\n'
-            << "  detected best:    " << ec::to_string(ec::detect_backend()) << '\n'
-            << "  supported:        ";
-  bool first = true;
-  for (auto b : {ec::Backend::kScalar, ec::Backend::kSsse3, ec::Backend::kAvx2}) {
-    if (!ec::backend_supported(b)) continue;
-    std::cout << (first ? "" : ", ") << ec::to_string(b);
-    first = false;
+  // active_backend() resolves MLEC_EC_BACKEND on first use and throws on an
+  // unknown or unsupported value; report that and exit non-zero rather than
+  // printing a matrix that claims some other backend is in charge.
+  const char* forced = std::getenv("MLEC_EC_BACKEND");
+  ec::Backend active;
+  try {
+    active = ec::active_backend();
+  } catch (const std::exception& e) {
+    std::cerr << "mlecctl: " << e.what() << '\n';
+    return 1;
   }
-  std::cout << "\n  force via env:    MLEC_EC_BACKEND=scalar|ssse3|avx2|auto\n";
+  const ec::Backend detected = ec::detect_backend();
+  std::cout << "erasure-coding data plane (src/ec/):\n"
+            << "  active backend:   " << ec::to_string(active) << '\n'
+            << "  detected best:    " << ec::to_string(detected) << '\n'
+            << "  forced via env:   " << (forced && *forced ? forced : "(unset)") << '\n'
+            << '\n'
+            << "  backend   built  host   usable  state\n";
+  for (int i = 0; i < ec::kBackendCount; ++i) {
+    const auto b = static_cast<ec::Backend>(i);
+    const bool built = ec::backend_built(b);
+    const bool host = ec::backend_host_supported(b);
+    std::string state;
+    if (b == active) state = "active";
+    if (b == detected) state += state.empty() ? "detected-best" : ", detected-best";
+    std::cout << "  " << std::left << std::setw(10) << ec::to_string(b) << std::setw(7)
+              << (built ? "yes" : "no") << std::setw(7) << (host ? "yes" : "no") << std::setw(8)
+              << (ec::backend_supported(b) ? "yes" : "no") << state << '\n';
+  }
+  std::cout << "\n  force via env:    MLEC_EC_BACKEND=scalar|ssse3|avx2|avx512|gfni|auto\n"
+            << "  (unknown or unsupported values fail instead of falling back)\n";
   return 0;
 }
 
