@@ -4,13 +4,30 @@
 #include <chrono>
 #include <cmath>
 #include <map>
-#include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "gf/rs.hpp"
 #include "util/error.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec {
+
+namespace {
+
+/// Process-wide throughput memo. A named struct (not loose function-local
+/// statics) so the map can carry a MLEC_GUARDED_BY annotation.
+struct EncodingCache {
+  Mutex mutex;
+  std::map<std::tuple<std::size_t, std::size_t, long>, double> mbps MLEC_GUARDED_BY(mutex);
+};
+
+EncodingCache& encoding_cache() {
+  static EncodingCache cache;
+  return cache;
+}
+
+}  // namespace
 
 EncodingMeasurement measure_encoding_throughput(std::size_t k, std::size_t p, double chunk_kb,
                                                 double min_seconds) {
@@ -60,16 +77,19 @@ EncodingMeasurement measure_encoding_throughput(std::size_t k, std::size_t p, do
 }
 
 double cached_encoding_mbps(std::size_t k, std::size_t p, double chunk_kb) {
-  static std::map<std::tuple<std::size_t, std::size_t, long>, double> cache;
-  static std::mutex mutex;
+  EncodingCache& cache = encoding_cache();
   const auto key = std::make_tuple(k, p, std::lround(chunk_kb * 1000));
   {
-    std::scoped_lock lock(mutex);
-    if (auto it = cache.find(key); it != cache.end()) return it->second;
+    MutexLock lock(cache.mutex);
+    if (auto it = cache.mbps.find(key); it != cache.mbps.end()) return it->second;
   }
+  // Measure outside the lock — it spins for min_seconds of wall time, and
+  // concurrent callers measuring distinct shapes must not serialize. A
+  // racing measurement of the same shape just overwrites with its own
+  // (equally valid) sample.
   const double mbps = measure_encoding_throughput(k, p, chunk_kb).data_mbps;
-  std::scoped_lock lock(mutex);
-  cache.emplace(key, mbps);
+  MutexLock lock(cache.mutex);
+  cache.mbps.emplace(key, mbps);
   return mbps;
 }
 

@@ -32,6 +32,8 @@ bool host_has_gfni() { return false; }
 std::atomic<int> g_active{-1};  // -1: not yet resolved
 
 Backend resolve_initial() {
+  // Read-only getenv, called once to seed the g_active atomic.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("MLEC_EC_BACKEND");
   if (env != nullptr) {
     const auto forced = resolve_backend_override(env);

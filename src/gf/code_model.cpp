@@ -4,12 +4,12 @@
 #include <bit>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "ec/codec.hpp"
 #include "ec/decode.hpp"
 #include "gf/matrix.hpp"
 #include "util/error.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec {
 
@@ -190,16 +190,19 @@ class LrcCodeModel final : public CodeModel {
   /// Plan for `lost`, built on first use and cached (keyed by the sorted
   /// pattern). A decodable pattern always yields a viable plan — both walk
   /// survivor rows the same way.
-  std::shared_ptr<const ec::DecodePlan> decode_plan(std::span<const std::size_t> lost) const {
+  std::shared_ptr<const ec::DecodePlan> decode_plan(std::span<const std::size_t> lost) const
+      MLEC_EXCLUDES(plan_mutex_) {
     std::vector<std::size_t> key(lost.begin(), lost.end());
     std::sort(key.begin(), key.end());
     {
-      const std::lock_guard<std::mutex> lock(plan_mutex_);
+      const MutexLock lock(plan_mutex_);
       if (auto it = plan_cache_.find(key); it != plan_cache_.end()) return it->second;
     }
+    // Built outside the lock (same emplace race as RsCode::decode_plan:
+    // the losing builder's identical plan is dropped).
     auto plan = std::make_shared<const ec::DecodePlan>(width(), level_.lrc.k, flat_gen_, key);
     MLEC_ASSERT(plan->viable(), "decodable pattern must yield a full-rank survivor set");
-    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    const MutexLock lock(plan_mutex_);
     return plan_cache_.emplace(std::move(key), std::move(plan)).first->second;
   }
 
@@ -285,8 +288,9 @@ class LrcCodeModel final : public CodeModel {
   gf::Matrix gen_;                  ///< n x k generator over the data symbols
   std::vector<gf::byte_t> flat_gen_;  ///< gen_ flattened row-major for DecodePlan
   ec::EncodePlan encode_plan_;
-  mutable std::mutex plan_mutex_;
-  mutable std::map<std::vector<std::size_t>, std::shared_ptr<const ec::DecodePlan>> plan_cache_;
+  mutable Mutex plan_mutex_;
+  mutable std::map<std::vector<std::size_t>, std::shared_ptr<const ec::DecodePlan>> plan_cache_
+      MLEC_GUARDED_BY(plan_mutex_);
   std::vector<bool> can_repair_;  ///< indexed by erasure bitmask
   std::vector<double> decodable_frac_;
   std::vector<double> single_reads_;
@@ -339,19 +343,36 @@ void LevelCode::validate() const {
   throw InternalError("unknown code family");
 }
 
+namespace {
+
+/// Process-wide model cache. A named struct (not loose function-local
+/// statics) so the map can carry a MLEC_GUARDED_BY annotation.
+struct ModelCache {
+  Mutex mutex;
+  std::map<std::string, std::shared_ptr<const CodeModel>> entries MLEC_GUARDED_BY(mutex);
+};
+
+ModelCache& model_cache() {
+  static ModelCache cache;
+  return cache;
+}
+
+}  // namespace
+
 std::shared_ptr<const CodeModel> make_code_model(const LevelCode& level) {
   level.validate();
-  static std::mutex mutex;
-  static std::map<std::string, std::shared_ptr<const CodeModel>> cache;
   const std::string key = level.notation();
-  const std::lock_guard<std::mutex> lock(mutex);
-  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  ModelCache& cache = model_cache();
+  // Models are built under the lock: construction cost (the LRC decodability
+  // table) is paid once per shape and double-building would waste it.
+  const MutexLock lock(cache.mutex);
+  if (auto it = cache.entries.find(key); it != cache.entries.end()) return it->second;
   std::shared_ptr<const CodeModel> model;
   if (level.family == CodeFamily::kLrc)
     model = std::make_shared<const LrcCodeModel>(level);
   else
     model = std::make_shared<const RsCodeModel>(level);
-  cache.emplace(key, model);
+  cache.entries.emplace(key, model);
   return model;
 }
 

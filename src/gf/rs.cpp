@@ -64,7 +64,7 @@ std::shared_ptr<const ec::DecodePlan> RsCode::decode_plan(
   std::vector<std::size_t> key(lost.begin(), lost.end());
   std::sort(key.begin(), key.end());
   {
-    const std::lock_guard<std::mutex> lock(plan_mutex_);
+    const MutexLock lock(plan_mutex_);
     if (auto it = plan_cache_.find(key); it != plan_cache_.end()) return it->second;
   }
   // Build outside the lock (inversion can be expensive for wide codes); a
@@ -72,12 +72,12 @@ std::shared_ptr<const ec::DecodePlan> RsCode::decode_plan(
   // dropped — both are identical.
   auto plan = std::make_shared<const ec::DecodePlan>(k_ + p_, k_, generator_, key);
   MLEC_REQUIRE(plan->viable(), "generator submatrix singular (not MDS?)");
-  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  const MutexLock lock(plan_mutex_);
   return plan_cache_.emplace(std::move(key), std::move(plan)).first->second;
 }
 
 std::size_t RsCode::cached_decode_plans() const {
-  const std::lock_guard<std::mutex> lock(plan_mutex_);
+  const MutexLock lock(plan_mutex_);
   return plan_cache_.size();
 }
 

@@ -158,7 +158,7 @@ void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
   MLEC_FAULT_POINT("campaign.checkpoint.pre");
   CampaignProgress snapshot;
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     auto& st = states_[shard];
     invocation_units_.fetch_add(done - st.done, std::memory_order_relaxed);
     st.acc = acc;
@@ -186,43 +186,78 @@ void CampaignRunner::commit(std::uint32_t shard, const CampaignAccumulator& acc,
   MLEC_FAULT_POINT("campaign.checkpoint.post");
 }
 
+void CampaignRunner::backoff_before_retry(std::uint32_t shard,
+                                          std::uint32_t retry_attempt) const {
+  if (config_.retry_backoff_ms <= 0.0) return;
+  const double factor = std::pow(2.0, static_cast<double>(retry_attempt - 1));
+  // Jitter is drawn from seeded SplitMix64 over (seed, shard,
+  // attempt), never wall clock or rand(): retries stay reproducible
+  // run-to-run while still de-synchronizing across shards.
+  std::uint64_t jitter_state = config_.seed ^
+                               (static_cast<std::uint64_t>(shard) *
+                                0x9e3779b97f4a7c15ULL) ^
+                               retry_attempt;
+  const double jitter =
+      0.5 + static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      config_.retry_backoff_ms * factor * jitter));
+}
+
 void CampaignRunner::run_shard(std::uint32_t shard) {
-  auto& st = states_[shard];
   const auto started = std::chrono::steady_clock::now();
+  // Charges wall time on every exit path. Declared first so its destructor
+  // runs after every inner MutexLock has released (locals destroy in
+  // reverse order) — it can safely take the mutex itself.
   struct Timer {
+    CampaignRunner& self;
+    std::uint32_t shard;
     std::chrono::steady_clock::time_point start;
-    double& into;
     ~Timer() {
-      into += std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      MutexLock lock(self.mutex_);
+      self.states_[shard].elapsed_s += elapsed;
     }
-  } timer{started, st.elapsed_s};
-  while (!st.finished && !st.quarantined) {
-    const std::uint64_t stream =
-        static_cast<std::uint64_t>(shard) | (static_cast<std::uint64_t>(st.attempt) << 32);
-    Rng rng = Rng::for_substream(config_.seed, stream);
+  } timer{*this, shard, started};
+  for (;;) {
+    // Copy everything the attempt needs under the lock, then run on the
+    // copies: shard threads never touch ShardState unlocked.
+    std::uint64_t assigned = 0;
+    std::uint64_t done = 0;
+    std::uint32_t attempt = 0;
+    bool has_checkpoint = false;
+    std::array<std::uint64_t, 4> rng_state{};
     CampaignAccumulator acc;
-    std::uint64_t done;
     StopToken attempt_token;
     {
-      std::scoped_lock lock(mutex_);
-      if (st.has_checkpoint) rng.set_state(st.rng_state);
-      acc = st.acc;
+      MutexLock lock(mutex_);
+      ShardState& st = states_[shard];
+      if (st.finished || st.quarantined) return;
+      assigned = st.assigned;
       done = st.done;
+      attempt = st.attempt;
+      has_checkpoint = st.has_checkpoint;
+      rng_state = st.rng_state;
+      acc = st.acc;
       st.attempt_stop = StopSource{};  // fresh per attempt: no stale cancels
       attempt_token = st.attempt_stop.token();
       st.last_progress = std::chrono::steady_clock::now();
       st.running = true;
     }
+    const std::uint64_t stream =
+        static_cast<std::uint64_t>(shard) | (static_cast<std::uint64_t>(attempt) << 32);
+    Rng rng = Rng::for_substream(config_.seed, stream);
+    if (has_checkpoint) rng.set_state(rng_state);
     // Injected fault delays on this thread poll the attempt token, so the
     // watchdog can cut a hung (delay-injected) shard loose mid-sleep.
     fault::ScopedCancellation cancel_scope(attempt_token);
     try {
       auto worker = factory_(shard, rng);
       MLEC_REQUIRE(worker != nullptr, "campaign worker factory returned null");
-      while (done < st.assigned) {
+      while (done < assigned) {
         if (should_stop()) {  // progress up to `done` is committed
-          std::scoped_lock lock(mutex_);
-          st.running = false;
+          MutexLock lock(mutex_);
+          states_[shard].running = false;
           return;
         }
         MLEC_FAULT_POINT("shard.slow");
@@ -230,24 +265,26 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
           throw ShardTimeoutError("shard " + std::to_string(shard) +
                                   " made no progress within " +
                                   std::to_string(config_.shard_timeout_s) + "s");
-        const std::uint64_t batch = std::min(config_.checkpoint_every, st.assigned - done);
+        const std::uint64_t batch = std::min(config_.checkpoint_every, assigned - done);
         for (std::uint64_t u = 0; u < batch; ++u) {
           MLEC_FAULT_POINT("pool.task.throw");
           worker(acc);
         }
         done += batch;
-        commit(shard, acc, rng, done, st.attempt);
+        commit(shard, acc, rng, done, attempt);
       }
       {
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
+        ShardState& st = states_[shard];
         st.running = false;
+        st.finished = true;
       }
-      st.finished = true;
       return;
     } catch (const std::exception& e) {
       std::uint32_t retry_attempt = 0;
       {
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
+        ShardState& st = states_[shard];
         st.running = false;
         st.error = e.what();
         if (dynamic_cast<const ShardTimeoutError*>(&e) != nullptr) ++st.timeouts;
@@ -264,22 +301,7 @@ void CampaignRunner::run_shard(std::uint32_t shard) {
         }
         retry_attempt = ++st.attempt;
       }
-      // Back off outside the campaign mutex: holding it here would stall
-      // every other shard's commit for the whole (exponential) sleep.
-      if (config_.retry_backoff_ms > 0.0) {
-        const double factor = std::pow(2.0, static_cast<double>(retry_attempt - 1));
-        // Jitter is drawn from seeded SplitMix64 over (seed, shard,
-        // attempt), never wall clock or rand(): retries stay reproducible
-        // run-to-run while still de-synchronizing across shards.
-        std::uint64_t jitter_state = config_.seed ^
-                                     (static_cast<std::uint64_t>(shard) *
-                                      0x9e3779b97f4a7c15ULL) ^
-                                     retry_attempt;
-        const double jitter =
-            0.5 + static_cast<double>(splitmix64(jitter_state) >> 11) * 0x1.0p-53;
-        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-            config_.retry_backoff_ms * factor * jitter));
-      }
+      backoff_before_retry(shard, retry_attempt);
     }
   }
 }
@@ -290,16 +312,22 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
   if (shard_count == 0) shard_count = pool != nullptr ? pool->size() * 2 : 1;
   shard_count = std::clamp<std::size_t>(shard_count, 1, config_.total_units);
 
-  states_.assign(shard_count, ShardState{});
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    const std::uint64_t lo = config_.total_units * s / shard_count;
-    const std::uint64_t hi = config_.total_units * (s + 1) / shard_count;
-    states_[s].assigned = hi - lo;
-  }
+  {
+    // No shard threads exist yet, but partitioning and journal restore still
+    // run under the mutex: `states_` is guarded wholesale and the analysis
+    // (rightly) has no notion of "before the races start".
+    MutexLock lock(mutex_);
+    states_.assign(shard_count, ShardState{});
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      const std::uint64_t lo = config_.total_units * s / shard_count;
+      const std::uint64_t hi = config_.total_units * (s + 1) / shard_count;
+      states_[s].assigned = hi - lo;
+    }
 
-  if (config_.resume && !config_.checkpoint_path.empty() &&
-      std::filesystem::exists(config_.checkpoint_path))
-    restore_from_journal();
+    if (config_.resume && !config_.checkpoint_path.empty() &&
+        std::filesystem::exists(config_.checkpoint_path))
+      restore_from_journal();
+  }
 
   // The watchdog polls each running shard's commit heartbeat and fires the
   // shard's per-attempt StopSource once it goes stale; the shard observes
@@ -315,7 +343,7 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
       while (!watchdog_exit.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(poll);
         const auto now = std::chrono::steady_clock::now();
-        std::scoped_lock lock(mutex_);
+        MutexLock lock(mutex_);
         for (auto& st : states_) {
           if (!st.running || st.attempt_stop.stop_requested()) continue;
           if (now - st.last_progress > timeout) st.attempt_stop.request_stop();
@@ -341,7 +369,7 @@ std::pair<CampaignAccumulator, CampaignReport> CampaignRunner::run(ThreadPool* p
     watchdog.join();
   }
 
-  std::scoped_lock lock(mutex_);
+  MutexLock lock(mutex_);
   write_journal_locked();
 
   CampaignReport report;

@@ -30,7 +30,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -39,6 +38,7 @@
 #include "util/rng.hpp"
 #include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec {
 
@@ -162,28 +162,39 @@ class CampaignRunner {
  private:
   struct ShardState;
 
-  void restore_from_journal();
-  void run_shard(std::uint32_t shard);
+  void restore_from_journal() MLEC_REQUIRES(mutex_);
+  void run_shard(std::uint32_t shard) MLEC_EXCLUDES(mutex_);
   /// Commit a batch: copy the shard's accumulator/rng into shared state,
   /// journal if persistent, and evaluate the adaptive-stopping rule.
+  /// Excluded: takes the campaign mutex itself, and the progress callback
+  /// fan-out at the end must run outside it.
   void commit(std::uint32_t shard, const CampaignAccumulator& acc, const Rng& rng,
-              std::uint64_t done, std::uint32_t attempt);
-  void write_journal_locked();
-  CampaignAccumulator merged_locked() const;
+              std::uint64_t done, std::uint32_t attempt) MLEC_EXCLUDES(mutex_);
+  void write_journal_locked() MLEC_REQUIRES(mutex_);
+  CampaignAccumulator merged_locked() const MLEC_REQUIRES(mutex_);
   bool should_stop();
+  /// Deterministically jittered exponential sleep before a shard retry.
+  /// The MLEC_EXCLUDES contract is the PR 5 fix made machine-checked:
+  /// holding the campaign mutex across this (exponential) sleep would stall
+  /// every other shard's commit for its whole duration.
+  void backoff_before_retry(std::uint32_t shard, std::uint32_t retry_attempt) const
+      MLEC_EXCLUDES(mutex_);
 
   CampaignConfig config_;
   WorkerFactory factory_;
   RseEstimator rse_;
-  std::vector<ShardState> states_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
+  /// All per-shard state — partitioning, checkpoints, retry bookkeeping,
+  /// and the watchdog heartbeat — guarded wholesale: shard threads copy
+  /// what an attempt needs under the lock and run on the copies.
+  std::vector<ShardState> states_ MLEC_GUARDED_BY(mutex_);
   std::atomic<bool> converged_{false};
   std::atomic<bool> truncated_{false};
   /// Units committed during this invocation (excludes resumed progress);
   /// drives the unit_budget check.
   std::atomic<std::uint64_t> invocation_units_{0};
-  bool resumed_ = false;
-  std::string resume_warning_;
+  bool resumed_ MLEC_GUARDED_BY(mutex_) = false;
+  std::string resume_warning_ MLEC_GUARDED_BY(mutex_);
 };
 
 /// Relative standard error of a Bernoulli proportion estimate

@@ -233,6 +233,9 @@ std::string slurp(std::istream& in) {
 void write_file_durable(const std::string& path, const std::string& bytes) {
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   MLEC_REQUIRE(fd >= 0, "cannot open campaign journal for writing: " + path + ": " +
+                            // Copied into the message before any other call
+                            // can clobber strerror's static buffer.
+                            // NOLINTNEXTLINE(concurrency-mt-unsafe)
                             std::strerror(errno));
   std::size_t written = 0;
   while (written < bytes.size()) {
@@ -242,6 +245,7 @@ void write_file_durable(const std::string& path, const std::string& bytes) {
       const int err = errno;
       ::close(fd);
       throw PreconditionError("campaign journal write failed: " + path + ": " +
+                              // NOLINTNEXTLINE(concurrency-mt-unsafe)
                               std::strerror(err));
     }
     written += static_cast<std::size_t>(n);
@@ -250,6 +254,7 @@ void write_file_durable(const std::string& path, const std::string& bytes) {
     const int err = errno;
     ::close(fd);
     throw PreconditionError("campaign journal fsync failed: " + path + ": " +
+                            // NOLINTNEXTLINE(concurrency-mt-unsafe)
                             std::strerror(err));
   }
   MLEC_REQUIRE(::close(fd) == 0, "campaign journal close failed: " + path);

@@ -67,6 +67,9 @@ void Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  // Process-wide disposition set once at server start, before connection
+  // threads exist; never changed again.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   ::signal(SIGPIPE, SIG_IGN);  // dropped clients must not kill the daemon
   stopping_.store(false);
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -82,12 +85,12 @@ void Server::accept_loop() {
       std::fprintf(stderr, "mlecd: accept error (continuing): %s\n", e.what());
       continue;
     }
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (stopping_.load()) break;
       continue;
     }
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_.load()) {
       ::close(fd);
       break;
@@ -205,17 +208,17 @@ bool Server::handle_request(int fd, const std::string& line) {
       // in wait(); the write mutex keeps frames whole. Terminal events are
       // sent from the ledger after wait() (not via the sink) so the stream
       // always ends with exactly one terminal line.
-      auto write_mutex = std::make_shared<std::mutex>();
+      auto write_mutex = std::make_shared<Mutex>();
       const std::uint64_t token = service_.subscribe(
           job_id, [this, fd, write_mutex](const json::Value& event) {
             const std::string kind = event.str_or("event", "");
             if (kind != "progress" && kind != "requeued") return;
-            std::lock_guard guard(*write_mutex);
+            MutexLock guard(*write_mutex);
             send_line(fd, event);
           });
       const StoredJob job = service_.wait(job_id);
       if (token != 0) service_.unsubscribe(token);
-      std::lock_guard guard(*write_mutex);
+      MutexLock guard(*write_mutex);
       send_line(fd, job_terminal_event(job));
       return true;
     }
@@ -229,7 +232,7 @@ bool Server::handle_request(int fd, const std::string& line) {
     if (op == "shutdown") {
       send_line(fd, ok_response());
       {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         shutdown_requested_ = true;
       }
       cv_.notify_all();
@@ -244,21 +247,24 @@ bool Server::handle_request(int fd, const std::string& line) {
 }
 
 void Server::wait_shutdown() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return shutdown_requested_ || stopping_.load(); });
+  MutexLock lock(mutex_);
+  // Explicit wait loop so the analysis sees the guarded read under the lock.
+  while (!shutdown_requested_ && !stopping_.load()) cv_.wait(mutex_);
 }
 
 void Server::stop() {
   if (stopping_.exchange(true)) {
     // Second call (destructor after explicit stop): threads already joined.
   }
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // exchange() both invalidates the fd the acceptor reads and makes a
+  // second stop() (destructor after explicit stop) a no-op close.
+  const int listener = listen_fd_.exchange(-1);
+  if (listener >= 0) {
+    ::shutdown(listener, SHUT_RDWR);
+    ::close(listener);
   }
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
     shutdown_requested_ = true;
   }
@@ -267,7 +273,7 @@ void Server::stop() {
   std::vector<std::thread> connections;
   std::vector<int> fds;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     connections.swap(connections_);
     fds.swap(connection_fds_);
   }

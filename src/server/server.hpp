@@ -16,14 +16,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/service.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec::server {
 
@@ -44,28 +43,31 @@ class Server {
   int port() const { return port_; }
 
   /// Block until a client sends {"op":"shutdown"} or stop() is called.
-  void wait_shutdown();
+  void wait_shutdown() MLEC_EXCLUDES(mutex_);
   /// Close the listener, disconnect clients, join all threads.
-  void stop();
+  void stop() MLEC_EXCLUDES(mutex_);
 
  private:
-  void accept_loop();
+  void accept_loop() MLEC_EXCLUDES(mutex_);
   void serve_connection(int fd);
   /// Handle one request; returns false when the connection should close.
-  bool handle_request(int fd, const std::string& line);
+  bool handle_request(int fd, const std::string& line) MLEC_EXCLUDES(mutex_);
   void send_line(int fd, const json::Value& value);
 
   EstimationService& service_;
   ServerConfig config_;
-  int listen_fd_ = -1;
+  /// Written by start() and invalidated by stop() while the acceptor thread
+  /// re-reads it around ::accept(); atomic (not mutex_-guarded) because the
+  /// acceptor must keep blocking in accept() without holding any lock.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> stopping_{false};
-  bool shutdown_requested_ = false;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  Mutex mutex_;
+  CondVar cv_;
+  bool shutdown_requested_ MLEC_GUARDED_BY(mutex_) = false;
   std::thread acceptor_;
-  std::vector<std::thread> connections_;
-  std::vector<int> connection_fds_;
+  std::vector<std::thread> connections_ MLEC_GUARDED_BY(mutex_);
+  std::vector<int> connection_fds_ MLEC_GUARDED_BY(mutex_);
 };
 
 }  // namespace mlec::server

@@ -37,7 +37,7 @@ json::Value terminal_event(const StoredJob& job) {
 EstimationService::EstimationService(ServiceConfig config)
     : config_(std::move(config)), store_(config_.state_dir) {
   MLEC_REQUIRE(config_.shards > 0, "service shard count must be positive");
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   store_.load();
   recover_locked();
 }
@@ -86,7 +86,7 @@ SubmitOutcome EstimationService::submit(const SubmitRequest& request) {
   SubmitOutcome outcome;
   outcome.fingerprint = fingerprint;
 
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   bump_locked("submissions");
 
   if (const auto hit = store_.memo.find(key); hit != store_.memo.end()) {
@@ -163,7 +163,7 @@ bool EstimationService::cancel(const std::string& job_id) {
   std::vector<EventSink> sinks;
   json::Value event = json::Value::object();
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     StoredJob* job = store_.find(job_id);
     if (job == nullptr || terminal_state(job->state)) return false;
     auto live = live_.find(job_id);
@@ -189,20 +189,23 @@ bool EstimationService::cancel(const std::string& job_id) {
 }
 
 StoredJob EstimationService::wait(const std::string& job_id) {
-  std::unique_lock lock(mutex_);
+  MutexLock lock(mutex_);
   MLEC_REQUIRE(store_.find(job_id) != nullptr, "unknown job '" + job_id + "'");
-  cv_.wait(lock, [&] {
-    if (stopping_) return true;  // shutdown: waiters get the current state
+  // Explicit wait loop (not a predicate lambda): the analysis checks the
+  // predicate's guarded reads in this scope, where the lock is visibly held.
+  for (;;) {
+    if (stopping_) break;  // shutdown: waiters get the current state
     const StoredJob* job = store_.find(job_id);
-    return job == nullptr || terminal_state(job->state);
-  });
+    if (job == nullptr || terminal_state(job->state)) break;
+    cv_.wait(mutex_);
+  }
   const StoredJob* job = store_.find(job_id);
   MLEC_REQUIRE(job != nullptr, "job '" + job_id + "' disappeared");
   return *job;
 }
 
 ServiceStatus EstimationService::status() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   ServiceStatus out;
   out.counters = store_.counters;
   out.spent_by_client = scheduler_.spent_by_client();
@@ -228,7 +231,7 @@ std::uint64_t EstimationService::subscribe(const std::string& job_id, EventSink 
   bool replay_now = false;
   std::uint64_t token = 0;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const StoredJob* job = store_.find(job_id);
     MLEC_REQUIRE(job != nullptr, "unknown job '" + job_id + "'");
     if (terminal_state(job->state)) {
@@ -244,7 +247,7 @@ std::uint64_t EstimationService::subscribe(const std::string& job_id, EventSink 
 }
 
 void EstimationService::unsubscribe(std::uint64_t token) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   sinks_.erase(token);
 }
 
@@ -260,7 +263,7 @@ void EstimationService::on_progress(const std::string& job_id, const CampaignPro
   std::vector<EventSink> sinks;
   json::Value event = json::Value::object();
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = live_.find(job_id);
     if (it == live_.end()) return;
     LiveJob& live = it->second;
@@ -290,7 +293,7 @@ void EstimationService::run_job(const std::string& job_id) {
   Priority priority = Priority::kNormal;
   StopToken stop;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     StoredJob* job = store_.find(job_id);
     if (job == nullptr || terminal_state(job->state)) return;
     LiveJob& live = live_[job_id];
@@ -333,7 +336,7 @@ void EstimationService::run_job(const std::string& job_id) {
   std::vector<EventSink> sinks;
   json::Value event = json::Value::object();
   {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     StoredJob* job = store_.find(job_id);
     if (job == nullptr) return;
     LiveJob& live = live_[job_id];
@@ -387,7 +390,7 @@ void EstimationService::drain() {
   for (;;) {
     std::optional<QueuedJob> next;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       next = scheduler_.pop();
     }
     if (!next) return;
@@ -396,23 +399,27 @@ void EstimationService::drain() {
 }
 
 void EstimationService::start() {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   MLEC_REQUIRE(runners_.empty(), "service already started");
   stopping_ = false;
   const std::size_t n = std::max<std::size_t>(1, config_.runners);
   runners_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     runners_.emplace_back([this] {
-      std::unique_lock lock(mutex_);
+      // Scoped lock sections instead of a mid-loop unlock()/lock() pair:
+      // run_job manages its own locking and must be entered lock-free.
       for (;;) {
-        cv_.wait(lock, [&] { return stopping_ || !scheduler_.empty(); });
-        if (stopping_) return;
-        const auto next = scheduler_.pop();
-        if (!next) continue;
-        ++busy_;
-        lock.unlock();
+        std::optional<QueuedJob> next;
+        {
+          MutexLock lock(mutex_);
+          while (!stopping_ && scheduler_.empty()) cv_.wait(mutex_);
+          if (stopping_) return;
+          next = scheduler_.pop();
+          if (!next) continue;
+          ++busy_;
+        }
         run_job(next->id);
-        lock.lock();
+        MutexLock lock(mutex_);
         --busy_;
       }
     });
@@ -421,7 +428,7 @@ void EstimationService::start() {
 
 void EstimationService::stop() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_ && runners_.empty()) return;
     stopping_ = true;
     for (auto& [id, live] : live_) {

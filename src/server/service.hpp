@@ -30,11 +30,9 @@
 // what the chaos harness's fork-based crash cases require.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -46,6 +44,7 @@
 #include "server/store.hpp"
 #include "util/stop_token.hpp"
 #include "util/thread_pool.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec::server {
 
@@ -114,36 +113,40 @@ class EstimationService {
   /// Canonicalize, memo-check, dedup, or enqueue. Throws
   /// PreconditionError on malformed scenarios, unknown methods, or
   /// scenarios outside the method's domain.
-  SubmitOutcome submit(const SubmitRequest& request);
+  SubmitOutcome submit(const SubmitRequest& request) MLEC_EXCLUDES(mutex_);
 
   /// Cancel a queued or running job; false when already terminal/unknown.
-  bool cancel(const std::string& job_id);
+  bool cancel(const std::string& job_id) MLEC_EXCLUDES(mutex_);
 
   /// Block until the job reaches a terminal state ("done", "cancelled",
   /// "failed") and return its ledger entry. Throws on unknown id. A
   /// service shutdown releases waiters with the job's current
   /// (possibly non-terminal) state.
-  StoredJob wait(const std::string& job_id);
+  StoredJob wait(const std::string& job_id) MLEC_EXCLUDES(mutex_);
 
-  ServiceStatus status() const;
+  ServiceStatus status() const MLEC_EXCLUDES(mutex_);
 
   /// Stream the job's events to `sink`. A job already terminal gets its
   /// terminal event replayed immediately. Returns a token for
   /// unsubscribe(); 0 when the terminal replay made registration moot.
-  std::uint64_t subscribe(const std::string& job_id, EventSink sink);
-  void unsubscribe(std::uint64_t token);
+  std::uint64_t subscribe(const std::string& job_id, EventSink sink) MLEC_EXCLUDES(mutex_);
+  void unsubscribe(std::uint64_t token) MLEC_EXCLUDES(mutex_);
 
   /// Foreground mode: run queued jobs to completion on this thread, one at
   /// a time, until the queue is empty. Deterministic; no threads beyond
   /// the configured pool (none when pool == nullptr).
-  void drain();
+  void drain() MLEC_EXCLUDES(mutex_);
 
   /// Background mode: spawn the runner threads. stop() preempts running
   /// campaigns (they checkpoint and re-queue) and joins the runners.
-  void start();
-  void stop();
+  void start() MLEC_EXCLUDES(mutex_);
+  void stop() MLEC_EXCLUDES(mutex_);
 
-  const Store& store() const { return store_; }
+  /// Quiescent-state inspection for tests and the chaos harness: valid only
+  /// once no runner is active (after drain()/stop()), when the store can no
+  /// longer change underneath the caller.
+  // lint:allow(tsa-escape): quiescent/drain-mode inspection only — chaos cases read the ledger after drain(), with no concurrent mutators left
+  const Store& store() const MLEC_NO_THREAD_SAFETY_ANALYSIS { return store_; }
 
  private:
   struct LiveJob {
@@ -159,25 +162,31 @@ class EstimationService {
     double rse = 0.0;
   };
 
-  void recover_locked();
-  void run_job(const std::string& job_id);
-  void maybe_preempt_locked(Priority incoming);
-  void on_progress(const std::string& job_id, const CampaignProgress& progress);
+  void recover_locked() MLEC_REQUIRES(mutex_);
+  void run_job(const std::string& job_id) MLEC_EXCLUDES(mutex_);
+  void maybe_preempt_locked(Priority incoming) MLEC_REQUIRES(mutex_);
+  /// Excluded: the campaign calls this from shard threads outside every
+  /// lock; the sink fan-out at the end must likewise run unlocked.
+  void on_progress(const std::string& job_id, const CampaignProgress& progress)
+      MLEC_EXCLUDES(mutex_);
   /// Collect the job's sinks under the lock; call them after releasing it.
-  std::vector<EventSink> sinks_for_locked(const std::string& job_id);
-  void bump_locked(const std::string& counter);
+  std::vector<EventSink> sinks_for_locked(const std::string& job_id) MLEC_REQUIRES(mutex_);
+  void bump_locked(const std::string& counter) MLEC_REQUIRES(mutex_);
 
   ServiceConfig config_;
-  Store store_;
-  FairShareScheduler scheduler_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<std::string, LiveJob> live_;
-  std::map<std::uint64_t, std::pair<std::string, EventSink>> sinks_;
-  std::uint64_t next_sink_ = 1;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  Store store_ MLEC_GUARDED_BY(mutex_);
+  FairShareScheduler scheduler_ MLEC_GUARDED_BY(mutex_);
+  std::map<std::string, LiveJob> live_ MLEC_GUARDED_BY(mutex_);
+  std::map<std::uint64_t, std::pair<std::string, EventSink>> sinks_ MLEC_GUARDED_BY(mutex_);
+  std::uint64_t next_sink_ MLEC_GUARDED_BY(mutex_) = 1;
+  /// Mutated only by start()/stop(), which external callers already
+  /// serialize (the daemon calls them once each); runner threads never
+  /// touch the vector itself.
   std::vector<std::thread> runners_;
-  std::size_t busy_ = 0;
-  bool stopping_ = false;
+  std::size_t busy_ MLEC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ MLEC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mlec::server

@@ -11,6 +11,8 @@ namespace mlec {
 namespace {
 
 ContractMode mode_from_env() {
+  // Read-only getenv, called once from mode_slot()'s static initializer.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("MLEC_CONTRACTS");
   if (v != nullptr && std::strcmp(v, "abort") == 0) return ContractMode::kAbort;
   return ContractMode::kThrow;

@@ -3,13 +3,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec::fault {
 
@@ -20,11 +20,13 @@ std::atomic<bool> g_enabled{false};
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::vector<FaultSpec> specs;
-  std::vector<std::pair<std::string, std::uint64_t>> hits;  // per-point counters
+  Mutex mutex;
+  std::vector<FaultSpec> specs MLEC_GUARDED_BY(mutex);
+  // Per-point counters. The returned reference from counter() is only used
+  // within the same critical section that obtained it.
+  std::vector<std::pair<std::string, std::uint64_t>> hits MLEC_GUARDED_BY(mutex);
 
-  std::uint64_t& counter(const std::string& point) {
+  std::uint64_t& counter(const std::string& point) MLEC_REQUIRES(mutex) {
     for (auto& [name, count] : hits)
       if (name == point) return count;
     return hits.emplace_back(point, 0).second;
@@ -179,6 +181,8 @@ FaultSpec parse_entry(const std::string& entry) {
 /// Arm the schedule parsed from MLEC_FAULTS at process start, so faults
 /// reach code that runs before main() touches the registry explicitly.
 const bool g_env_armed = [] {
+  // Static-init getenv: runs before main() and before any thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("MLEC_FAULTS"); env != nullptr && *env != '\0')
     configure(env);
   return true;
@@ -209,7 +213,7 @@ void hit(const char* point) {
   bool fire = false;
   {
     auto& reg = registry();
-    std::scoped_lock lock(reg.mutex);
+    MutexLock lock(reg.mutex);
     if (reg.specs.empty()) return;  // disarmed between the fast check and here
     const std::uint64_t index = ++reg.counter(point);
     for (const auto& spec : reg.specs) {
@@ -242,7 +246,7 @@ void configure(const std::string& spec) {
     parsed.push_back(parse_entry(entry));
   }
   auto& reg = registry();
-  std::scoped_lock lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   reg.specs = std::move(parsed);
   reg.hits.clear();
   detail::g_enabled.store(!reg.specs.empty(), std::memory_order_relaxed);
@@ -250,7 +254,7 @@ void configure(const std::string& spec) {
 
 void clear() noexcept {
   auto& reg = registry();
-  std::scoped_lock lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   reg.specs.clear();
   reg.hits.clear();
   detail::g_enabled.store(false, std::memory_order_relaxed);
@@ -258,7 +262,7 @@ void clear() noexcept {
 
 std::uint64_t hit_count(const std::string& point) {
   auto& reg = registry();
-  std::scoped_lock lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   for (const auto& [name, count] : reg.hits)
     if (name == point) return count;
   return 0;
@@ -266,7 +270,7 @@ std::uint64_t hit_count(const std::string& point) {
 
 std::vector<FaultSpec> active() {
   auto& reg = registry();
-  std::scoped_lock lock(reg.mutex);
+  MutexLock lock(reg.mutex);
   return reg.specs;
 }
 

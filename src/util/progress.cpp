@@ -17,6 +17,8 @@ std::atomic<std::int64_t> g_last_print_ms{0};
 
 bool quiet() {
   static const bool q = [] {
+    // Read-only getenv, evaluated once under the static-init guard.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* v = std::getenv("MLEC_QUIET");
     return v != nullptr && v[0] != '\0' && v[0] != '0';
   }();
@@ -30,6 +32,8 @@ bool quiet() {
 /// MLEC_PROGRESS=plain|tty overrides the detection for tests.
 bool tty_output() {
   static const bool tty = [] {
+    // Read-only getenv, evaluated once under the static-init guard.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char* v = std::getenv("MLEC_PROGRESS")) {
       if (v[0] == 'p') return false;
       if (v[0] == 't') return true;

@@ -68,7 +68,11 @@ void StopSource::set_deadline_after(double seconds) {
 }
 
 void StopSource::watch_signals() {
+  // Handler installation happens once during CLI startup, before worker
+  // threads exist; the handler itself only touches lock-free atomics.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::signal(SIGINT, mlec_stop_signal_handler);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   std::signal(SIGTERM, mlec_stop_signal_handler);
   state_->watch_signals.store(true);
 }

@@ -97,6 +97,9 @@ std::string HeatmapRenderer::render(const std::vector<std::vector<double>>& valu
 }
 
 bool fast_mode() {
+  // Read-only getenv; nothing in the process writes the environment
+  // concurrently (tests that set MLEC_FAST do so before spawning threads).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* v = std::getenv("MLEC_FAST");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }

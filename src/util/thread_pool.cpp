@@ -15,6 +15,9 @@ namespace {
 /// hardware concurrency). Lets sanitizer CI force real parallelism on
 /// small runners and benchmarks pin reproducible pool sizes.
 std::size_t default_threads() {
+  // Read-only getenv during pool construction; nothing in the process
+  // writes the environment concurrently (tests that do use their own pool).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("MLEC_THREADS")) {
     char* end = nullptr;
     const unsigned long v = std::strtoul(env, &end, 10);
@@ -22,6 +25,20 @@ std::size_t default_threads() {
   }
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
+
+/// Join/fault state of one parallel_chunks batch. Lives on the submitting
+/// thread's stack for the whole batch (every chunk decrements `remaining`
+/// before that frame can return). A named struct rather than loose locals
+/// because MLEC_GUARDED_BY can only annotate members.
+struct BatchState {
+  Mutex mutex;
+  CondVar done_cv;
+  std::exception_ptr first_error MLEC_GUARDED_BY(mutex);
+  std::atomic<std::size_t> remaining;
+  std::atomic<bool> abandoned{false};
+
+  explicit BatchState(std::size_t chunks) : remaining(chunks) {}
+};
 
 }  // namespace
 
@@ -33,7 +50,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -42,24 +59,25 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::size_t lane, std::function<void()> task) {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     lanes_[std::min(lane, kLaneCount - 1)].push(std::move(task));
   }
   cv_.notify_one();
 }
 
+bool ThreadPool::any_task_locked() const {
+  for (const auto& lane : lanes_)
+    if (!lane.empty()) return true;
+  return false;
+}
+
 void ThreadPool::worker_loop() {
-  const auto any_task = [this] {
-    for (const auto& lane : lanes_)
-      if (!lane.empty()) return true;
-    return false;
-  };
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return stop_ || any_task(); });
-      if (stop_ && !any_task()) return;
+      MutexLock lock(mutex_);
+      while (!stop_ && !any_task_locked()) cv_.wait(mutex_);
+      if (stop_ && !any_task_locked()) return;
       // Lower-numbered lanes always win: interactive chunks overtake any
       // queued batch work at every dispatch point.
       for (auto& lane : lanes_) {
@@ -81,12 +99,7 @@ void ThreadPool::parallel_chunks(
   if (begin == end) return;
   chunks = std::clamp<std::size_t>(chunks, 1, end - begin);
 
-  std::atomic<std::size_t> remaining{chunks};
-  std::atomic<bool> abandoned{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  BatchState state(chunks);
 
   const std::size_t total = end - begin;
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -96,23 +109,29 @@ void ThreadPool::parallel_chunks(
       // A thrown chunk (or a fired stop token) abandons the chunks that have
       // not started yet; they still drain through the queue so the batch
       // joins cleanly and the pool stays usable.
-      if (!abandoned.load(std::memory_order_acquire) && !stop.stop_requested()) {
+      if (!state.abandoned.load(std::memory_order_acquire) && !stop.stop_requested()) {
         try {
           fn(c, lo, hi);
         } catch (...) {
-          std::scoped_lock lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          abandoned.store(true, std::memory_order_release);
+          MutexLock lock(state.mutex);
+          if (!state.first_error) state.first_error = std::current_exception();
+          state.abandoned.store(true, std::memory_order_release);
         }
       }
-      if (remaining.fetch_sub(1) == 1) {
-        std::scoped_lock lock(done_mutex);
-        done_cv.notify_all();
+      if (state.remaining.fetch_sub(1) == 1) {
+        // Notify with the mutex held: the waiter checks `remaining` only
+        // while holding it, so the final wakeup cannot be lost.
+        MutexLock lock(state.mutex);
+        state.done_cv.notify_all();
       }
     });
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state.mutex);
+    while (state.remaining.load() != 0) state.done_cv.wait(state.mutex);
+    first_error = state.first_error;
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -13,15 +13,14 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "util/stop_token.hpp"
+#include "util/thread_safety.hpp"
 
 namespace mlec {
 
@@ -68,14 +67,18 @@ class ThreadPool {
                        StopToken stop = {}, std::size_t lane = kLaneNormal);
 
  private:
-  void submit(std::size_t lane, std::function<void()> task);
-  void worker_loop();
+  void submit(std::size_t lane, std::function<void()> task) MLEC_EXCLUDES(mutex_);
+  void worker_loop() MLEC_EXCLUDES(mutex_);
+  /// Any lane non-empty? The dispatch predicate for the worker wait loop.
+  bool any_task_locked() const MLEC_REQUIRES(mutex_);
 
+  /// Immutable after construction (joined by the destructor); size() reads
+  /// it lock-free from any thread.
   std::vector<std::thread> workers_;
-  std::array<std::queue<std::function<void()>>, kLaneCount> lanes_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::array<std::queue<std::function<void()>>, kLaneCount> lanes_ MLEC_GUARDED_BY(mutex_);
+  bool stop_ MLEC_GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide default pool (lazily constructed).

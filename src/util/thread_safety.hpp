@@ -1,0 +1,124 @@
+// Compile-time concurrency contracts: Clang Thread Safety Analysis wrappers.
+//
+// Every mutex in the library is an mlec::Mutex and every piece of shared
+// state carries an MLEC_GUARDED_BY annotation, so lock discipline is checked
+// at build time (-Wthread-safety -Werror=thread-safety-analysis, the CI
+// thread-safety job) instead of only dynamically by TSan — TSan catches the
+// interleavings that happen to execute; the analysis rejects the ones that
+// *could*. Under any compiler other than Clang the macros expand to nothing
+// and the wrappers are zero-overhead shims over the std primitives.
+//
+// Contract vocabulary (see DESIGN.md §16 for the per-subsystem capability
+// map and the escape-hatch policy):
+//
+//   MLEC_GUARDED_BY(mu)   field access requires holding mu
+//   MLEC_REQUIRES(mu)     caller must hold mu (the *_locked() convention)
+//   MLEC_EXCLUDES(mu)     caller must NOT hold mu — documents functions that
+//                         take the lock themselves or sleep/call out, where
+//                         entering with the lock held would self-deadlock or
+//                         stall every other thread
+//   MLEC_ACQUIRE/RELEASE  lock-transfer functions (Mutex, MutexLock)
+//   MLEC_NO_THREAD_SAFETY_ANALYSIS
+//                         last-resort escape hatch. Every use must carry a
+//                         `// lint:allow(tsa-escape): <why>` justification;
+//                         the determinism linter rejects bare escapes.
+//
+// The raw std::mutex/std::condition_variable types are banned outside this
+// header (determinism linter rule `raw-sync`), so new concurrent code cannot
+// bypass the annotated layer.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define MLEC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MLEC_THREAD_ANNOTATION_(x)  // no-op: GCC/MSVC have no TSA
+#endif
+
+#define MLEC_CAPABILITY(x) MLEC_THREAD_ANNOTATION_(capability(x))
+#define MLEC_SCOPED_CAPABILITY MLEC_THREAD_ANNOTATION_(scoped_lockable)
+#define MLEC_GUARDED_BY(x) MLEC_THREAD_ANNOTATION_(guarded_by(x))
+#define MLEC_PT_GUARDED_BY(x) MLEC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define MLEC_ACQUIRE(...) MLEC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MLEC_RELEASE(...) MLEC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define MLEC_TRY_ACQUIRE(...) MLEC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define MLEC_REQUIRES(...) MLEC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define MLEC_EXCLUDES(...) MLEC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define MLEC_ASSERT_CAPABILITY(x) MLEC_THREAD_ANNOTATION_(assert_capability(x))
+#define MLEC_RETURN_CAPABILITY(x) MLEC_THREAD_ANNOTATION_(lock_returned(x))
+#define MLEC_NO_THREAD_SAFETY_ANALYSIS MLEC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace mlec {
+
+class CondVar;
+
+/// A std::mutex carrying the TSA "mutex" capability. Prefer MutexLock for
+/// scoped acquisition; the raw lock()/unlock() pair exists for the rare
+/// callers that need manual control across non-lexical extents.
+class MLEC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MLEC_ACQUIRE() { raw_.lock(); }
+  void unlock() MLEC_RELEASE() { raw_.unlock(); }
+  bool try_lock() MLEC_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() re-wraps raw_ without releasing the capability
+  std::mutex raw_;
+};
+
+/// RAII lock over a Mutex (the analysis-aware std::scoped_lock equivalent).
+class MLEC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) MLEC_ACQUIRE(mutex) : mutex_(mutex) { mutex_.lock(); }
+  ~MutexLock() MLEC_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable bound to Mutex. wait() takes the Mutex directly and
+/// REQUIRES the caller to hold it, so the guarded predicate is re-checked
+/// in annotated code:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.wait(mutex_);   // ready_ is MLEC_GUARDED_BY(mutex_)
+///
+/// Predicate-lambda waits (cv.wait(lock, [&]{...})) are deliberately not
+/// offered: Clang analyzes the lambda body as a separate unannotated
+/// function, which would silently exempt exactly the guarded reads the
+/// analysis exists to check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mutex`, sleep, and reacquire before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void wait(Mutex& mutex) MLEC_REQUIRES(mutex) {
+    // Adopt the already-held native mutex for the wait, then release the
+    // unique_lock's ownership claim without unlocking: the capability never
+    // leaves the caller from the analysis' point of view, matching the
+    // runtime fact that wait() returns with the mutex re-held.
+    std::unique_lock<std::mutex> native(mutex.raw_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mlec

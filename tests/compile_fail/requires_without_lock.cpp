@@ -1,0 +1,40 @@
+// Negative-compile case: calling a MLEC_REQUIRES(mutex) function without
+// holding that mutex must be rejected by -Werror=thread-safety-analysis.
+//
+// Driven by run_case.cmake: compiled once WITHOUT the violation macro (must
+// succeed) and once WITH -DMLEC_TSA_VIOLATION (must fail with a
+// thread-safety diagnostic).
+#include "util/thread_safety.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void deposit(int amount) {
+#ifdef MLEC_TSA_VIOLATION
+    add_locked(amount);  // caller does not hold mutex_: must be rejected
+#else
+    mlec::MutexLock lock(mutex_);
+    add_locked(amount);
+#endif
+  }
+
+  int balance() const {
+    mlec::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+ private:
+  void add_locked(int amount) MLEC_REQUIRES(mutex_) { balance_ += amount; }
+
+  mutable mlec::Mutex mutex_;
+  int balance_ MLEC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.deposit(5);
+  return ledger.balance() == 5 ? 0 : 1;
+}

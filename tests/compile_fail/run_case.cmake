@@ -1,0 +1,47 @@
+# Negative-compile driver for the thread-safety contract tests.
+#
+# Invoked by ctest (see tests/CMakeLists.txt) as:
+#   cmake -DCOMPILER=<clang++> -DSOURCE=<case.cpp> -DINCLUDE_DIR=<src>
+#         -P run_case.cmake
+#
+# Each case file compiles cleanly as written and contains a deliberate
+# violation behind -DMLEC_TSA_VIOLATION. The driver proves BOTH halves:
+#  1. the control build (no violation) passes under -Werror=thread-safety-
+#     analysis — the scaffolding itself is warning-free, so
+#  2. the violation build failing can only be the analysis catching the
+#     seeded bug, which the driver confirms by matching the diagnostic text.
+
+foreach(var COMPILER SOURCE INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_case.cmake requires -D${var}=...")
+  endif()
+endforeach()
+
+set(base_flags -std=c++20 -fsyntax-only -Wthread-safety
+               -Werror=thread-safety-analysis -I${INCLUDE_DIR})
+
+execute_process(
+  COMMAND ${COMPILER} ${base_flags} ${SOURCE}
+  RESULT_VARIABLE control_result
+  ERROR_VARIABLE control_stderr)
+if(NOT control_result EQUAL 0)
+  message(FATAL_ERROR
+          "control build of ${SOURCE} failed (expected clean):\n${control_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${base_flags} -DMLEC_TSA_VIOLATION ${SOURCE}
+  RESULT_VARIABLE violation_result
+  ERROR_VARIABLE violation_stderr)
+if(violation_result EQUAL 0)
+  message(FATAL_ERROR
+          "violation build of ${SOURCE} compiled cleanly: the thread-safety "
+          "analysis failed to reject the seeded bug")
+endif()
+if(NOT violation_stderr MATCHES "thread-safety")
+  message(FATAL_ERROR
+          "violation build of ${SOURCE} failed for an unrelated reason "
+          "(no thread-safety diagnostic):\n${violation_stderr}")
+endif()
+
+message(STATUS "${SOURCE}: control clean, violation rejected by the analysis")

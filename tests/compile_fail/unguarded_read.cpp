@@ -1,0 +1,38 @@
+// Negative-compile case: reading a MLEC_GUARDED_BY member without holding
+// its mutex must be rejected by -Werror=thread-safety-analysis.
+//
+// Driven by run_case.cmake: compiled once WITHOUT the violation macro (must
+// succeed — proves the scaffolding itself is clean) and once WITH
+// -DMLEC_TSA_VIOLATION (must fail with a thread-safety diagnostic).
+#include "util/thread_safety.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    mlec::MutexLock lock(mutex_);
+    ++count_;
+  }
+
+  int value() const {
+#ifdef MLEC_TSA_VIOLATION
+    return count_;  // unguarded read: -Wthread-safety must reject this
+#else
+    mlec::MutexLock lock(mutex_);
+    return count_;
+#endif
+  }
+
+ private:
+  mutable mlec::Mutex mutex_;
+  int count_ MLEC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.increment();
+  return counter.value() == 1 ? 0 : 1;
+}

@@ -124,6 +124,8 @@ TEST(EcBackend, ForceUnsupportedThrows) {
 TEST(EcBackend, EnvOverrideRespectedWhenSupported) {
   // active_backend() resolves from MLEC_EC_BACKEND on first use; when CI
   // forces a backend it must actually be the one dispatched.
+  // Read-only getenv on the single test thread.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("MLEC_EC_BACKEND");
   if (env == nullptr || std::string_view(env) == "auto" || *env == '\0')
     GTEST_SKIP() << "no MLEC_EC_BACKEND set";

@@ -105,6 +105,36 @@ TEST(EstimationService, CancelsQueuedWorkBeforeItRuns) {
   EXPECT_EQ(service.status().counters.count("completed"), 0u);
 }
 
+TEST(EstimationService, EventSinksRunOutsideTheServiceMutex) {
+  // Lock-discipline invariant (also encoded as MLEC_EXCLUDES on
+  // on_progress/run_job): event sinks are invoked after the service mutex
+  // is released, so a sink may re-enter the service. If a sink were ever
+  // called under the mutex, this test would deadlock (and the CI timeout
+  // would flag it) the moment the sink calls status().
+  EstimationService service(in_memory_config());
+  const SubmitOutcome submitted = service.submit(sim_request());
+  ASSERT_FALSE(submitted.cached);
+
+  std::vector<std::string> states_seen;
+  const std::uint64_t token = service.subscribe(
+      submitted.job_id, [&](const json::Value& event) {
+        // Re-entrant call: takes the service mutex inside a sink.
+        const ServiceStatus status = service.status();
+        for (const auto& job : status.jobs)
+          if (job.id == submitted.job_id) states_seen.push_back(job.state);
+        (void)event;
+      });
+  ASSERT_NE(token, 0u);
+  service.drain();
+
+  const StoredJob done = service.wait(submitted.job_id);
+  EXPECT_EQ(done.state, "done");
+  // The terminal event fired with the job already in its final state.
+  ASSERT_FALSE(states_seen.empty());
+  EXPECT_EQ(states_seen.back(), "done");
+  service.unsubscribe(token);
+}
+
 TEST(EstimationService, RejectsBadSubmissions) {
   EstimationService service(in_memory_config());
   SubmitRequest unknown_method = sim_request();

@@ -28,10 +28,10 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
 
 TEST(ThreadPool, ChunksPartitionTheRange) {
   ThreadPool pool(3);
-  std::mutex m;
+  Mutex m;
   std::vector<std::pair<std::size_t, std::size_t>> ranges;
   pool.parallel_chunks(10, 110, 7, [&](std::size_t, std::size_t lo, std::size_t hi) {
-    std::scoped_lock lock(m);
+    MutexLock lock(m);
     ranges.emplace_back(lo, hi);
   });
   std::sort(ranges.begin(), ranges.end());
@@ -130,11 +130,16 @@ TEST(ThreadPool, EnvOverrideSizesDefaultConstruction) {
   // MLEC_THREADS forces the default worker count (sanitizer CI uses it to
   // get real concurrency on small runners). Garbage values fall back to
   // hardware concurrency; an explicit count always wins.
+  // setenv/unsetenv race with nothing here: each pool is joined before the
+  // next environment write, and no other test thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   ASSERT_EQ(setenv("MLEC_THREADS", "3", 1), 0);
   EXPECT_EQ(ThreadPool{}.size(), 3u);
   EXPECT_EQ(ThreadPool{2}.size(), 2u);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   ASSERT_EQ(setenv("MLEC_THREADS", "not-a-number", 1), 0);
   EXPECT_GE(ThreadPool{}.size(), 1u);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   ASSERT_EQ(unsetenv("MLEC_THREADS"), 0);
 }
 

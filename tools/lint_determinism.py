@@ -39,6 +39,19 @@ the machine that introduced them. This linter bans them at review time:
                   retries on the same schedule and fault-injection sweeps
                   replay bit-identically; clock-derived jitter silently
                   breaks both.
+  raw-sync        Raw std synchronization types (std::mutex, lock_guard,
+                  unique_lock, scoped_lock, condition_variable, ...)
+                  anywhere in src/ outside util/thread_safety.hpp. All
+                  locking must go through mlec::Mutex / MutexLock / CondVar
+                  so Clang's thread-safety analysis sees every acquisition;
+                  a raw std::mutex is invisible to the annotations and
+                  silently exempts its critical sections from the
+                  compile-time contract.
+  tsa-escape      Any use of MLEC_NO_THREAD_SAFETY_ANALYSIS in src/. The
+                  escape hatch disables the analysis for a whole function
+                  body, so every use must carry a justified allow explaining
+                  why the access is safe without the capability (e.g.
+                  quiescent-state accessors used only after drain()).
 
 Suppression: append `// lint:allow(<rule>): <justification>` to the flagged
 line, or place it alone on the preceding line. The justification is
@@ -84,6 +97,14 @@ JITTER_NONDET_RE = re.compile(
     r"|\b(?:system|steady|high_resolution)_clock\b"
     r"|(?<![_\w])(?:std::)?time\s*\("
 )
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|condition_variable|condition_variable_any)\b"
+)
+TSA_ESCAPE_RE = re.compile(r"\bMLEC_NO_THREAD_SAFETY_ANALYSIS\b")
+# The one file allowed to touch the raw std types: it defines the wrappers.
+SYNC_WRAPPER_FILE = "src/util/thread_safety.hpp"
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -173,6 +194,7 @@ def lint_file(path: Path, rel: str, findings: list[Finding]) -> None:
     in_sim_stack = rel.startswith(SIM_STACK)
     in_sim_logic = rel.startswith(SIM_LOGIC)
     in_jitter_stack = rel.startswith(JITTER_STACK)
+    in_src = rel.startswith(ALL_SRC) and rel != SYNC_WRAPPER_FILE
 
     def report(lineno: int, rule: str, message: str) -> None:
         if rule in allowed.get(lineno, set()):
@@ -202,6 +224,16 @@ def lint_file(path: Path, rel: str, findings: list[Finding]) -> None:
                    "backoff/jitter computed from un-seeded randomness or a clock; "
                    "derive it from the campaign seed (splitmix64 over "
                    "(seed, shard, attempt)) so resumed runs retry identically")
+        if in_src:
+            if RAW_SYNC_RE.search(line):
+                report(lineno, "raw-sync",
+                       "raw std synchronization type outside util/thread_safety.hpp; "
+                       "use mlec::Mutex / MutexLock / CondVar so the thread-safety "
+                       "analysis sees the acquisition")
+            if TSA_ESCAPE_RE.search(line):
+                report(lineno, "tsa-escape",
+                       "MLEC_NO_THREAD_SAFETY_ANALYSIS disables the analysis for the "
+                       "whole function; justify it with lint:allow(tsa-escape): <why>")
         if in_sim_logic:
             for m in FLOAT_CMP_RE.finditer(line):
                 lhs, op, rhs = m.group(1), m.group(2), m.group(3)
@@ -284,6 +316,19 @@ SELF_TEST_CASES = [
      "const double jitter = 0.5 + (splitmix64(state) >> 11) * 0x1.0p-53;", None),
     ("src/util/a.cpp",
      "auto elapsed = std::chrono::steady_clock::now() - start;", None),  # not jitter code
+    ("src/server/a.cpp", "std::mutex m;", "raw-sync"),
+    ("src/server/a.cpp", "std::unique_lock lock(m);", "raw-sync"),
+    ("src/server/a.cpp", "std::condition_variable cv;", "raw-sync"),
+    ("src/server/a.hpp", "mlec::Mutex m;\nMutexLock lock(m);", None),
+    ("src/util/thread_safety.hpp", "std::mutex raw_;", None),  # the wrapper itself
+    ("src/server/a.hpp",
+     "void peek() const MLEC_NO_THREAD_SAFETY_ANALYSIS;", "tsa-escape"),
+    ("src/server/a.hpp",
+     "// lint:allow(tsa-escape): quiescent accessor, only valid after drain\n"
+     "void peek() const MLEC_NO_THREAD_SAFETY_ANALYSIS;", None),
+    ("src/server/a.hpp",
+     "// lint:allow(tsa-escape)\n"
+     "void peek() const MLEC_NO_THREAD_SAFETY_ANALYSIS;", "tsa-escape"),  # bare allow
 ]
 
 

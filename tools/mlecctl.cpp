@@ -518,6 +518,8 @@ int cmd_chaos(const Options& opt) {
 
 int cmd_serve(const Options& opt) {
   ThreadPool pool(opt.workers);  // 0 honors MLEC_THREADS, else hardware
+  // Read-only getenv during single-threaded CLI startup.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* source = opt.workers > 0              ? "--workers"
                        : std::getenv("MLEC_THREADS") ? "MLEC_THREADS"
                                                       : "hardware";
@@ -712,6 +714,8 @@ int cmd_ec() {
   // active_backend() resolves MLEC_EC_BACKEND on first use and throws on an
   // unknown or unsupported value; report that and exit non-zero rather than
   // printing a matrix that claims some other backend is in charge.
+  // Read-only getenv during single-threaded CLI startup.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* forced = std::getenv("MLEC_EC_BACKEND");
   ec::Backend active;
   try {
